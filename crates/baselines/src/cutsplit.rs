@@ -1,0 +1,228 @@
+//! CutSplit: cutting + splitting combined (Li et al., INFOCOM 2018).
+//!
+//! CutSplit observes that equal-size cuts (HiCuts) are cheap and
+//! effective while a field is *small* (specific prefixes), and that
+//! rule-boundary splits (HyperSplit) are memory-efficient once rules
+//! get dense and overlapping. It therefore:
+//!
+//! 1. partitions rules into four subsets by which IP fields are small
+//!    (source small & destination small / only source / only
+//!    destination / neither);
+//! 2. runs **FiCuts** — fixed-dimension equal-size cuts in exactly the
+//!    small field(s) — until nodes fall below a pre-cut threshold;
+//! 3. finishes each remaining node with HyperSplit post-splitting.
+
+use crate::common::{simulate_cut, simulate_multicut, BuildLimits};
+use crate::hypersplit::{split_subtrees, HyperSplitConfig};
+use classbench::{Dim, RuleSet};
+use dtree::{DecisionTree, NodeId, RuleId};
+
+/// CutSplit tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CutSplitConfig {
+    /// Leaf threshold and safety limits.
+    pub limits: BuildLimits,
+    /// A rule's IP field is "small" when it covers at most this fraction
+    /// of the address space (the paper's /16 boundary = `2^-16`).
+    pub small_threshold: f64,
+    /// FiCuts keeps cutting while a node holds more rules than this.
+    pub precut_threshold: usize,
+    /// Equal-size cuts per FiCuts step (per dimension).
+    pub ficuts_fanout: usize,
+}
+
+impl Default for CutSplitConfig {
+    fn default() -> Self {
+        CutSplitConfig {
+            limits: BuildLimits { max_depth: 200, ..Default::default() },
+            small_threshold: 1.0 / 65536.0, // /16 or longer prefixes
+            precut_threshold: 32,
+            ficuts_fanout: 8,
+        }
+    }
+}
+
+/// The four CutSplit subsets, keyed by which IP dimensions are small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Subset {
+    /// Both source and destination IP are small: FiCuts in both.
+    BothSmall,
+    /// Only the source IP is small.
+    SrcSmall,
+    /// Only the destination IP is small.
+    DstSmall,
+    /// Neither is small: straight to HyperSplit.
+    NeitherSmall,
+}
+
+fn classify_rule(tree: &DecisionTree, id: RuleId, threshold: f64) -> Subset {
+    let src_small = tree.rule(id).largeness(Dim::SrcIp) <= threshold;
+    let dst_small = tree.rule(id).largeness(Dim::DstIp) <= threshold;
+    match (src_small, dst_small) {
+        (true, true) => Subset::BothSmall,
+        (true, false) => Subset::SrcSmall,
+        (false, true) => Subset::DstSmall,
+        (false, false) => Subset::NeitherSmall,
+    }
+}
+
+/// FiCuts: keep applying fixed-dimension equal-size cuts below `root`
+/// while nodes hold more than `precut_threshold` rules and the cut makes
+/// progress; leave the rest for post-splitting.
+fn ficuts(
+    tree: &mut DecisionTree,
+    root: NodeId,
+    dims: &[Dim],
+    cfg: &CutSplitConfig,
+) -> Vec<NodeId> {
+    let mut stack = vec![root];
+    let mut remaining = Vec::new();
+    while let Some(id) = stack.pop() {
+        let n = tree.node(id).rules.len();
+        if n <= cfg.precut_threshold
+            || tree.node(id).depth >= cfg.limits.max_depth / 2
+            || tree.num_nodes() >= cfg.limits.max_nodes
+        {
+            remaining.push(id);
+            continue;
+        }
+        let children = match dims {
+            [d] => {
+                let fan = cfg
+                    .ficuts_fanout
+                    .min(tree.node(id).space.range(*d).len().max(2) as usize);
+                if simulate_cut(tree, id, *d, fan).iter().all(|&c| c >= n) {
+                    remaining.push(id);
+                    continue;
+                }
+                tree.cut_node(id, *d, fan)
+            }
+            [a, b] => {
+                let fan = (cfg.ficuts_fanout / 2).max(2);
+                let spec = [(*a, fan), (*b, fan)];
+                if simulate_multicut(tree, id, &spec).iter().all(|&c| c >= n) {
+                    remaining.push(id);
+                    continue;
+                }
+                tree.multicut_node(id, &spec)
+            }
+            _ => {
+                remaining.push(id);
+                continue;
+            }
+        };
+        for c in children {
+            tree.truncate_covered(c);
+            stack.push(c);
+        }
+    }
+    remaining
+}
+
+/// Build a CutSplit classifier for `rules`.
+pub fn build_cutsplit(rules: &RuleSet, cfg: &CutSplitConfig) -> DecisionTree {
+    let mut tree = DecisionTree::new(rules);
+    let root = tree.root();
+    let all = tree.node(root).rules.clone();
+
+    let mut groups: Vec<(Subset, Vec<RuleId>)> = vec![
+        (Subset::BothSmall, Vec::new()),
+        (Subset::SrcSmall, Vec::new()),
+        (Subset::DstSmall, Vec::new()),
+        (Subset::NeitherSmall, Vec::new()),
+    ];
+    for &id in &all {
+        let s = classify_rule(&tree, id, cfg.small_threshold);
+        groups.iter_mut().find(|(g, _)| *g == s).unwrap().1.push(id);
+    }
+    groups.retain(|(_, ids)| !ids.is_empty());
+
+    let children: Vec<(Subset, NodeId)> = if groups.len() >= 2 {
+        let subsets: Vec<Subset> = groups.iter().map(|(s, _)| *s).collect();
+        let ids = tree.partition_node(root, groups.into_iter().map(|(_, v)| v).collect());
+        subsets.into_iter().zip(ids).collect()
+    } else {
+        vec![(groups.pop().map(|(s, _)| s).unwrap_or(Subset::NeitherSmall), root)]
+    };
+
+    let split_cfg = HyperSplitConfig { limits: cfg.limits, ..Default::default() };
+    for (subset, node) in children {
+        let dims: &[Dim] = match subset {
+            Subset::BothSmall => &[Dim::SrcIp, Dim::DstIp],
+            Subset::SrcSmall => &[Dim::SrcIp],
+            Subset::DstSmall => &[Dim::DstIp],
+            Subset::NeitherSmall => &[],
+        };
+        let mut remaining = if dims.is_empty() {
+            vec![node]
+        } else {
+            ficuts(&mut tree, node, dims, cfg)
+        };
+        split_subtrees(&mut tree, &mut remaining, &split_cfg);
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classbench::{generate_rules, ClassifierFamily, GeneratorConfig};
+    use dtree::{validate::assert_tree_valid, NodeKind, TreeStats};
+
+    #[test]
+    fn builds_valid_trees_for_all_families() {
+        for fam in ClassifierFamily::ALL {
+            let rs = generate_rules(&GeneratorConfig::new(fam, 300).with_seed(51));
+            let tree = build_cutsplit(&rs, &CutSplitConfig::default());
+            assert_tree_valid(&tree, 400, 52);
+        }
+    }
+
+    #[test]
+    fn partitions_by_small_fields() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 400).with_seed(53));
+        let tree = build_cutsplit(&rs, &CutSplitConfig::default());
+        // FW sets mix specific and wildcard IPs, so the root partitions.
+        assert!(matches!(tree.node(tree.root()).kind, NodeKind::Partition { .. }));
+    }
+
+    #[test]
+    fn uses_both_cuts_and_splits() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 500).with_seed(54));
+        let tree = build_cutsplit(&rs, &CutSplitConfig::default());
+        let cuts = tree
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Cut { .. } | NodeKind::MultiCut { .. }))
+            .count();
+        let splits = tree
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Split { .. }))
+            .count();
+        assert!(cuts > 0, "FiCuts phase should cut");
+        assert!(splits > 0, "post-splitting should split");
+    }
+
+    #[test]
+    fn memory_competitive_with_efficuts() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 500).with_seed(55));
+        let cs = TreeStats::compute(&build_cutsplit(&rs, &CutSplitConfig::default()));
+        let hi = TreeStats::compute(&crate::hicuts::build_hicuts(
+            &rs,
+            &crate::hicuts::HiCutsConfig::default(),
+        ));
+        // CutSplit's claim: much less memory than pure cutting.
+        assert!(cs.bytes_per_rule < hi.bytes_per_rule, "cutsplit {cs} vs hicuts {hi}");
+    }
+
+    #[test]
+    fn trace_agreement() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 250).with_seed(56));
+        let tree = build_cutsplit(&rs, &CutSplitConfig::default());
+        let trace = classbench::generate_trace(&rs, &classbench::TraceConfig::new(400));
+        for p in &trace {
+            assert_eq!(tree.classify(p), rs.classify(p));
+        }
+    }
+}

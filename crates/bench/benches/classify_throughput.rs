@@ -1,0 +1,60 @@
+//! Criterion bench: lookup throughput of the trees each algorithm
+//! builds — the "classification time" metric measured as real lookups
+//! rather than tree depth.
+
+use classbench::{generate_rules, generate_trace, ClassifierFamily, GeneratorConfig, TraceConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn classify_throughput(c: &mut Criterion) {
+    let rules =
+        generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 1000).with_seed(1));
+    let trace = generate_trace(&rules, &TraceConfig::new(4096).with_seed(2));
+    let mut group = c.benchmark_group("classify_throughput");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    for name in nc_bench::BASELINE_NAMES {
+        let tree = nc_bench::build_baseline(name, &rules);
+        group.bench_with_input(BenchmarkId::new("tree", name), &tree, |b, tree| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in &trace {
+                    if tree.classify(black_box(p)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+        // The compiled deployment form of the same tree.
+        let flat = dtree::FlatTree::compile(&tree);
+        group.bench_with_input(BenchmarkId::new("flat", name), &flat, |b, flat| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in &trace {
+                    if flat.classify(black_box(p)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+
+    // The linear-scan ground truth as the reference point.
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &trace {
+                if rules.classify(black_box(p)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, classify_throughput);
+criterion_main!(benches);

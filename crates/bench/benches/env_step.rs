@@ -1,0 +1,45 @@
+//! Criterion bench: full-episode cost of the NeuroCuts environment
+//! under an untrained policy — the rollout-generation cost that
+//! dominates training wall-clock (§5 "Performance").
+
+use classbench::{generate_rules, ClassifierFamily, GeneratorConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurocuts::{NeuroCutsConfig, NeuroCutsEnv};
+use nn::{NetConfig, PolicyValueNet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn env_episode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("env_episode");
+    group.sample_size(10);
+    for size in [60usize, 150] {
+        let rules =
+            generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, size).with_seed(1));
+        let mut cfg = NeuroCutsConfig::fast();
+        cfg.hidden = [64, 64];
+        cfg.max_timesteps_per_rollout = 20_000;
+        let env = NeuroCutsEnv::new(rules, cfg.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let net = PolicyValueNet::new(
+            NetConfig {
+                obs_dim: env.encoder.obs_dim(),
+                dim_actions: env.action_space.dim_actions(),
+                num_actions: env.action_space.num_actions(),
+                hidden: cfg.hidden,
+            },
+            &mut rng,
+        );
+        group.bench_with_input(BenchmarkId::new("episode", size), &env, |b, env| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(env.build_tree(&net, seed, false).samples.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, env_episode);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: rule-set and trace synthesis throughput of the
+//! ClassBench-equivalent generator.
+
+use classbench::{
+    generate_rules, generate_trace, ClassifierFamily, GeneratorConfig, TraceConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    for size in [1000usize, 10_000] {
+        group.throughput(Throughput::Elements(size as u64));
+        for family in ClassifierFamily::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("rules_{}", family.tag()), size),
+                &size,
+                |b, &size| {
+                    let cfg = GeneratorConfig::new(family, size).with_seed(1);
+                    b.iter(|| black_box(generate_rules(&cfg)))
+                },
+            );
+        }
+    }
+    let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 1000));
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("trace_10k", |b| {
+        b.iter(|| black_box(generate_trace(&rules, &TraceConfig::new(10_000))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, generator);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: policy-network inference cost — the per-decision
+//! overhead of NeuroCuts tree construction. (The paper notes its
+//! Python tree operations dominate; here both sides are native, so the
+//! balance is visible.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nn::{Matrix, NetConfig, PolicyValueNet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn nn_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_forward");
+    for hidden in [64usize, 128, 256, 512] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let net = PolicyValueNet::new(
+            NetConfig {
+                obs_dim: 315,
+                dim_actions: 5,
+                num_actions: 14,
+                hidden: [hidden, hidden],
+            },
+            &mut rng,
+        );
+        let obs = vec![0.5f32; 315];
+        group.bench_with_input(BenchmarkId::new("single", hidden), &net, |b, net| {
+            b.iter(|| black_box(net.forward_one(black_box(&obs))))
+        });
+        let batch = Matrix::from_rows(&vec![obs.as_slice(); 256]);
+        group.bench_with_input(BenchmarkId::new("batch256", hidden), &net, |b, net| {
+            b.iter(|| black_box(net.forward(batch.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, nn_forward);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: wall-clock construction time of each baseline tree
+//! builder (the paper's §5 notes construction cost is dominated by
+//! per-rule scans during cut actions).
+
+use classbench::{generate_rules, ClassifierFamily, GeneratorConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn tree_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_construction");
+    group.sample_size(10);
+    for family in ClassifierFamily::ALL {
+        let rules = generate_rules(&GeneratorConfig::new(family, 500).with_seed(1));
+        for name in nc_bench::BASELINE_NAMES {
+            group.bench_with_input(
+                BenchmarkId::new(name, family.tag()),
+                &rules,
+                |b, rules| b.iter(|| black_box(nc_bench::build_baseline(name, rules))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tree_construction);
+criterion_main!(benches);

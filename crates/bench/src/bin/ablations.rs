@@ -1,0 +1,108 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **rewards** — dense per-subtree rewards (§4) vs a single terminal
+//!    reward copied to every decision (the strawman the paper rejects);
+//! 2. **mask** — partition actions at top nodes only (Appendix A mask)
+//!    vs anywhere;
+//! 3. **truncation** — the 15000-step rollout cap vs a tight 1000-step
+//!    cap (Table 1's swept values);
+//! 4. **model size** — hidden widths 64/256/512 (Table 1's note that
+//!    64 units degrade learning).
+//!
+//! Each ablation trains on the same classifier with the same seed and
+//! budget, reporting the best objective reached.
+//!
+//! ```text
+//! cargo run --release -p nc-bench --bin ablations [rewards|mask|truncation|model]
+//! ```
+
+use classbench::{generate_rules, ClassifierFamily, GeneratorConfig, RuleSet};
+use nc_bench::*;
+use neurocuts::{NeuroCutsConfig, PartitionMode};
+
+fn rules() -> RuleSet {
+    generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, suite_size()).with_seed(0))
+}
+
+fn run(tag: &str, cfg: NeuroCutsConfig, rules: &RuleSet) {
+    let result = run_neurocuts(rules, cfg);
+    println!(
+        "  {tag:<34} time={:<4} bytes/rule={:<10.1} nodes={}",
+        result.stats.time, result.stats.bytes_per_rule, result.stats.nodes
+    );
+}
+
+fn base() -> NeuroCutsConfig {
+    harness_config()
+        .with_coeff(1.0)
+        .with_partition_mode(PartitionMode::Simple)
+        .with_seed(7)
+}
+
+fn ablate_rewards(rules: &RuleSet) {
+    println!("[1] dense subtree rewards vs single terminal reward:");
+    run("dense rewards (paper)", base(), rules);
+    let mut sparse = base();
+    sparse.dense_rewards = false;
+    run("terminal-only rewards (strawman)", sparse, rules);
+}
+
+fn ablate_mask(rules: &RuleSet) {
+    println!("[2] partition mask: top-node only vs anywhere:");
+    run("top-node partitions (paper)", base(), rules);
+    let mut anywhere = base();
+    anywhere.partition_anywhere = true;
+    run("partitions anywhere", anywhere, rules);
+}
+
+fn ablate_truncation(rules: &RuleSet) {
+    println!("[3] rollout truncation (Table 1 sweep):");
+    for cap in [1000usize, 5000, 15000] {
+        let mut cfg = base();
+        cfg.max_timesteps_per_rollout = cap;
+        run(&format!("rollout cap {cap}"), cfg, rules);
+    }
+}
+
+fn ablate_model(rules: &RuleSet) {
+    println!("[4] model size (Table 1 note: 64 units degrade learning):");
+    for h in [64usize, 256, 512] {
+        let mut cfg = base();
+        cfg.hidden = [h, h];
+        run(&format!("hidden [{h}, {h}]"), cfg, rules);
+    }
+}
+
+fn ablate_algorithm(rules: &RuleSet) {
+    println!("[5] PPO vs Q-learning (the paper tried Q-learning, \"did not perform as well\"):");
+    run("PPO (paper)", base(), rules);
+    let mut q = base();
+    q.use_qlearning = true;
+    run("Q-learning (Boltzmann)", q, rules);
+}
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty();
+    let rules = rules();
+    println!(
+        "ablations on acl1 at {} rules, {} timesteps/run\n",
+        rules.len(),
+        train_timesteps()
+    );
+    if all || which.iter().any(|w| w == "rewards") {
+        ablate_rewards(&rules);
+    }
+    if all || which.iter().any(|w| w == "mask") {
+        ablate_mask(&rules);
+    }
+    if all || which.iter().any(|w| w == "truncation") {
+        ablate_truncation(&rules);
+    }
+    if all || which.iter().any(|w| w == "model") {
+        ablate_model(&rules);
+    }
+    if all || which.iter().any(|w| w == "algorithm") {
+        ablate_algorithm(&rules);
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 11: sweep the time-space coefficient `c ∈ {0, 0.1, 0.5, 1}`
+//! with the simple partitioner and log reward scaling; plot the suite
+//! median of classification time and bytes per rule.
+//!
+//! Paper result to reproduce (§6.4): classification time improves ~2×
+//! as `c → 1` while bytes/rule improves ~2× as `c → 0`.
+//!
+//! ```text
+//! cargo run --release -p nc-bench --bin fig11_tradeoff
+//! ```
+
+use nc_bench::*;
+use neurocuts::{PartitionMode, RewardScaling};
+
+fn main() {
+    let suite = suite();
+    println!(
+        "Figure 11: time-space tradeoff, {} rules/classifier, {} RL timesteps\n",
+        suite_size(),
+        train_timesteps()
+    );
+    println!("{:>5} | {:>12} | {:>14}", "c", "median time", "median bytes/rule");
+    println!("{:->5}-+-{:->12}-+-{:->14}", "", "", "");
+
+    let mut series: Vec<(f64, f64, f64)> = Vec::new();
+    for &c in &[0.0, 0.1, 0.5, 1.0] {
+        let mut times = Vec::new();
+        let mut spaces = Vec::new();
+        for entry in &suite {
+            let mut cfg = harness_config()
+                .with_coeff(c)
+                .with_partition_mode(PartitionMode::Simple)
+                .with_seed(4);
+            // The paper uses log scaling throughout this sweep.
+            cfg.reward_scaling = RewardScaling::Log;
+            let result = run_neurocuts(&entry.rules, cfg);
+            times.push(result.stats.time as f64);
+            spaces.push(result.stats.bytes_per_rule);
+        }
+        let mt = median(&times);
+        let ms = median(&spaces);
+        series.push((c, mt, ms));
+        println!("{c:>5.1} | {mt:>12.1} | {ms:>14.1}");
+    }
+
+    let (first, last) = (series.first().unwrap(), series.last().unwrap());
+    println!(
+        "\ntime at c=1 vs c=0: {:.2}x better (paper: ~2x)",
+        first.1 / last.1.max(1e-9)
+    );
+    println!(
+        "bytes/rule at c=0 vs c=1: {:.2}x better (paper: ~2x)",
+        last.2 / first.2.max(1e-9)
+    );
+}

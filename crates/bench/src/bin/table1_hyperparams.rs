@@ -1,0 +1,38 @@
+//! Table 1: the NeuroCuts hyperparameters, as encoded by
+//! `NeuroCutsConfig::paper_default()` — a self-check that the defaults
+//! in code are the defaults in the paper.
+//!
+//! ```text
+//! cargo run -p nc-bench --bin table1_hyperparams
+//! ```
+
+use neurocuts::NeuroCutsConfig;
+
+fn main() {
+    let cfg = NeuroCutsConfig::paper_default();
+    println!("Table 1: NeuroCuts hyperparameters (paper_default)\n");
+    let rows: Vec<(&str, String)> = vec![
+        ("Time-space coefficient c", format!("{} (set by user)", cfg.time_space_coeff)),
+        ("Top-node partitioning", format!("{:?} (swept: none/simple/EffiCuts)", cfg.partition_mode)),
+        ("Reward scaling f", format!("{:?} (swept: x / log x)", cfg.reward_scaling)),
+        ("Max timesteps per rollout", format!("{} (swept: 1000/5000/15000)", cfg.max_timesteps_per_rollout)),
+        ("Max tree depth", format!("{} (swept: 100/500)", cfg.max_tree_depth)),
+        ("Max timesteps to train", cfg.max_timesteps.to_string()),
+        ("Max timesteps per batch", cfg.timesteps_per_batch.to_string()),
+        ("Model type", "fully-connected".to_string()),
+        ("Model nonlinearity", "tanh".to_string()),
+        ("Model hidden layers", format!("{:?}", cfg.hidden)),
+        ("Weight sharing theta/theta_v", "true (shared trunk)".to_string()),
+        ("Learning rate", format!("{}", cfg.ppo.adam.lr)),
+        ("Discount factor gamma", "1.0 (1-step decisions)".to_string()),
+        ("PPO entropy coefficient", format!("{}", cfg.ppo.entropy_coeff)),
+        ("PPO clip param", format!("{}", cfg.ppo.clip)),
+        ("PPO VF clip param", format!("{}", cfg.ppo.vf_clip)),
+        ("PPO KL target", format!("{}", cfg.ppo.kl_target)),
+        ("SGD iterations per batch", cfg.ppo.sgd_iters.to_string()),
+        ("SGD minibatch size", cfg.ppo.minibatch.to_string()),
+    ];
+    for (k, v) in rows {
+        println!("  {k:<30} {v}");
+    }
+}

@@ -1,0 +1,122 @@
+//! The five classification dimensions and their bit widths.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of classification dimensions (the standard 5-tuple).
+pub const NUM_DIMS: usize = 5;
+
+/// Bit width of each dimension, indexed by [`Dim`] discriminant:
+/// source IP (32), destination IP (32), source port (16), destination
+/// port (16), protocol (8).
+pub const DIM_BITS: [u32; NUM_DIMS] = [32, 32, 16, 16, 8];
+
+/// All dimensions in canonical order.
+pub const DIMS: [Dim; NUM_DIMS] = [
+    Dim::SrcIp,
+    Dim::DstIp,
+    Dim::SrcPort,
+    Dim::DstPort,
+    Dim::Proto,
+];
+
+/// One of the five packet-header fields a classifier matches on.
+///
+/// The discriminant doubles as the index into per-dimension arrays
+/// throughout the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum Dim {
+    /// Source IPv4 address, 32 bits.
+    SrcIp = 0,
+    /// Destination IPv4 address, 32 bits.
+    DstIp = 1,
+    /// Source transport port, 16 bits.
+    SrcPort = 2,
+    /// Destination transport port, 16 bits.
+    DstPort = 3,
+    /// IP protocol number, 8 bits.
+    Proto = 4,
+}
+
+impl Dim {
+    /// Index into per-dimension arrays (same as the enum discriminant).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Construct from an index in `0..NUM_DIMS`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= NUM_DIMS`.
+    #[inline]
+    pub const fn from_index(idx: usize) -> Dim {
+        DIMS[idx]
+    }
+
+    /// Bit width of this dimension's value space.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        DIM_BITS[self as usize]
+    }
+
+    /// Exclusive upper bound of the dimension's value space
+    /// (`2^bits`, e.g. `2^32` for IPs).
+    #[inline]
+    pub const fn span(self) -> u64 {
+        1u64 << self.bits()
+    }
+
+    /// Short human-readable name used in visualisations.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Dim::SrcIp => "SrcIP",
+            Dim::DstIp => "DstIP",
+            Dim::SrcPort => "SrcPort",
+            Dim::DstPort => "DstPort",
+            Dim::Proto => "Proto",
+        }
+    }
+}
+
+impl std::fmt::Display for Dim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, d) in DIMS.iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(Dim::from_index(i), *d);
+        }
+    }
+
+    #[test]
+    fn spans_match_bit_widths() {
+        assert_eq!(Dim::SrcIp.span(), 1 << 32);
+        assert_eq!(Dim::DstIp.span(), 1 << 32);
+        assert_eq!(Dim::SrcPort.span(), 1 << 16);
+        assert_eq!(Dim::DstPort.span(), 1 << 16);
+        assert_eq!(Dim::Proto.span(), 256);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<_> = DIMS.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_DIMS);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_out_of_range_panics() {
+        let _ = Dim::from_index(5);
+    }
+}

@@ -1,0 +1,283 @@
+//! Synthetic ClassBench-style rule-set generation.
+//!
+//! The generator reproduces the *structural* properties of ClassBench
+//! output (see [`crate::profiles`]) rather than bit-identical rule sets:
+//! shared base prefixes give locality/overlap, family profiles control
+//! wildcard fractions and port classes, and a default rule guarantees
+//! total coverage. Generation is fully deterministic in the seed.
+
+use crate::dim::Dim;
+use crate::profiles::{
+    ClassifierFamily, FamilyProfile, PortClass, PortClassDist, PrefixLenDist, ProtoDist,
+    WELL_KNOWN_PORTS,
+};
+use crate::range::DimRange;
+use crate::rule::Rule;
+use crate::ruleset::RuleSet;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for [`generate_rules`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Family whose statistics to imitate.
+    pub family: ClassifierFamily,
+    /// Total number of rules, including the trailing default rule.
+    pub size: usize,
+    /// RNG seed; also select different "seed variants" (acl1 vs acl2)
+    /// by varying this.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A config for `size` rules of the given family, seed 0.
+    pub fn new(family: ClassifierFamily, size: usize) -> Self {
+        GeneratorConfig { family, size, seed: 0 }
+    }
+
+    /// Replace the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Label in the paper's naming scheme, e.g. `acl3_10k` for variant 3
+    /// (derived from the seed) at size 10_000.
+    pub fn label(&self) -> String {
+        let variant = (self.seed % self.family.num_variants() as u64) + 1;
+        let size = if self.size >= 1000 {
+            format!("{}k", self.size / 1000)
+        } else {
+            self.size.to_string()
+        };
+        format!("{}{}_{}", self.family.tag(), variant, size)
+    }
+}
+
+fn sample_weighted<'a, T>(rng: &mut impl Rng, points: &'a [(T, f64)]) -> &'a T {
+    let total: f64 = points.iter().map(|&(_, w)| w).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (v, w) in points {
+        x -= w;
+        if x <= 0.0 {
+            return v;
+        }
+    }
+    &points[points.len() - 1].0
+}
+
+fn sample_prefix_len(rng: &mut impl Rng, dist: &PrefixLenDist) -> u32 {
+    *sample_weighted(rng, dist.points)
+}
+
+fn sample_port(rng: &mut impl Rng, dist: &PortClassDist) -> DimRange {
+    match sample_weighted(rng, dist.points) {
+        PortClass::Wildcard => DimRange::full(Dim::SrcPort),
+        PortClass::ExactWellKnown => {
+            DimRange::exact(u64::from(*WELL_KNOWN_PORTS.choose(rng).unwrap()))
+        }
+        PortClass::ExactHigh => DimRange::exact(rng.gen_range(1024..65536)),
+        PortClass::LowRange => DimRange::new(0, 1024),
+        PortClass::HighRange => DimRange::new(1024, 65536),
+        PortClass::ArbitraryRange => {
+            let lo = rng.gen_range(0..65000u64);
+            let hi = rng.gen_range(lo + 1..65536u64.min(lo + 4096) + 1);
+            DimRange::new(lo, hi.min(65536))
+        }
+    }
+}
+
+fn sample_proto(rng: &mut impl Rng, dist: &ProtoDist) -> DimRange {
+    match sample_weighted(rng, dist.points) {
+        Some(p) => DimRange::exact(u64::from(*p)),
+        None => DimRange::full(Dim::Proto),
+    }
+}
+
+/// Sample an IP range: pick a base prefix from the pool (locality), then
+/// refine it to the target prefix length with random low bits.
+fn sample_ip(
+    rng: &mut impl Rng,
+    pool: &[u64],
+    base_len: u32,
+    dist: &PrefixLenDist,
+) -> DimRange {
+    let len = sample_prefix_len(rng, dist);
+    if len == 0 {
+        return DimRange::full(Dim::SrcIp);
+    }
+    let base = *pool.choose(rng).unwrap();
+    let value = if len <= base_len {
+        base
+    } else {
+        // Refine the base prefix with random bits below the base length.
+        let extra_bits = 32 - base_len;
+        base | (rng.gen::<u64>() & ((1u64 << extra_bits) - 1))
+    };
+    DimRange::from_prefix(value, len, 32)
+}
+
+/// Generate a synthetic classifier per the family profile in `cfg`.
+///
+/// The result always ends with a default rule, so every packet matches
+/// at least one rule (as in Figure 1 of the paper). Duplicate hypercubes
+/// are avoided; rules are returned highest-priority first.
+pub fn generate_rules(cfg: &GeneratorConfig) -> RuleSet {
+    assert!(cfg.size >= 1, "need at least the default rule");
+    let profile: FamilyProfile = cfg.family.profile();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x6e63_7574); // "ncut"
+
+    // Shared base-prefix pools give the rule set locality: many rules
+    // nest under a few address blocks, like real classifiers.
+    let pool_size =
+        ((cfg.size.max(64) / 256).max(1) * profile.base_prefix_pool_per_256).max(4);
+    let make_pool = |rng: &mut ChaCha8Rng| -> Vec<u64> {
+        (0..pool_size)
+            .map(|_| {
+                let raw: u64 = rng.gen::<u32>().into();
+                let shift = 32 - profile.base_prefix_len;
+                (raw >> shift) << shift
+            })
+            .collect()
+    };
+    let src_pool = make_pool(&mut rng);
+    let dst_pool = make_pool(&mut rng);
+
+    let mut rules: Vec<Rule> = Vec::with_capacity(cfg.size);
+    let mut seen = std::collections::HashSet::new();
+    let mut attempts = 0usize;
+    while rules.len() < cfg.size - 1 && attempts < cfg.size * 64 {
+        attempts += 1;
+        let rule = Rule::from_fields(
+            sample_ip(&mut rng, &src_pool, profile.base_prefix_len, &profile.src_prefix),
+            sample_ip(&mut rng, &dst_pool, profile.base_prefix_len, &profile.dst_prefix),
+            sample_port(&mut rng, &profile.src_port),
+            sample_port(&mut rng, &profile.dst_port),
+            sample_proto(&mut rng, &profile.proto),
+            0,
+        );
+        if rule.is_default() {
+            continue; // only the trailing rule may be the default
+        }
+        if seen.insert(rule.ranges) {
+            rules.push(rule);
+        }
+    }
+    rules.push(Rule::default_rule(0));
+    RuleSet::from_ordered(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+    use proptest::prelude::*;
+    // Explicit import outranks the two glob-imported `Rng` traits
+    // (rand's and proptest's re-export), resolving method ambiguity.
+    use rand::Rng;
+
+    #[test]
+    fn generates_requested_size() {
+        for fam in ClassifierFamily::ALL {
+            let rs = generate_rules(&GeneratorConfig::new(fam, 256));
+            assert_eq!(rs.len(), 256, "{fam}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = GeneratorConfig::new(ClassifierFamily::Acl, 128).with_seed(42);
+        let a = generate_rules(&cfg);
+        let b = generate_rules(&cfg);
+        assert_eq!(a, b);
+        let c = generate_rules(&cfg.clone().with_seed(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ends_with_default_rule() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 64));
+        assert!(rs.rules().last().unwrap().is_default());
+        assert!(rs.has_default());
+        // Only the last rule is the default.
+        let defaults = rs.rules().iter().filter(|r| r.is_default()).count();
+        assert_eq!(defaults, 1);
+    }
+
+    #[test]
+    fn no_duplicate_hypercubes() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 512));
+        let mut seen = std::collections::HashSet::new();
+        for r in rs.rules() {
+            assert!(seen.insert(r.ranges), "duplicate rule {r}");
+        }
+    }
+
+    #[test]
+    fn every_packet_matches_something() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 100));
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..200 {
+            let p = Packet::new(
+                rng.gen_range(0..1u64 << 32),
+                rng.gen_range(0..1u64 << 32),
+                rng.gen_range(0..1u64 << 16),
+                rng.gen_range(0..1u64 << 16),
+                rng.gen_range(0..256),
+            );
+            assert!(rs.classify(&p).is_some());
+        }
+    }
+
+    #[test]
+    fn acl_source_ports_mostly_wildcard() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 1000));
+        let wild = rs
+            .rules()
+            .iter()
+            .filter(|r| r.is_wildcard(Dim::SrcPort))
+            .count() as f64
+            / rs.len() as f64;
+        assert!(wild > 0.7, "ACL src-port wildcard fraction {wild}");
+    }
+
+    #[test]
+    fn fw_has_more_ip_wildcards_than_acl() {
+        let frac_wild = |fam| {
+            let rs = generate_rules(&GeneratorConfig::new(fam, 1000));
+            rs.rules()
+                .iter()
+                .filter(|r| r.is_wildcard(Dim::SrcIp))
+                .count() as f64
+                / rs.len() as f64
+        };
+        assert!(frac_wild(ClassifierFamily::Fw) > frac_wild(ClassifierFamily::Acl));
+    }
+
+    #[test]
+    fn labels_follow_paper_naming() {
+        let cfg = GeneratorConfig::new(ClassifierFamily::Acl, 1000).with_seed(2);
+        assert_eq!(cfg.label(), "acl3_1k");
+        let cfg = GeneratorConfig::new(ClassifierFamily::Ipc, 10_000).with_seed(0);
+        assert_eq!(cfg.label(), "ipc1_10k");
+        let cfg = GeneratorConfig::new(ClassifierFamily::Fw, 500).with_seed(0);
+        assert_eq!(cfg.label(), "fw1_500");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn prop_all_ranges_within_dim_spans(seed in 0u64..100) {
+            let rs = generate_rules(
+                &GeneratorConfig::new(ClassifierFamily::Fw, 64).with_seed(seed));
+            for r in rs.rules() {
+                for (i, range) in r.ranges.iter().enumerate() {
+                    let dim = Dim::from_index(i);
+                    prop_assert!(range.hi <= dim.span());
+                    prop_assert!(range.lo < range.hi);
+                }
+            }
+        }
+    }
+}

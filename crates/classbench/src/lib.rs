@@ -1,0 +1,50 @@
+//! Rule-set and packet substrate for packet classification.
+//!
+//! This crate provides everything the decision-tree algorithms consume:
+//!
+//! * the 5-dimensional [`Rule`]/[`Packet`] model (source/destination IP,
+//!   source/destination port, protocol) with prefix, range, and exact
+//!   matching semantics,
+//! * a [`RuleSet`] container with priority-ordered linear-scan matching
+//!   (the ground truth every decision tree is validated against),
+//! * a parser and writer for the standard ClassBench text format
+//!   ([`parser`]),
+//! * a synthetic generator ([`generator`]) with ACL / FW / IPC family
+//!   profiles ([`profiles`]) that mirror the structural statistics of the
+//!   published ClassBench seeds, and
+//! * a packet-trace generator ([`trace`]) that samples headers biased
+//!   towards the rules, like ClassBench's `trace_generator`.
+//!
+//! # Example
+//!
+//! ```
+//! use classbench::{ClassifierFamily, GeneratorConfig, generate_rules};
+//!
+//! let cfg = GeneratorConfig::new(ClassifierFamily::Acl, 100).with_seed(7);
+//! let rules = generate_rules(&cfg);
+//! assert_eq!(rules.len(), 100);
+//! // The last rule is always the default (match-everything) rule.
+//! assert!(rules.rules().last().unwrap().is_default());
+//! ```
+
+pub mod dim;
+pub mod generator;
+pub mod packet;
+pub mod parser;
+pub mod profiles;
+pub mod range;
+pub mod rule;
+pub mod ruleset;
+pub mod stats;
+pub mod trace;
+
+pub use dim::{Dim, DIMS, DIM_BITS, NUM_DIMS};
+pub use generator::{generate_rules, GeneratorConfig};
+pub use packet::Packet;
+pub use parser::{parse_rules, write_rules, ParseError};
+pub use profiles::ClassifierFamily;
+pub use range::DimRange;
+pub use rule::Rule;
+pub use ruleset::RuleSet;
+pub use stats::RuleSetStats;
+pub use trace::{generate_trace, TraceConfig};

@@ -1,0 +1,118 @@
+//! Packet headers as points in the 5-dimensional classification space.
+
+use crate::dim::{Dim, NUM_DIMS};
+use serde::{Deserialize, Serialize};
+
+/// A packet header projected onto the five classification dimensions.
+///
+/// Values are stored as `u64` for uniformity with [`crate::DimRange`];
+/// each value must lie inside its dimension's span (`< 2^32` for IPs,
+/// `< 2^16` for ports, `< 2^8` for protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Packet {
+    /// Per-dimension header values, indexed by [`Dim`].
+    pub values: [u64; NUM_DIMS],
+}
+
+impl Packet {
+    /// Construct from the five header fields in canonical order.
+    pub fn new(src_ip: u64, dst_ip: u64, src_port: u64, dst_port: u64, proto: u64) -> Self {
+        Packet {
+            values: [src_ip, dst_ip, src_port, dst_port, proto],
+        }
+    }
+
+    /// The packet's value in dimension `dim`.
+    #[inline]
+    pub fn value(&self, dim: Dim) -> u64 {
+        self.values[dim.index()]
+    }
+
+    /// True when every field lies inside its dimension's value space.
+    pub fn is_valid(&self) -> bool {
+        self.values
+            .iter()
+            .zip(crate::dim::DIMS.iter())
+            .all(|(&v, &d)| v < d.span())
+    }
+
+    /// Serialise to a fixed 13-byte wire layout
+    /// (4 + 4 + 2 + 2 + 1 bytes, big-endian), e.g. for trace files.
+    pub fn to_wire(&self) -> [u8; 13] {
+        let mut out = [0u8; 13];
+        out[0..4].copy_from_slice(&(self.values[0] as u32).to_be_bytes());
+        out[4..8].copy_from_slice(&(self.values[1] as u32).to_be_bytes());
+        out[8..10].copy_from_slice(&(self.values[2] as u16).to_be_bytes());
+        out[10..12].copy_from_slice(&(self.values[3] as u16).to_be_bytes());
+        out[12] = self.values[4] as u8;
+        out
+    }
+
+    /// Inverse of [`Packet::to_wire`].
+    pub fn from_wire(bytes: &[u8; 13]) -> Self {
+        Packet::new(
+            u64::from(u32::from_be_bytes(bytes[0..4].try_into().unwrap())),
+            u64::from(u32::from_be_bytes(bytes[4..8].try_into().unwrap())),
+            u64::from(u16::from_be_bytes(bytes[8..10].try_into().unwrap())),
+            u64::from(u16::from_be_bytes(bytes[10..12].try_into().unwrap())),
+            u64::from(bytes[12]),
+        )
+    }
+}
+
+impl std::fmt::Display for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ip = |v: u64| {
+            let b = (v as u32).to_be_bytes();
+            format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+        };
+        write!(
+            f,
+            "{} -> {} sport={} dport={} proto={}",
+            ip(self.values[0]),
+            ip(self.values[1]),
+            self.values[2],
+            self.values[3],
+            self.values[4]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validity_bounds() {
+        assert!(Packet::new(0, 0, 0, 0, 0).is_valid());
+        assert!(Packet::new((1 << 32) - 1, 0, 65535, 0, 255).is_valid());
+        assert!(!Packet::new(1 << 32, 0, 0, 0, 0).is_valid());
+        assert!(!Packet::new(0, 0, 1 << 16, 0, 0).is_valid());
+        assert!(!Packet::new(0, 0, 0, 0, 256).is_valid());
+    }
+
+    #[test]
+    fn display_formats_ip() {
+        let p = Packet::new(
+            u64::from(u32::from_be_bytes([10, 0, 0, 1])),
+            u64::from(u32::from_be_bytes([192, 168, 1, 2])),
+            80,
+            443,
+            6,
+        );
+        let s = p.to_string();
+        assert!(s.contains("10.0.0.1"));
+        assert!(s.contains("192.168.1.2"));
+        assert!(s.contains("proto=6"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wire_roundtrip(sip in 0u64..(1u64<<32), dip in 0u64..(1u64<<32),
+                               sp in 0u64..65536, dp in 0u64..65536, proto in 0u64..256) {
+            let p = Packet::new(sip, dip, sp, dp, proto);
+            prop_assert_eq!(Packet::from_wire(&p.to_wire()), p);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Parser and writer for the standard ClassBench filter-set text format.
+//!
+//! Each line describes one rule, highest priority first:
+//!
+//! ```text
+//! @<sip>/<len> <dip>/<len> <splo> : <sphi> <dplo> : <dphi> <proto>/<mask> [extra fields...]
+//! ```
+//!
+//! for example:
+//!
+//! ```text
+//! @198.12.130.31/32 1.2.3.0/24 0 : 65535 1024 : 65535 0x06/0xFF
+//! ```
+//!
+//! Port bounds are inclusive in the file format and converted to this
+//! crate's half-open ranges. The protocol `0x00/0x00` denotes a wildcard;
+//! any other mask is treated as exact match on the value (non-trivial
+//! partial masks do not occur in ClassBench output). Trailing fields
+//! (e.g. flags) are ignored, as is whitespace variation.
+
+use crate::dim::Dim;
+use crate::range::DimRange;
+use crate::rule::Rule;
+use crate::ruleset::RuleSet;
+
+/// Error produced when a filter-set file cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending rule.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_ipv4(s: &str, line: usize) -> Result<u64, ParseError> {
+    let mut out: u64 = 0;
+    let mut count = 0;
+    for part in s.split('.') {
+        let octet: u64 = part
+            .parse()
+            .map_err(|_| err(line, format!("bad IPv4 octet {part:?}")))?;
+        if octet > 255 {
+            return Err(err(line, format!("IPv4 octet {octet} out of range")));
+        }
+        out = (out << 8) | octet;
+        count += 1;
+    }
+    if count != 4 {
+        return Err(err(line, format!("expected 4 octets, got {count}")));
+    }
+    Ok(out)
+}
+
+fn parse_prefix(s: &str, line: usize) -> Result<DimRange, ParseError> {
+    let (addr, len) = s
+        .split_once('/')
+        .ok_or_else(|| err(line, format!("missing '/' in prefix {s:?}")))?;
+    let value = parse_ipv4(addr, line)?;
+    let len: u32 = len
+        .parse()
+        .map_err(|_| err(line, format!("bad prefix length {len:?}")))?;
+    if len > 32 {
+        return Err(err(line, format!("prefix length {len} > 32")));
+    }
+    Ok(DimRange::from_prefix(value, len, 32))
+}
+
+fn parse_u64_maybe_hex(s: &str, line: usize) -> Result<u64, ParseError> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| err(line, format!("bad number {s:?}")))
+}
+
+fn parse_port_range(lo: &str, hi: &str, line: usize) -> Result<DimRange, ParseError> {
+    let lo = parse_u64_maybe_hex(lo, line)?;
+    let hi = parse_u64_maybe_hex(hi, line)?;
+    if lo > hi {
+        return Err(err(line, format!("inverted port range {lo}:{hi}")));
+    }
+    if hi > 65535 {
+        return Err(err(line, format!("port {hi} out of range")));
+    }
+    Ok(DimRange::new(lo, hi + 1)) // inclusive file format -> half-open
+}
+
+fn parse_proto(s: &str, line: usize) -> Result<DimRange, ParseError> {
+    let (value, mask) = s
+        .split_once('/')
+        .ok_or_else(|| err(line, format!("missing '/' in protocol {s:?}")))?;
+    let value = parse_u64_maybe_hex(value, line)?;
+    let mask = parse_u64_maybe_hex(mask, line)?;
+    if value > 255 {
+        return Err(err(line, format!("protocol {value} out of range")));
+    }
+    Ok(if mask == 0 {
+        DimRange::full(Dim::Proto)
+    } else {
+        DimRange::exact(value)
+    })
+}
+
+/// Parse a ClassBench filter-set from text. Lines are highest priority
+/// first; blank lines and lines starting with `#` are skipped.
+pub fn parse_rules(text: &str) -> Result<RuleSet, ParseError> {
+    let mut rules = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let line = line
+            .strip_prefix('@')
+            .ok_or_else(|| err(line_no, "rule must start with '@'"))?;
+        let tok: Vec<&str> = line.split_whitespace().collect();
+        if tok.len() < 9 {
+            return Err(err(line_no, format!("expected >= 9 tokens, got {}", tok.len())));
+        }
+        if tok[3] != ":" || tok[6] != ":" {
+            return Err(err(line_no, "expected ':' between port bounds"));
+        }
+        let rule = Rule::from_fields(
+            parse_prefix(tok[0], line_no)?,
+            parse_prefix(tok[1], line_no)?,
+            parse_port_range(tok[2], tok[4], line_no)?,
+            parse_port_range(tok[5], tok[7], line_no)?,
+            parse_proto(tok[8], line_no)?,
+            0,
+        );
+        rules.push(rule);
+    }
+    Ok(RuleSet::from_ordered(rules))
+}
+
+fn format_ip(v: u64) -> String {
+    let b = (v as u32).to_be_bytes();
+    format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+}
+
+fn format_prefix(r: &DimRange, bits: u32) -> String {
+    // Recover the prefix length from the block size (ClassBench IP
+    // fields are always power-of-two aligned prefixes).
+    let block_bits = if r.len() >= (1u64 << bits) {
+        bits
+    } else {
+        63 - r.len().max(1).leading_zeros()
+    };
+    format!("{}/{}", format_ip(r.lo), bits - block_bits)
+}
+
+/// Serialise a rule set to ClassBench text (highest priority first).
+///
+/// IP fields are written as their covering prefix, ports as inclusive
+/// ranges, and the protocol as `value/0xFF` or `0x00/0x00` for wildcard.
+pub fn write_rules(rules: &RuleSet) -> String {
+    let mut out = String::new();
+    for r in rules.rules() {
+        let proto = r.range(Dim::Proto);
+        let proto_s = if *proto == DimRange::full(Dim::Proto) {
+            "0x00/0x00".to_string()
+        } else {
+            format!("0x{:02X}/0xFF", proto.lo)
+        };
+        out.push_str(&format!(
+            "@{}\t{}\t{} : {}\t{} : {}\t{}\n",
+            format_prefix(r.range(Dim::SrcIp), 32),
+            format_prefix(r.range(Dim::DstIp), 32),
+            r.range(Dim::SrcPort).lo,
+            r.range(Dim::SrcPort).hi - 1,
+            r.range(Dim::DstPort).lo,
+            r.range(Dim::DstPort).hi - 1,
+            proto_s,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_rules, GeneratorConfig};
+    use crate::profiles::ClassifierFamily;
+
+    const SAMPLE: &str = "\
+@198.12.130.31/32 1.2.3.0/24 0 : 65535 1024 : 65535 0x06/0xFF
+@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00
+";
+
+    #[test]
+    fn parses_sample() {
+        let rs = parse_rules(SAMPLE).unwrap();
+        assert_eq!(rs.len(), 2);
+        let r = rs.rule(0);
+        assert_eq!(
+            r.range(Dim::SrcIp),
+            &DimRange::exact(u64::from(u32::from_be_bytes([198, 12, 130, 31])))
+        );
+        assert_eq!(r.range(Dim::DstIp).len(), 256);
+        assert_eq!(r.range(Dim::SrcPort), &DimRange::new(0, 65536));
+        assert_eq!(r.range(Dim::DstPort), &DimRange::new(1024, 65536));
+        assert_eq!(r.range(Dim::Proto), &DimRange::exact(6));
+        assert!(rs.rule(1).is_default());
+    }
+
+    #[test]
+    fn priority_order_matches_file_order() {
+        let rs = parse_rules(SAMPLE).unwrap();
+        assert!(rs.rule(0).priority > rs.rule(1).priority);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = format!("# header\n\n{SAMPLE}\n# trailing\n");
+        let rs = parse_rules(&text).unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn ignores_trailing_fields() {
+        let text = "@1.2.3.4/32 5.6.7.8/32 80 : 80 443 : 443 0x11/0xFF 0x1000/0x1000 extra\n";
+        let rs = parse_rules(text).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rule(0).range(Dim::Proto), &DimRange::exact(17));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_rules("not a rule\n").is_err());
+        assert!(parse_rules("@1.2.3/32 5.6.7.8/32 0 : 1 0 : 1 0x00/0x00\n").is_err());
+        assert!(parse_rules("@1.2.3.4/40 5.6.7.8/32 0 : 1 0 : 1 0x00/0x00\n").is_err());
+        assert!(parse_rules("@1.2.3.4/32 5.6.7.8/32 9 : 1 0 : 1 0x00/0x00\n").is_err());
+        assert!(parse_rules("@1.2.3.4/32 5.6.7.8/32 0 : 99999 0 : 1 0x00/0x00\n").is_err());
+        let e = parse_rules("@1.2.3.4/32\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn roundtrip_generated_rules() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 200).with_seed(5));
+        let text = write_rules(&rs);
+        let back = parse_rules(&text).unwrap();
+        assert_eq!(back.len(), rs.len());
+        for (a, b) in rs.rules().iter().zip(back.rules()) {
+            assert_eq!(a.ranges, b.ranges, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let text = format!("{SAMPLE}garbage\n");
+        let e = parse_rules(&text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+    }
+}

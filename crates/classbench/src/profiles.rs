@@ -1,0 +1,306 @@
+//! Family profiles for the synthetic rule-set generator.
+//!
+//! ClassBench (Taylor & Turner, INFOCOM 2005) synthesises classifiers
+//! from seed statistics harvested from real filter sets in three
+//! families: access-control lists (ACL), firewalls (FW), and IP chains
+//! (IPC). The original seed files are not redistributable, so this
+//! module encodes the structural statistics the downstream algorithms
+//! are actually sensitive to:
+//!
+//! * **prefix-length distributions** for source/destination IPs (how
+//!   specific the rules are, and therefore how effective IP cuts are),
+//! * **port-class mixes** (wildcard / well-known exact / ephemeral
+//!   range / low range / arbitrary range — drives rule replication when
+//!   cutting port dimensions),
+//! * **protocol mixes** (TCP/UDP/ICMP/wildcard), and
+//! * **locality**: rules share a pool of base prefixes, giving the
+//!   skewed, overlapping geometry of real classifiers.
+//!
+//! The numbers follow the qualitative characterisation in the ClassBench
+//! and EffiCuts papers: ACL rules are mostly specific with exact
+//! destination ports; FW rules contain many wildcards (the sets that
+//! stress rule-replication); IPC sits in between.
+
+use serde::{Deserialize, Serialize};
+
+/// Which ClassBench family a synthetic classifier imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClassifierFamily {
+    /// Access-control lists: specific prefixes, exact destination ports.
+    Acl,
+    /// Firewalls: many wildcards, port ranges; worst case for replication.
+    Fw,
+    /// IP chains: intermediate mix.
+    Ipc,
+}
+
+impl ClassifierFamily {
+    /// All families, in the order the paper's figures enumerate them.
+    pub const ALL: [ClassifierFamily; 3] =
+        [ClassifierFamily::Acl, ClassifierFamily::Fw, ClassifierFamily::Ipc];
+
+    /// Short lowercase tag used in benchmark labels (`acl1_1k` style).
+    pub const fn tag(self) -> &'static str {
+        match self {
+            ClassifierFamily::Acl => "acl",
+            ClassifierFamily::Fw => "fw",
+            ClassifierFamily::Ipc => "ipc",
+        }
+    }
+
+    /// Number of seed variants the paper's figures use per family
+    /// (acl1–5, fw1–5, ipc1–2).
+    pub const fn num_variants(self) -> usize {
+        match self {
+            ClassifierFamily::Acl => 5,
+            ClassifierFamily::Fw => 5,
+            ClassifierFamily::Ipc => 2,
+        }
+    }
+
+    /// The structural statistics for this family.
+    pub fn profile(self) -> FamilyProfile {
+        match self {
+            ClassifierFamily::Acl => ACL_PROFILE,
+            ClassifierFamily::Fw => FW_PROFILE,
+            ClassifierFamily::Ipc => IPC_PROFILE,
+        }
+    }
+}
+
+impl std::fmt::Display for ClassifierFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A discrete distribution over prefix lengths, as `(length, weight)`
+/// pairs. Weights need not sum to 1.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixLenDist {
+    /// `(prefix_len, weight)` support points.
+    pub points: &'static [(u32, f64)],
+}
+
+/// The shape of a port field in a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortClass {
+    /// Full wildcard `[0, 65536)`.
+    Wildcard,
+    /// A single well-known port (`< 1024`), e.g. 80/443/53.
+    ExactWellKnown,
+    /// A single ephemeral/registered port (`>= 1024`).
+    ExactHigh,
+    /// The low range `[0, 1024)`.
+    LowRange,
+    /// The ephemeral range `[1024, 65536)`.
+    HighRange,
+    /// An arbitrary contiguous range.
+    ArbitraryRange,
+}
+
+/// A weighted mix of [`PortClass`]es.
+#[derive(Debug, Clone, Copy)]
+pub struct PortClassDist {
+    /// `(class, weight)` support points.
+    pub points: &'static [(PortClass, f64)],
+}
+
+/// A weighted mix over protocol values; `None` is the wildcard.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtoDist {
+    /// `(protocol or wildcard, weight)` support points.
+    pub points: &'static [(Option<u8>, f64)],
+}
+
+/// Full structural statistics for one classifier family.
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyProfile {
+    /// Source-address prefix lengths.
+    pub src_prefix: PrefixLenDist,
+    /// Destination-address prefix lengths.
+    pub dst_prefix: PrefixLenDist,
+    /// Source-port field classes.
+    pub src_port: PortClassDist,
+    /// Destination-port field classes.
+    pub dst_port: PortClassDist,
+    /// Protocol mix.
+    pub proto: ProtoDist,
+    /// Number of shared base prefixes per 256 rules; smaller pools give
+    /// more overlap/locality.
+    pub base_prefix_pool_per_256: usize,
+    /// Length of the shared base prefixes from which specific rules are
+    /// derived.
+    pub base_prefix_len: u32,
+}
+
+/// Well-known ports sampled for [`PortClass::ExactWellKnown`].
+pub const WELL_KNOWN_PORTS: [u16; 12] =
+    [20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 443, 993];
+
+/// Protocol numbers: ICMP, TCP, UDP, GRE, ESP.
+pub const PROTO_ICMP: u8 = 1;
+/// TCP protocol number.
+pub const PROTO_TCP: u8 = 6;
+/// UDP protocol number.
+pub const PROTO_UDP: u8 = 17;
+/// GRE protocol number.
+pub const PROTO_GRE: u8 = 47;
+/// ESP protocol number.
+pub const PROTO_ESP: u8 = 50;
+
+const ACL_PROFILE: FamilyProfile = FamilyProfile {
+    // ACLs: dominated by specific prefixes; almost no IP wildcards.
+    src_prefix: PrefixLenDist {
+        points: &[(0, 0.02), (8, 0.02), (16, 0.08), (21, 0.08), (24, 0.30), (28, 0.15), (32, 0.35)],
+    },
+    dst_prefix: PrefixLenDist {
+        points: &[(0, 0.01), (16, 0.05), (21, 0.09), (24, 0.35), (28, 0.15), (32, 0.35)],
+    },
+    // ACL source ports are nearly always wildcarded...
+    src_port: PortClassDist {
+        points: &[(PortClass::Wildcard, 0.90), (PortClass::HighRange, 0.07), (PortClass::ExactHigh, 0.03)],
+    },
+    // ...while destination ports name the service.
+    dst_port: PortClassDist {
+        points: &[
+            (PortClass::ExactWellKnown, 0.55),
+            (PortClass::ExactHigh, 0.15),
+            (PortClass::Wildcard, 0.15),
+            (PortClass::ArbitraryRange, 0.10),
+            (PortClass::LowRange, 0.05),
+        ],
+    },
+    proto: ProtoDist {
+        points: &[
+            (Some(PROTO_TCP), 0.60),
+            (Some(PROTO_UDP), 0.25),
+            (Some(PROTO_ICMP), 0.05),
+            (None, 0.10),
+        ],
+    },
+    base_prefix_pool_per_256: 24,
+    base_prefix_len: 16,
+};
+
+const FW_PROFILE: FamilyProfile = FamilyProfile {
+    // Firewalls: many wildcards and short prefixes -> large rules that
+    // replicate badly under cutting (EffiCuts' motivating case).
+    src_prefix: PrefixLenDist {
+        points: &[(0, 0.25), (8, 0.08), (16, 0.15), (24, 0.22), (32, 0.30)],
+    },
+    dst_prefix: PrefixLenDist {
+        points: &[(0, 0.20), (8, 0.05), (16, 0.15), (24, 0.25), (32, 0.35)],
+    },
+    src_port: PortClassDist {
+        points: &[(PortClass::Wildcard, 0.75), (PortClass::HighRange, 0.15), (PortClass::ArbitraryRange, 0.10)],
+    },
+    dst_port: PortClassDist {
+        points: &[
+            (PortClass::Wildcard, 0.35),
+            (PortClass::ExactWellKnown, 0.30),
+            (PortClass::HighRange, 0.15),
+            (PortClass::ArbitraryRange, 0.12),
+            (PortClass::LowRange, 0.08),
+        ],
+    },
+    proto: ProtoDist {
+        points: &[
+            (Some(PROTO_TCP), 0.45),
+            (Some(PROTO_UDP), 0.20),
+            (None, 0.20),
+            (Some(PROTO_ICMP), 0.08),
+            (Some(PROTO_GRE), 0.04),
+            (Some(PROTO_ESP), 0.03),
+        ],
+    },
+    base_prefix_pool_per_256: 12,
+    base_prefix_len: 12,
+};
+
+const IPC_PROFILE: FamilyProfile = FamilyProfile {
+    src_prefix: PrefixLenDist {
+        points: &[(0, 0.10), (8, 0.05), (16, 0.15), (24, 0.30), (28, 0.10), (32, 0.30)],
+    },
+    dst_prefix: PrefixLenDist {
+        points: &[(0, 0.08), (16, 0.12), (24, 0.30), (28, 0.15), (32, 0.35)],
+    },
+    src_port: PortClassDist {
+        points: &[(PortClass::Wildcard, 0.82), (PortClass::HighRange, 0.10), (PortClass::ExactHigh, 0.08)],
+    },
+    dst_port: PortClassDist {
+        points: &[
+            (PortClass::ExactWellKnown, 0.40),
+            (PortClass::Wildcard, 0.25),
+            (PortClass::ExactHigh, 0.15),
+            (PortClass::ArbitraryRange, 0.12),
+            (PortClass::LowRange, 0.08),
+        ],
+    },
+    proto: ProtoDist {
+        points: &[
+            (Some(PROTO_TCP), 0.50),
+            (Some(PROTO_UDP), 0.28),
+            (None, 0.14),
+            (Some(PROTO_ICMP), 0.08),
+        ],
+    },
+    base_prefix_pool_per_256: 18,
+    base_prefix_len: 14,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights_positive(points: &[(u32, f64)]) -> bool {
+        points.iter().all(|&(_, w)| w > 0.0)
+    }
+
+    #[test]
+    fn profiles_have_positive_weights() {
+        for fam in ClassifierFamily::ALL {
+            let p = fam.profile();
+            assert!(weights_positive(p.src_prefix.points), "{fam}");
+            assert!(weights_positive(p.dst_prefix.points), "{fam}");
+            assert!(p.src_port.points.iter().all(|&(_, w)| w > 0.0));
+            assert!(p.dst_port.points.iter().all(|&(_, w)| w > 0.0));
+            assert!(p.proto.points.iter().all(|&(_, w)| w > 0.0));
+            assert!(p.base_prefix_pool_per_256 > 0);
+            assert!(p.base_prefix_len <= 32);
+        }
+    }
+
+    #[test]
+    fn prefix_lengths_in_range() {
+        for fam in ClassifierFamily::ALL {
+            let p = fam.profile();
+            for dist in [p.src_prefix, p.dst_prefix] {
+                assert!(dist.points.iter().all(|&(l, _)| l <= 32));
+            }
+        }
+    }
+
+    #[test]
+    fn fw_is_more_wildcarded_than_acl() {
+        // Sanity check the family ordering the figures depend on: FW has
+        // more weight on /0 source prefixes than ACL.
+        let weight0 = |d: PrefixLenDist| {
+            d.points.iter().filter(|&&(l, _)| l == 0).map(|&(_, w)| w).sum::<f64>()
+        };
+        assert!(
+            weight0(ClassifierFamily::Fw.profile().src_prefix)
+                > weight0(ClassifierFamily::Acl.profile().src_prefix)
+        );
+    }
+
+    #[test]
+    fn tags_and_variants() {
+        assert_eq!(ClassifierFamily::Acl.tag(), "acl");
+        assert_eq!(ClassifierFamily::Fw.num_variants(), 5);
+        assert_eq!(ClassifierFamily::Ipc.num_variants(), 2);
+        // 5 + 5 + 2 variants x 3 sizes = the paper's 36 classifiers.
+        let total: usize = ClassifierFamily::ALL.iter().map(|f| f.num_variants()).sum();
+        assert_eq!(total * 3, 36);
+    }
+}

@@ -1,0 +1,239 @@
+//! Classification rules: a hypercube in the 5-dimensional header space
+//! plus a priority.
+
+use crate::dim::{Dim, DIMS, NUM_DIMS};
+use crate::packet::Packet;
+use crate::range::DimRange;
+use serde::{Deserialize, Serialize};
+
+/// A single classification rule.
+///
+/// A rule matches a packet when the packet's value in *every* dimension
+/// falls inside the rule's range for that dimension (prefix, range, and
+/// exact matches all reduce to ranges). Overlapping rules are
+/// disambiguated by `priority`: **higher numeric priority wins**, matching
+/// the convention of Figure 1 in the paper where the default rule has
+/// priority 0.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rule {
+    /// Per-dimension half-open ranges, indexed by [`Dim`].
+    pub ranges: [DimRange; NUM_DIMS],
+    /// Larger value wins among overlapping matches.
+    pub priority: i32,
+}
+
+impl Rule {
+    /// A rule with the given ranges and priority.
+    pub fn new(ranges: [DimRange; NUM_DIMS], priority: i32) -> Self {
+        Rule { ranges, priority }
+    }
+
+    /// The match-everything rule (all dimensions wildcarded).
+    pub fn default_rule(priority: i32) -> Self {
+        Rule {
+            ranges: [
+                DimRange::full(Dim::SrcIp),
+                DimRange::full(Dim::DstIp),
+                DimRange::full(Dim::SrcPort),
+                DimRange::full(Dim::DstPort),
+                DimRange::full(Dim::Proto),
+            ],
+            priority,
+        }
+    }
+
+    /// Convenience constructor from prefixes/ranges in display order.
+    pub fn from_fields(
+        src_ip: DimRange,
+        dst_ip: DimRange,
+        src_port: DimRange,
+        dst_port: DimRange,
+        proto: DimRange,
+        priority: i32,
+    ) -> Self {
+        Rule {
+            ranges: [src_ip, dst_ip, src_port, dst_port, proto],
+            priority,
+        }
+    }
+
+    /// The rule's range in dimension `dim`.
+    #[inline]
+    pub fn range(&self, dim: Dim) -> &DimRange {
+        &self.ranges[dim.index()]
+    }
+
+    /// True when the packet lies inside the rule's hypercube.
+    #[inline]
+    pub fn matches(&self, packet: &Packet) -> bool {
+        // Check ports/proto first: they discriminate more cheaply on
+        // typical rule sets, but correctness is order-independent.
+        self.ranges
+            .iter()
+            .zip(packet.values.iter())
+            .all(|(r, &v)| r.contains(v))
+    }
+
+    /// True when the rule's hypercube intersects the given node space.
+    #[inline]
+    pub fn intersects_space(&self, space: &[DimRange; NUM_DIMS]) -> bool {
+        self.ranges
+            .iter()
+            .zip(space.iter())
+            .all(|(r, s)| r.overlaps(s))
+    }
+
+    /// True when every dimension is fully wildcarded.
+    pub fn is_default(&self) -> bool {
+        DIMS.iter()
+            .all(|&d| self.ranges[d.index()] == DimRange::full(d))
+    }
+
+    /// True when dimension `dim` is fully wildcarded.
+    pub fn is_wildcard(&self, dim: Dim) -> bool {
+        self.ranges[dim.index()] == DimRange::full(dim)
+    }
+
+    /// Fraction of the full space of `dim` this rule covers, in `[0, 1]`.
+    ///
+    /// EffiCuts calls a rule "large" in a dimension when this exceeds a
+    /// threshold (0.5 in the paper).
+    pub fn largeness(&self, dim: Dim) -> f64 {
+        self.ranges[dim.index()].len() as f64 / dim.span() as f64
+    }
+
+    /// A point guaranteed to lie inside the rule (the low corner).
+    ///
+    /// Useful for generating packets that definitely match.
+    pub fn low_corner(&self) -> Packet {
+        let mut values = [0u64; NUM_DIMS];
+        for (v, r) in values.iter_mut().zip(self.ranges.iter()) {
+            *v = r.lo;
+        }
+        Packet { values }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "prio={} src={} dst={} sport={} dport={} proto={}",
+            self.priority,
+            self.ranges[0],
+            self.ranges[1],
+            self.ranges[2],
+            self.ranges[3],
+            self.ranges[4]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_rules() -> Vec<Rule> {
+        // The three rules of Figure 1 in the paper.
+        let r2 = Rule::from_fields(
+            DimRange::exact(u64::from(u32::from_be_bytes([10, 0, 0, 0]))),
+            DimRange::from_prefix(u64::from(u32::from_be_bytes([10, 0, 0, 0])), 16, 32),
+            DimRange::full(Dim::SrcPort),
+            DimRange::full(Dim::DstPort),
+            DimRange::full(Dim::Proto),
+            2,
+        );
+        let r1 = Rule::from_fields(
+            DimRange::full(Dim::SrcIp),
+            DimRange::full(Dim::DstIp),
+            DimRange::new(0, 1024),
+            DimRange::new(0, 1024),
+            DimRange::exact(6), // TCP
+            1,
+        );
+        let r0 = Rule::default_rule(0);
+        vec![r2, r1, r0]
+    }
+
+    #[test]
+    fn figure1_example_matches() {
+        let rules = figure1_rules();
+        // Packet (10.0.0.0, 10.0.0.1, 0, 0, 6) matches all three rules.
+        let pkt = Packet::new(
+            u64::from(u32::from_be_bytes([10, 0, 0, 0])),
+            u64::from(u32::from_be_bytes([10, 0, 0, 1])),
+            0,
+            0,
+            6,
+        );
+        assert!(rules.iter().all(|r| r.matches(&pkt)));
+        // Highest priority match is rule with priority 2.
+        let best = rules
+            .iter()
+            .filter(|r| r.matches(&pkt))
+            .max_by_key(|r| r.priority)
+            .unwrap();
+        assert_eq!(best.priority, 2);
+    }
+
+    #[test]
+    fn default_rule_matches_everything() {
+        let r = Rule::default_rule(0);
+        assert!(r.is_default());
+        assert!(r.matches(&Packet::new(0, 0, 0, 0, 0)));
+        assert!(r.matches(&Packet::new(
+            (1 << 32) - 1,
+            (1 << 32) - 1,
+            65535,
+            65535,
+            255
+        )));
+    }
+
+    #[test]
+    fn non_default_is_detected() {
+        let rules = figure1_rules();
+        assert!(!rules[0].is_default());
+        assert!(!rules[1].is_default());
+        assert!(rules[2].is_default());
+    }
+
+    #[test]
+    fn wildcard_detection_per_dim() {
+        let rules = figure1_rules();
+        let r1 = &rules[1];
+        assert!(r1.is_wildcard(Dim::SrcIp));
+        assert!(r1.is_wildcard(Dim::DstIp));
+        assert!(!r1.is_wildcard(Dim::SrcPort));
+        assert!(!r1.is_wildcard(Dim::Proto));
+    }
+
+    #[test]
+    fn largeness() {
+        let rules = figure1_rules();
+        assert_eq!(rules[2].largeness(Dim::SrcIp), 1.0);
+        // [0, 1024) of 65536 = 1/64.
+        assert!((rules[1].largeness(Dim::SrcPort) - 1.0 / 64.0).abs() < 1e-12);
+        // Exact match on proto: 1/256.
+        assert!((rules[1].largeness(Dim::Proto) - 1.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_corner_matches_own_rule() {
+        for r in figure1_rules() {
+            assert!(r.matches(&r.low_corner()));
+        }
+    }
+
+    #[test]
+    fn intersects_space() {
+        let rules = figure1_rules();
+        let full = Rule::default_rule(0).ranges;
+        assert!(rules.iter().all(|r| r.intersects_space(&full)));
+        // A space that excludes TCP: rule 1 does not intersect.
+        let mut no_tcp = full;
+        no_tcp[Dim::Proto.index()] = DimRange::new(7, 256);
+        assert!(!rules[1].intersects_space(&no_tcp));
+        assert!(rules[2].intersects_space(&no_tcp));
+    }
+}

@@ -1,0 +1,195 @@
+//! Priority-ordered rule containers and ground-truth linear matching.
+
+use crate::packet::Packet;
+use crate::rule::Rule;
+use serde::{Deserialize, Serialize};
+
+/// An ordered collection of rules forming one packet classifier.
+///
+/// Rules are kept sorted by descending priority, so index order equals
+/// match-precedence order (index 0 is consulted first). The linear-scan
+/// matcher here is the **ground truth** that every decision tree in the
+/// workspace is validated against.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Build a rule set, sorting rules by descending priority.
+    ///
+    /// Ties in priority keep their relative input order (stable sort),
+    /// matching the "first listed wins" convention of ClassBench files.
+    pub fn new(mut rules: Vec<Rule>) -> Self {
+        rules.sort_by(|a, b| b.priority.cmp(&a.priority));
+        RuleSet { rules }
+    }
+
+    /// Construct from rules already listed highest-priority-first,
+    /// assigning descending priorities `n-1 .. 0` (ClassBench order).
+    pub fn from_ordered(rules: Vec<Rule>) -> Self {
+        let n = rules.len() as i32;
+        let rules = rules
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r.priority = n - 1 - i as i32;
+                r
+            })
+            .collect();
+        RuleSet { rules }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the set holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rules in descending priority order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The rule at `index` in priority order.
+    pub fn rule(&self, index: usize) -> &Rule {
+        &self.rules[index]
+    }
+
+    /// Ground-truth classification: index of the highest-priority rule
+    /// matching `packet`, or `None` when nothing matches.
+    pub fn classify(&self, packet: &Packet) -> Option<usize> {
+        self.rules.iter().position(|r| r.matches(packet))
+    }
+
+    /// Insert a rule, keeping priority order. Returns its index.
+    ///
+    /// Among equal priorities the new rule is placed last, so existing
+    /// rules keep precedence over later additions.
+    pub fn insert(&mut self, rule: Rule) -> usize {
+        let idx = self
+            .rules
+            .partition_point(|r| r.priority >= rule.priority);
+        self.rules.insert(idx, rule);
+        idx
+    }
+
+    /// Remove and return the rule at `index` in priority order.
+    pub fn remove(&mut self, index: usize) -> Rule {
+        self.rules.remove(index)
+    }
+
+    /// True when a default (match-everything) rule is present, i.e. every
+    /// packet is guaranteed at least one match.
+    pub fn has_default(&self) -> bool {
+        self.rules.iter().any(|r| r.is_default())
+    }
+
+    /// Iterate over `(index, rule)` pairs in priority order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Rule)> {
+        self.rules.iter().enumerate()
+    }
+}
+
+impl From<Vec<Rule>> for RuleSet {
+    fn from(rules: Vec<Rule>) -> Self {
+        RuleSet::new(rules)
+    }
+}
+
+impl std::ops::Index<usize> for RuleSet {
+    type Output = Rule;
+    fn index(&self, index: usize) -> &Rule {
+        &self.rules[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::Dim;
+    use crate::range::DimRange;
+
+    fn rule_with_src(lo: u64, hi: u64, priority: i32) -> Rule {
+        let mut r = Rule::default_rule(priority);
+        r.ranges[Dim::SrcIp.index()] = DimRange::new(lo, hi);
+        r
+    }
+
+    #[test]
+    fn sorted_by_descending_priority() {
+        let rs = RuleSet::new(vec![
+            rule_with_src(0, 10, 1),
+            rule_with_src(0, 10, 5),
+            rule_with_src(0, 10, 3),
+        ]);
+        let prios: Vec<_> = rs.rules().iter().map(|r| r.priority).collect();
+        assert_eq!(prios, vec![5, 3, 1]);
+    }
+
+    #[test]
+    fn from_ordered_assigns_descending_priorities() {
+        let rs = RuleSet::from_ordered(vec![
+            rule_with_src(0, 10, 0),
+            rule_with_src(5, 20, 0),
+            Rule::default_rule(0),
+        ]);
+        assert_eq!(rs.rule(0).priority, 2);
+        assert_eq!(rs.rule(2).priority, 0);
+        assert!(rs.has_default());
+    }
+
+    #[test]
+    fn classify_returns_first_match() {
+        let rs = RuleSet::from_ordered(vec![
+            rule_with_src(0, 10, 0),
+            rule_with_src(0, 100, 0),
+            Rule::default_rule(0),
+        ]);
+        let p = Packet::new(5, 0, 0, 0, 0);
+        assert_eq!(rs.classify(&p), Some(0));
+        let p = Packet::new(50, 0, 0, 0, 0);
+        assert_eq!(rs.classify(&p), Some(1));
+        let p = Packet::new(5000, 0, 0, 0, 0);
+        assert_eq!(rs.classify(&p), Some(2));
+    }
+
+    #[test]
+    fn classify_without_default_can_miss() {
+        let rs = RuleSet::from_ordered(vec![rule_with_src(0, 10, 0)]);
+        assert!(!rs.has_default());
+        assert_eq!(rs.classify(&Packet::new(50, 0, 0, 0, 0)), None);
+    }
+
+    #[test]
+    fn insert_keeps_order_and_precedence() {
+        let mut rs = RuleSet::from_ordered(vec![
+            rule_with_src(0, 10, 0),
+            Rule::default_rule(0),
+        ]);
+        // Insert at priority 1: ties with the existing priority-1 rule and
+        // must land *after* it.
+        let idx = rs.insert(rule_with_src(0, 10, 1));
+        assert_eq!(idx, 1);
+        assert_eq!(rs.len(), 3);
+        // Insert above everything.
+        let idx = rs.insert(rule_with_src(0, 10, 99));
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn remove_rule() {
+        let mut rs = RuleSet::from_ordered(vec![
+            rule_with_src(0, 10, 0),
+            Rule::default_rule(0),
+        ]);
+        let removed = rs.remove(0);
+        assert_eq!(removed.ranges[0], DimRange::new(0, 10));
+        assert_eq!(rs.len(), 1);
+        assert!(rs.has_default());
+    }
+}

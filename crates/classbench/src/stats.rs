@@ -1,0 +1,152 @@
+//! Structural statistics of a rule set — the quantities ClassBench
+//! characterises real filter sets by, used to validate that the
+//! synthetic generator produces family-appropriate workloads and to
+//! summarise imported rule files.
+
+use crate::dim::{Dim, DIMS, NUM_DIMS};
+use crate::ruleset::RuleSet;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one rule set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSetStats {
+    /// Number of rules.
+    pub rules: usize,
+    /// Fraction of rules fully wildcarded per dimension.
+    pub wildcard_fraction: [f64; NUM_DIMS],
+    /// Mean coverage fraction (largeness) per dimension.
+    pub mean_largeness: [f64; NUM_DIMS],
+    /// Histogram of source-IP prefix lengths (index = length 0..=32);
+    /// non-prefix ranges are counted under their covering prefix.
+    pub src_prefix_hist: Vec<usize>,
+    /// Histogram of destination-IP prefix lengths.
+    pub dst_prefix_hist: Vec<usize>,
+    /// Distinct exact protocol values used (wildcards excluded).
+    pub distinct_protocols: usize,
+    /// Fraction of rules with an exact-match destination port.
+    pub exact_dst_port_fraction: f64,
+}
+
+fn covering_prefix_len(len: u64, bits: u32) -> usize {
+    // Smallest power-of-two block covering `len` values.
+    if len <= 1 {
+        return bits as usize;
+    }
+    let block_bits = 64 - (len - 1).leading_zeros();
+    (bits as usize).saturating_sub(block_bits as usize)
+}
+
+impl RuleSetStats {
+    /// Compute statistics for `rules`.
+    pub fn compute(rules: &RuleSet) -> RuleSetStats {
+        let n = rules.len().max(1) as f64;
+        let mut wildcard = [0usize; NUM_DIMS];
+        let mut largeness = [0f64; NUM_DIMS];
+        let mut src_hist = vec![0usize; 33];
+        let mut dst_hist = vec![0usize; 33];
+        let mut protocols = std::collections::BTreeSet::new();
+        let mut exact_dst = 0usize;
+        for r in rules.rules() {
+            for (i, &d) in DIMS.iter().enumerate() {
+                if r.is_wildcard(d) {
+                    wildcard[i] += 1;
+                }
+                largeness[i] += r.largeness(d);
+            }
+            src_hist[covering_prefix_len(r.range(Dim::SrcIp).len(), 32).min(32)] += 1;
+            dst_hist[covering_prefix_len(r.range(Dim::DstIp).len(), 32).min(32)] += 1;
+            let proto = r.range(Dim::Proto);
+            if proto.len() == 1 {
+                protocols.insert(proto.lo);
+            }
+            if r.range(Dim::DstPort).len() == 1 {
+                exact_dst += 1;
+            }
+        }
+        RuleSetStats {
+            rules: rules.len(),
+            wildcard_fraction: std::array::from_fn(|i| wildcard[i] as f64 / n),
+            mean_largeness: std::array::from_fn(|i| largeness[i] / n),
+            src_prefix_hist: src_hist,
+            dst_prefix_hist: dst_hist,
+            distinct_protocols: protocols.len(),
+            exact_dst_port_fraction: exact_dst as f64 / n,
+        }
+    }
+
+    /// Render a compact human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!("{} rules\n", self.rules);
+        out.push_str("dim        wildcard%  mean-coverage\n");
+        for (i, d) in DIMS.iter().enumerate() {
+            out.push_str(&format!(
+                "{:<10} {:>8.1}%  {:>12.4}\n",
+                d.name(),
+                self.wildcard_fraction[i] * 100.0,
+                self.mean_largeness[i]
+            ));
+        }
+        out.push_str(&format!(
+            "distinct protocols: {}; exact dst ports: {:.1}%\n",
+            self.distinct_protocols,
+            self.exact_dst_port_fraction * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_rules, GeneratorConfig};
+    use crate::profiles::ClassifierFamily;
+    use crate::rule::Rule;
+
+    #[test]
+    fn default_rule_is_all_wildcards() {
+        let rs = RuleSet::from_ordered(vec![Rule::default_rule(0)]);
+        let s = RuleSetStats::compute(&rs);
+        assert_eq!(s.rules, 1);
+        assert!(s.wildcard_fraction.iter().all(|&f| f == 1.0));
+        assert!(s.mean_largeness.iter().all(|&l| (l - 1.0).abs() < 1e-12));
+        assert_eq!(s.src_prefix_hist[0], 1);
+        assert_eq!(s.distinct_protocols, 0);
+    }
+
+    #[test]
+    fn covering_prefix_lengths() {
+        assert_eq!(covering_prefix_len(1, 32), 32); // exact host
+        assert_eq!(covering_prefix_len(256, 32), 24); // /24 block
+        assert_eq!(covering_prefix_len(1 << 32, 32), 0); // wildcard
+        assert_eq!(covering_prefix_len(255, 32), 24); // covered by /24
+    }
+
+    #[test]
+    fn family_statistics_match_profiles() {
+        let acl = RuleSetStats::compute(&generate_rules(
+            &GeneratorConfig::new(ClassifierFamily::Acl, 1500).with_seed(1),
+        ));
+        let fw = RuleSetStats::compute(&generate_rules(
+            &GeneratorConfig::new(ClassifierFamily::Fw, 1500).with_seed(1),
+        ));
+        // FW sets are more wildcarded in source IP and less exact in
+        // destination port than ACL sets — the properties the paper's
+        // figures hinge on.
+        let src = Dim::SrcIp.index();
+        assert!(fw.wildcard_fraction[src] > acl.wildcard_fraction[src]);
+        assert!(acl.exact_dst_port_fraction > fw.exact_dst_port_fraction);
+        // ACLs concentrate on specific prefixes (>= /24).
+        let specific: usize = acl.src_prefix_hist[24..].iter().sum();
+        assert!(specific as f64 / acl.rules as f64 > 0.4);
+    }
+
+    #[test]
+    fn render_contains_dimensions() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 100));
+        let report = RuleSetStats::compute(&rs).render();
+        for d in DIMS {
+            assert!(report.contains(d.name()));
+        }
+        assert!(report.contains("100 rules"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Packet-trace generation biased towards the rule set, mirroring
+//! ClassBench's `trace_generator`.
+//!
+//! Real evaluation traffic overwhelmingly hits the installed rules, so
+//! traces are built by picking a rule (Pareto-skewed, like ClassBench's
+//! locality knob) and sampling a header inside its hypercube; a small
+//! configurable fraction of headers is drawn uniformly from the full
+//! space to exercise default-rule paths.
+
+use crate::dim::DIMS;
+use crate::packet::Packet;
+use crate::range::DimRange;
+use crate::ruleset::RuleSet;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for [`generate_trace`].
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Number of packets to produce.
+    pub length: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of headers drawn uniformly from the whole space instead
+    /// of from a rule (default 0.05).
+    pub uniform_fraction: f64,
+    /// Pareto shape for rule popularity; larger = more skew towards
+    /// high-priority rules (default 1.0; 0 disables skew).
+    pub skew: f64,
+}
+
+impl TraceConfig {
+    /// A trace of `length` packets with default skew and seed 0.
+    pub fn new(length: usize) -> Self {
+        TraceConfig { length, seed: 0, uniform_fraction: 0.05, skew: 1.0 }
+    }
+
+    /// Replace the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+fn sample_in_range(rng: &mut impl Rng, r: &DimRange) -> u64 {
+    if r.len() <= 1 {
+        r.lo
+    } else {
+        rng.gen_range(r.lo..r.hi)
+    }
+}
+
+/// Sample a header uniformly inside `rule`'s hypercube.
+pub fn sample_packet_in_rule(rng: &mut impl Rng, rule: &crate::rule::Rule) -> Packet {
+    let mut values = [0u64; 5];
+    for (v, r) in values.iter_mut().zip(rule.ranges.iter()) {
+        *v = sample_in_range(rng, r);
+    }
+    Packet { values }
+}
+
+/// Generate a packet trace biased towards `rules` (see module docs).
+///
+/// # Panics
+/// Panics if `rules` is empty.
+pub fn generate_trace(rules: &RuleSet, cfg: &TraceConfig) -> Vec<Packet> {
+    assert!(!rules.is_empty(), "cannot build a trace for an empty rule set");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x7472_6163); // "trac"
+    let n = rules.len();
+    (0..cfg.length)
+        .map(|_| {
+            if rng.gen::<f64>() < cfg.uniform_fraction {
+                Packet::new(
+                    rng.gen_range(0..1u64 << 32),
+                    rng.gen_range(0..1u64 << 32),
+                    rng.gen_range(0..1u64 << 16),
+                    rng.gen_range(0..1u64 << 16),
+                    rng.gen_range(0..256),
+                )
+            } else {
+                // Pareto-skewed rule index: u^(1/(1+skew)) concentrates
+                // mass near 0 (the high-priority rules).
+                let u = rng.gen::<f64>();
+                let idx = if cfg.skew > 0.0 {
+                    ((u.powf(1.0 + cfg.skew)) * n as f64) as usize
+                } else {
+                    (u * n as f64) as usize
+                }
+                .min(n - 1);
+                sample_packet_in_rule(&mut rng, rules.rule(idx))
+            }
+        })
+        .collect()
+}
+
+/// Serialise a trace to the 13-bytes-per-packet wire layout.
+pub fn trace_to_bytes(trace: &[Packet]) -> bytes::Bytes {
+    let mut buf = bytes::BytesMut::with_capacity(trace.len() * 13);
+    for p in trace {
+        buf.extend_from_slice(&p.to_wire());
+    }
+    buf.freeze()
+}
+
+/// Inverse of [`trace_to_bytes`]. Trailing partial records are ignored.
+pub fn trace_from_bytes(data: &[u8]) -> Vec<Packet> {
+    data.chunks_exact(13)
+        .map(|c| Packet::from_wire(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Check that every value of every packet lies inside its dimension span.
+pub fn trace_is_valid(trace: &[Packet]) -> bool {
+    trace.iter().all(|p| {
+        DIMS.iter()
+            .all(|&d| p.value(d) < d.span())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_rules, GeneratorConfig};
+    use crate::profiles::ClassifierFamily;
+
+    fn rules() -> RuleSet {
+        generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 100).with_seed(1))
+    }
+
+    #[test]
+    fn trace_has_requested_length_and_is_valid() {
+        let trace = generate_trace(&rules(), &TraceConfig::new(500));
+        assert_eq!(trace.len(), 500);
+        assert!(trace_is_valid(&trace));
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let rs = rules();
+        let a = generate_trace(&rs, &TraceConfig::new(100).with_seed(3));
+        let b = generate_trace(&rs, &TraceConfig::new(100).with_seed(3));
+        assert_eq!(a, b);
+        let c = generate_trace(&rs, &TraceConfig::new(100).with_seed(4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rule_directed_packets_match_nondefault_rules() {
+        let rs = rules();
+        let mut cfg = TraceConfig::new(400).with_seed(7);
+        cfg.uniform_fraction = 0.0;
+        let trace = generate_trace(&rs, &cfg);
+        // With zero uniform fraction every packet was sampled inside some
+        // rule, so every packet matches (priority may differ from the
+        // sampled rule due to overlap, which is fine).
+        for p in &trace {
+            assert!(rs.classify(p).is_some(), "{p}");
+        }
+        // Skew means a decent fraction hits the top half of the rule list.
+        let top_half_hits = trace
+            .iter()
+            .filter(|p| rs.classify(p).unwrap() < rs.len() / 2)
+            .count();
+        assert!(top_half_hits > trace.len() / 2);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let rs = rules();
+        let trace = generate_trace(&rs, &TraceConfig::new(64));
+        let bytes = trace_to_bytes(&trace);
+        assert_eq!(bytes.len(), 64 * 13);
+        assert_eq!(trace_from_bytes(&bytes), trace);
+    }
+
+    #[test]
+    fn sample_in_rule_always_matches_that_rule() {
+        let rs = rules();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for (_, rule) in rs.iter() {
+            for _ in 0..5 {
+                let p = sample_packet_in_rule(&mut rng, rule);
+                assert!(rule.matches(&p), "{p} should match {rule}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rule_set_panics() {
+        let _ = generate_trace(&RuleSet::default(), &TraceConfig::new(1));
+    }
+}

@@ -1,0 +1,174 @@
+//! The five CLI subcommands.
+
+use crate::args::Args;
+use classbench::{
+    generate_rules, generate_trace, parse_rules, write_rules, ClassifierFamily,
+    GeneratorConfig, RuleSet, TraceConfig,
+};
+use dtree::{DecisionTree, TreeStats};
+use neurocuts::{NeuroCutsConfig, PartitionMode, Trainer};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+neurocuts — learning packet-classification trees (SIGCOMM 2019 reproduction)
+
+subcommands:
+  generate --family acl|fw|ipc --size N [--seed S] [--out FILE]
+      synthesise a ClassBench-style rule set (stdout if no --out)
+  train    --rules FILE [--timesteps N] [--c 0..1]
+           [--partition none|simple|efficuts] [--seed S] [--out TREE.json]
+      train a NeuroCuts policy and emit the best tree
+  build    --rules FILE --algo hicuts|hypercuts|hypersplit|efficuts|cutsplit
+           [--out TREE.json]
+      build a hand-tuned baseline tree
+  classify --tree TREE.json --rules FILE [--trace N] [--seed S]
+      replay a synthetic trace through a saved tree and verify it
+      against the linear-scan ground truth
+  stats    --tree TREE.json
+      print a saved tree's statistics";
+
+fn read_rules(path: &str) -> Result<RuleSet, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_rules(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn read_tree(path: &str) -> Result<DecisionTree, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    DecisionTree::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_out(out: Option<&str>, content: &str) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, content)
+            .map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            println!("{content}");
+            Ok(())
+        }
+    }
+}
+
+/// `neurocuts generate`.
+pub fn generate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let family = match args.required("family")? {
+        "acl" => ClassifierFamily::Acl,
+        "fw" => ClassifierFamily::Fw,
+        "ipc" => ClassifierFamily::Ipc,
+        other => return Err(format!("unknown family {other:?} (acl|fw|ipc)")),
+    };
+    let size: usize = args.required("size")?.parse().map_err(|_| "bad --size")?;
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let cfg = GeneratorConfig::new(family, size).with_seed(seed);
+    let rules = generate_rules(&cfg);
+    eprintln!("generated {} ({} rules)", cfg.label(), rules.len());
+    write_out(args.get("out"), &write_rules(&rules))
+}
+
+/// `neurocuts train`.
+pub fn train(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let rules = read_rules(args.required("rules")?)?;
+    let timesteps: usize = args.parse_or("timesteps", 60_000)?;
+    let c: f64 = args.parse_or("c", 1.0)?;
+    if !(0.0..=1.0).contains(&c) {
+        return Err("--c must be in [0, 1]".into());
+    }
+    let partition = match args.or("partition", "simple").as_str() {
+        "none" => PartitionMode::None,
+        "simple" => PartitionMode::Simple,
+        "efficuts" => PartitionMode::EffiCuts,
+        other => return Err(format!("unknown partition mode {other:?}")),
+    };
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let cfg = NeuroCutsConfig::small(timesteps)
+        .with_coeff(c)
+        .with_partition_mode(partition)
+        .with_seed(seed);
+
+    eprintln!("training on {} rules for up to {timesteps} timesteps...", rules.len());
+    let mut trainer = Trainer::new(rules, cfg);
+    let report = trainer.train();
+    for h in &report.history {
+        eprintln!(
+            "  iter {:>3}: {:>7} steps  mean return {:>10.2}  best {:>8.1}",
+            h.iteration, h.timesteps, h.mean_return, h.best_objective
+        );
+    }
+    let (tree, stats) = match report.best {
+        Some(b) => (b.tree, b.stats),
+        None => trainer.greedy_tree(),
+    };
+    eprintln!("best tree: {stats}");
+    write_out(args.get("out"), &tree.to_json())
+}
+
+/// `neurocuts build`.
+pub fn build(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let rules = read_rules(args.required("rules")?)?;
+    let algo = args.required("algo")?;
+    let tree = match algo {
+        "hicuts" => baselines::build_hicuts(&rules, &baselines::HiCutsConfig::default()),
+        "hypercuts" => {
+            baselines::build_hypercuts(&rules, &baselines::HyperCutsConfig::default())
+        }
+        "hypersplit" => {
+            baselines::build_hypersplit(&rules, &baselines::HyperSplitConfig::default())
+        }
+        "efficuts" => baselines::build_efficuts(&rules, &baselines::EffiCutsConfig::default()),
+        "cutsplit" => baselines::build_cutsplit(&rules, &baselines::CutSplitConfig::default()),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    eprintln!("{algo}: {}", TreeStats::compute(&tree));
+    write_out(args.get("out"), &tree.to_json())
+}
+
+/// `neurocuts classify`.
+pub fn classify(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let tree = read_tree(args.required("tree")?)?;
+    let rules = read_rules(args.required("rules")?)?;
+    let n: usize = args.parse_or("trace", 10_000)?;
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let trace = generate_trace(&rules, &TraceConfig::new(n).with_seed(seed));
+
+    let start = std::time::Instant::now();
+    let mut matched = 0usize;
+    let mut mismatches = 0usize;
+    for p in &trace {
+        let got = tree.classify(p);
+        if got.is_some() {
+            matched += 1;
+        }
+        if got != rules.classify(p) {
+            mismatches += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{} packets: {} matched, {} ground-truth mismatches, {:.1} ns/lookup ({:.2} Mpps)",
+        trace.len(),
+        matched,
+        mismatches,
+        elapsed.as_nanos() as f64 / trace.len() as f64 / 2.0, // tree + scan per packet
+        trace.len() as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    if mismatches > 0 {
+        return Err(format!("{mismatches} mismatches against the linear scan"));
+    }
+    println!("tree verified against the linear-scan ground truth");
+    Ok(())
+}
+
+/// `neurocuts stats`.
+pub fn stats(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let tree = read_tree(args.required("tree")?)?;
+    let stats = TreeStats::compute(&tree);
+    println!("{stats}");
+    println!("{}", dtree::LevelProfile::compute(&tree).render_ascii(48));
+    Ok(())
+}

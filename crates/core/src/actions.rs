@@ -1,0 +1,212 @@
+//! The NeuroCuts action space (Appendix A.1):
+//!
+//! ```text
+//! Tuple(Discrete(NumDims), Discrete(NumCutActions + NumPartitionActions))
+//! ```
+//!
+//! The first head picks a dimension; the second picks what to do in it —
+//! one of the five cut fan-outs (2/4/8/16/32 sub-ranges, §4.1), one of
+//! the simple-partition coverage thresholds (Appendix A.3), or the
+//! EffiCuts partition heuristic. Invalid entries are masked per state.
+
+use crate::config::PartitionMode;
+use classbench::{Dim, NUM_DIMS};
+use serde::{Deserialize, Serialize};
+
+/// Cut fan-outs the paper allows: 2, 4, 8, 16, or 32 equal sub-ranges.
+pub const CUT_SIZES: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Simple-partition coverage thresholds (Appendix A.3): a partition at
+/// level `k` separates rules covering at most `COVERAGE_LEVELS[k]` of
+/// the chosen dimension from the rest. Levels 0 (0%) and 7 (100%)
+/// appear only in the state encoding — as thresholds they would leave
+/// one side empty, so they are always masked as actions.
+pub const COVERAGE_LEVELS: [f64; 8] = [0.0, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0];
+
+/// Number of coverage levels.
+pub const NUM_LEVELS: usize = COVERAGE_LEVELS.len();
+
+/// A decoded NeuroCuts action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Cut `dim` into `ncuts` equal sub-ranges.
+    Cut {
+        /// Dimension to cut.
+        dim: Dim,
+        /// One of [`CUT_SIZES`].
+        ncuts: usize,
+    },
+    /// Partition the node's rules at coverage level `level` of `dim`.
+    SimplePartition {
+        /// Dimension whose coverage is thresholded.
+        dim: Dim,
+        /// Index into [`COVERAGE_LEVELS`] (1..=6).
+        level: usize,
+    },
+    /// Apply the EffiCuts partitioner to the node's rules (the chosen
+    /// dimension is irrelevant for this action).
+    EffiCutsPartition,
+}
+
+/// The fixed tuple action space and its index arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionSpace {
+    /// Partition actions available in this configuration.
+    pub mode: PartitionMode,
+}
+
+impl ActionSpace {
+    /// The space for a partition mode.
+    pub fn new(mode: PartitionMode) -> Self {
+        ActionSpace { mode }
+    }
+
+    /// Width of the dimension head (always the 5 packet dimensions).
+    pub const fn dim_actions(&self) -> usize {
+        NUM_DIMS
+    }
+
+    /// Width of the action head: 5 cuts + 8 partition levels + 1
+    /// EffiCuts action. The width is *fixed* across modes so trained
+    /// policies are shape-compatible; modes differ only in masking.
+    pub const fn num_actions(&self) -> usize {
+        CUT_SIZES.len() + NUM_LEVELS + 1
+    }
+
+    /// Index of the EffiCuts action in the action head.
+    pub const fn efficuts_index(&self) -> usize {
+        CUT_SIZES.len() + NUM_LEVELS
+    }
+
+    /// Decode `(dim_index, act_index)` into an [`Action`].
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn decode(&self, dim_index: usize, act_index: usize) -> Action {
+        let dim = Dim::from_index(dim_index);
+        if act_index < CUT_SIZES.len() {
+            Action::Cut { dim, ncuts: CUT_SIZES[act_index] }
+        } else if act_index < CUT_SIZES.len() + NUM_LEVELS {
+            Action::SimplePartition { dim, level: act_index - CUT_SIZES.len() }
+        } else if act_index == self.efficuts_index() {
+            Action::EffiCutsPartition
+        } else {
+            panic!("action index {act_index} out of range");
+        }
+    }
+
+    /// Action-head mask for a node: cut actions are always present
+    /// (per-dimension validity lives in the dimension mask), partition
+    /// actions require (a) the mode to allow them and (b) the node to be
+    /// a *top node* — no cut above it (§4 "top-node partitioning",
+    /// Appendix A.3 action mask).
+    pub fn act_mask(&self, is_top_node: bool) -> Vec<bool> {
+        let mut mask = vec![false; self.num_actions()];
+        for m in mask.iter_mut().take(CUT_SIZES.len()) {
+            *m = true;
+        }
+        if is_top_node {
+            match self.mode {
+                PartitionMode::None => {}
+                PartitionMode::Simple => {
+                    // Interior levels only: 0% and 100% leave a side empty.
+                    for level in 1..NUM_LEVELS - 1 {
+                        mask[CUT_SIZES.len() + level] = true;
+                    }
+                }
+                PartitionMode::EffiCuts => {
+                    mask[self.efficuts_index()] = true;
+                }
+            }
+        }
+        mask
+    }
+
+    /// Dimension-head mask: a dimension is selectable while its range at
+    /// the node still has at least 2 values to cut.
+    pub fn dim_mask(&self, space: &dtree::NodeSpace) -> Vec<bool> {
+        classbench::DIMS
+            .iter()
+            .map(|&d| space.range(d).len() >= 2)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classbench::DimRange;
+    use dtree::NodeSpace;
+
+    #[test]
+    fn decode_cut_actions() {
+        let space = ActionSpace::new(PartitionMode::None);
+        assert_eq!(
+            space.decode(0, 0),
+            Action::Cut { dim: Dim::SrcIp, ncuts: 2 }
+        );
+        assert_eq!(
+            space.decode(4, 4),
+            Action::Cut { dim: Dim::Proto, ncuts: 32 }
+        );
+    }
+
+    #[test]
+    fn decode_partition_actions() {
+        let space = ActionSpace::new(PartitionMode::Simple);
+        assert_eq!(
+            space.decode(2, 5 + 3),
+            Action::SimplePartition { dim: Dim::SrcPort, level: 3 }
+        );
+        assert_eq!(space.decode(0, space.efficuts_index()), Action::EffiCutsPartition);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_rejects_bad_index() {
+        ActionSpace::new(PartitionMode::None).decode(0, 99);
+    }
+
+    #[test]
+    fn width_is_mode_independent() {
+        let a = ActionSpace::new(PartitionMode::None);
+        let b = ActionSpace::new(PartitionMode::EffiCuts);
+        assert_eq!(a.num_actions(), b.num_actions());
+        assert_eq!(a.num_actions(), 14);
+        assert_eq!(a.dim_actions(), 5);
+    }
+
+    #[test]
+    fn masks_by_mode_and_topness() {
+        let none = ActionSpace::new(PartitionMode::None);
+        assert!(none.act_mask(true).iter().take(5).all(|&m| m));
+        assert!(none.act_mask(true).iter().skip(5).all(|&m| !m));
+
+        let simple = ActionSpace::new(PartitionMode::Simple);
+        let top = simple.act_mask(true);
+        // Levels 1..=6 open, 0 and 7 closed, EffiCuts closed.
+        assert!(!top[5]);
+        assert!(top[6] && top[11]);
+        assert!(!top[12]);
+        assert!(!top[13]);
+        // Below top nodes only cuts remain.
+        let lower = simple.act_mask(false);
+        assert!(lower.iter().skip(5).all(|&m| !m));
+
+        let eff = ActionSpace::new(PartitionMode::EffiCuts);
+        assert!(eff.act_mask(true)[13]);
+        assert!(eff.act_mask(true)[5..13].iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn dim_mask_tracks_exhausted_ranges() {
+        let space = ActionSpace::new(PartitionMode::None);
+        let mut s = NodeSpace::full();
+        assert!(space.dim_mask(&s).iter().all(|&m| m));
+        // Exhaust the protocol dimension down to one value.
+        s.ranges[Dim::Proto.index()] = DimRange::exact(6);
+        let mask = space.dim_mask(&s);
+        assert!(!mask[Dim::Proto.index()]);
+        assert!(mask[Dim::SrcIp.index()]);
+    }
+}

@@ -1,0 +1,542 @@
+//! The NeuroCuts branching-decision-process environment (§5).
+//!
+//! One **episode** builds one complete decision tree: starting from the
+//! root, the environment visits non-terminal leaves in DFS order
+//! (Algorithm 1's `GrowTreeDFS`), asks the policy for a `(dimension,
+//! action)` tuple at each, and applies it. Every decision is recorded as
+//! an independent **1-step experience**; when the tree is finished, each
+//! experience's reward is filled in from the completed subtree below it
+//! (`-(c·f(Time) + (1−c)·f(Space))`). Rollout truncation and depth
+//! truncation (§5.1) bound the episodes of early, unoptimised policies.
+
+use crate::actions::{Action, ActionSpace};
+use crate::config::NeuroCutsConfig;
+use crate::obs::ObsEncoder;
+use crate::partitioner::{plan_efficuts_partition, plan_simple_partition};
+use crate::reward::{subtree_avg_time, subtree_metrics, Objective};
+use classbench::{Packet, RuleSet, NUM_DIMS};
+use dtree::{DecisionTree, LevelProfile, NodeId, TreeStats};
+use nn::{MaskedCategorical, PolicyValueNet};
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rl::{RolloutEnv, Sample};
+use std::sync::Arc;
+
+/// Per-node bookkeeping the observation encoding needs but the tree
+/// substrate doesn't store: the simple-partition coverage window per
+/// dimension, the EffiCuts partition id, and whether the node is still
+/// a *top node* (partition actions allowed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMeta {
+    /// Per-dimension `(lo_level, hi_level)` coverage window: the node
+    /// holds rules whose coverage fraction lies in
+    /// `(LEVELS[lo], LEVELS[hi]]`.
+    pub coverage_window: [(u8, u8); NUM_DIMS],
+    /// EffiCuts partition id when below an EffiCuts partition.
+    pub efficuts_id: Option<u8>,
+    /// True while no cut has been applied above this node.
+    pub top: bool,
+}
+
+impl NodeMeta {
+    /// Metadata of the root: full windows, no partition, top.
+    pub fn root() -> Self {
+        NodeMeta {
+            coverage_window: [(0, 7); NUM_DIMS],
+            efficuts_id: None,
+            top: true,
+        }
+    }
+
+    /// Metadata inherited by cut children: same windows/id, not top.
+    pub fn after_cut(&self) -> Self {
+        NodeMeta { top: false, ..self.clone() }
+    }
+}
+
+/// The best tree found during training, with everything the evaluation
+/// harness needs to reproduce the paper's figures.
+#[derive(Debug, Clone)]
+pub struct BestTree {
+    /// The scalarised objective (lower is better).
+    pub objective: f64,
+    /// Full statistics of the tree.
+    pub stats: TreeStats,
+    /// Per-level profile (Figure 5/6 visualisations).
+    pub profile: LevelProfile,
+    /// The tree itself.
+    pub tree: DecisionTree,
+}
+
+/// The result of building one tree with a frozen policy.
+#[derive(Debug, Clone)]
+pub struct Episode {
+    /// The completed tree.
+    pub tree: DecisionTree,
+    /// 1-step experiences (empty if the root was already terminal).
+    pub samples: Vec<Sample>,
+    /// Scalarised objective of the finished tree (lower is better).
+    pub objective: f64,
+    /// True when the rollout hit the timestep or depth truncation.
+    pub truncated: bool,
+}
+
+/// The NeuroCuts environment. Clones share the rule set and the
+/// best-tree slot, so parallel rollout workers (Figure 7) all improve
+/// one record.
+#[derive(Clone)]
+pub struct NeuroCutsEnv {
+    rules: Arc<RuleSet>,
+    config: Arc<NeuroCutsConfig>,
+    /// The tuple action space.
+    pub action_space: ActionSpace,
+    /// The node encoder.
+    pub encoder: ObsEncoder,
+    objective: Objective,
+    best: Arc<Mutex<Option<BestTree>>>,
+    traffic: Option<Arc<Vec<Packet>>>,
+}
+
+impl NeuroCutsEnv {
+    /// An environment for `rules` under `config`.
+    pub fn new(rules: RuleSet, config: NeuroCutsConfig) -> Self {
+        let action_space = ActionSpace::new(config.partition_mode);
+        NeuroCutsEnv {
+            objective: Objective::from_config(&config),
+            rules: Arc::new(rules),
+            config: Arc::new(config),
+            action_space,
+            encoder: ObsEncoder::new(action_space),
+            best: Arc::new(Mutex::new(None)),
+            traffic: None,
+        }
+    }
+
+    /// Switch the time term of the objective from worst-case depth to
+    /// the *expected* lookup cost under this packet trace — the
+    /// traffic-aware extension the paper's conclusion proposes (§8).
+    /// The same trace is replayed over every rollout's tree.
+    pub fn with_traffic(mut self, trace: Vec<Packet>) -> Self {
+        assert!(!trace.is_empty(), "traffic trace must be non-empty");
+        self.traffic = Some(Arc::new(trace));
+        self
+    }
+
+    /// The rule set being optimised.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The scalarised objective.
+    pub fn objective(&self) -> &Objective {
+        &self.objective
+    }
+
+    /// The best tree recorded so far across all clones of this
+    /// environment.
+    pub fn best(&self) -> Option<BestTree> {
+        self.best.lock().clone()
+    }
+
+    /// Clear the best-tree record (e.g. between independent runs).
+    pub fn reset_best(&self) {
+        *self.best.lock() = None;
+    }
+
+    /// Build one tree with the given policy. `greedy` takes argmax
+    /// actions (used to extract the final tree); otherwise actions are
+    /// sampled (training rollouts, Figure 6 variations).
+    pub fn build_tree(&self, net: &PolicyValueNet, seed: u64, greedy: bool) -> Episode {
+        let cfg = &*self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6570_69); // "epi"
+        let mut tree = DecisionTree::new(&self.rules);
+        let mut metas: Vec<NodeMeta> = vec![NodeMeta::root()];
+        let mut samples: Vec<Sample> = Vec::new();
+        let mut sample_nodes: Vec<NodeId> = Vec::new();
+        let mut stack: Vec<NodeId> = vec![tree.root()];
+        let mut truncated = false;
+
+        while let Some(id) = stack.pop() {
+            if tree.is_terminal(id, cfg.binth) {
+                continue;
+            }
+            if tree.node(id).depth >= cfg.max_tree_depth {
+                truncated = true;
+                continue; // depth truncation: force terminal
+            }
+            // Rollout truncation (§5.1) bounds training episodes; greedy
+            // extraction gets a much larger allowance so the final tree
+            // always completes (a trained policy stays far below it).
+            let step_cap = if greedy {
+                cfg.max_timesteps_per_rollout.max(500_000)
+            } else {
+                cfg.max_timesteps_per_rollout
+            };
+            if samples.len() >= step_cap {
+                truncated = true;
+                break; // rollout truncation
+            }
+            let meta = metas[id].clone();
+            // Inseparable rules (identical projections in every
+            // dimension) can never be split apart by cutting; treat the
+            // node as terminal like every cutting heuristic does, or the
+            // rollout would grind through the full space grid.
+            if !tree.is_separable(id) {
+                continue;
+            }
+            // The dimension mask keeps only dimensions whose cuts can
+            // still discriminate rules at this node — cutting any other
+            // dimension replicates every rule into some child for zero
+            // gain, which every hand-tuned heuristic also refuses to do.
+            let dim_mask: Vec<bool> = classbench::DIMS
+                .iter()
+                .map(|&d| tree.dim_separable(id, d))
+                .collect();
+            if !dim_mask.iter().any(|&m| m) {
+                continue; // nothing separable: forced leaf
+            }
+            let act_mask = self
+                .action_space
+                .act_mask(meta.top || self.config.partition_anywhere);
+
+            let obs = self.encoder.encode(&tree.node(id).space, &meta, &dim_mask, &act_mask);
+            let (dim_logits, act_logits, value) = net.forward_one(&obs);
+            let dim_dist = MaskedCategorical::new(&dim_logits, &dim_mask);
+            let act_dist = MaskedCategorical::new(&act_logits, &act_mask);
+            let (mut dim_action, mut act_action) = if greedy {
+                (dim_dist.argmax(), act_dist.argmax())
+            } else {
+                (dim_dist.sample(rng.gen::<f32>()), act_dist.sample(rng.gen::<f32>()))
+            };
+
+            // Decode and apply, falling back to a binary cut when a
+            // sampled partition is invalid at this node (empty side or
+            // out-of-window threshold). The *applied* action is what we
+            // record, with its own log-probability, so the experience
+            // stays consistent with the behaviour distribution.
+            let children: Vec<NodeId> = loop {
+                match self.action_space.decode(dim_action, act_action) {
+                    Action::Cut { dim, ncuts } => {
+                        let ncuts = ncuts.min(
+                            tree.node(id).space.range(dim).len().max(2) as usize,
+                        );
+                        let kids = tree.cut_node(id, dim, ncuts.max(2));
+                        for &k in &kids {
+                            tree.truncate_covered(k);
+                        }
+                        let child_meta = meta.after_cut();
+                        for _ in &kids {
+                            metas.push(child_meta.clone());
+                        }
+                        break kids;
+                    }
+                    Action::SimplePartition { dim, level } => {
+                        match plan_simple_partition(&tree, id, &meta, dim, level) {
+                            Some(split) => {
+                                let kids = tree.partition_node(
+                                    id,
+                                    vec![split.small, split.large],
+                                );
+                                metas.push(split.small_meta);
+                                metas.push(split.large_meta);
+                                break kids;
+                            }
+                            None => {
+                                // Fall back: binary cut on a valid dim.
+                                (dim_action, act_action) =
+                                    self.fallback_cut(&dim_mask, dim_action);
+                            }
+                        }
+                    }
+                    Action::EffiCutsPartition => {
+                        match plan_efficuts_partition(&tree, id, &meta) {
+                            Some((groups, group_metas)) => {
+                                let kids = tree.partition_node(id, groups);
+                                metas.extend(group_metas);
+                                break kids;
+                            }
+                            None => {
+                                (dim_action, act_action) =
+                                    self.fallback_cut(&dim_mask, dim_action);
+                            }
+                        }
+                    }
+                }
+            };
+            debug_assert_eq!(metas.len(), tree.num_nodes());
+
+            samples.push(Sample {
+                obs,
+                dim_action,
+                act_action,
+                log_prob: dim_dist.log_prob(dim_action) + act_dist.log_prob(act_action),
+                dim_mask,
+                act_mask,
+                value,
+                reward: 0.0, // filled in below, once subtrees complete
+            });
+            sample_nodes.push(id);
+
+            // DFS order: push children so the first child is processed
+            // next (Algorithm 1's GrowTreeDFS).
+            stack.extend(children.iter().rev());
+        }
+
+        // Delayed rewards: one reverse pass computes every subtree's
+        // (Time, Space); each decision is rewarded by its own subtree.
+        let (time, bytes) = subtree_metrics(&tree, &self.objective.memory);
+        // Traffic-aware extension (§8): replace worst-case depth with
+        // the expected lookup cost under the configured trace.
+        let avg_time: Option<Vec<f64>> = self.traffic.as_ref().map(|trace| {
+            let counts = tree.node_visit_counts(trace);
+            subtree_avg_time(&tree, &counts)
+        });
+        let time_at = |node: NodeId| -> f64 {
+            match &avg_time {
+                Some(avg) => avg[node],
+                None => time[node] as f64,
+            }
+        };
+        let value_at = |node: NodeId| -> f64 {
+            self.objective.c * self.objective.scaling.apply(time_at(node))
+                + (1.0 - self.objective.c)
+                    * self.objective.scaling.apply(bytes[node] as f64)
+        };
+        let objective = value_at(tree.root());
+        if self.config.dense_rewards {
+            for (s, &node) in samples.iter_mut().zip(&sample_nodes) {
+                s.reward = -value_at(node) as f32;
+            }
+        } else {
+            // Ablation: the sparse "single terminal reward" strawman.
+            for s in samples.iter_mut() {
+                s.reward = -objective as f32;
+            }
+        }
+
+        // Record the best completed tree (truncated builds don't count:
+        // their metrics are lower bounds, not achieved trees).
+        if !truncated {
+            let mut best = self.best.lock();
+            if best.as_ref().is_none_or(|b| objective < b.objective) {
+                *best = Some(BestTree {
+                    objective,
+                    stats: TreeStats::compute(&tree),
+                    profile: LevelProfile::compute(&tree),
+                    tree: tree.clone(),
+                });
+            }
+        }
+
+        Episode { tree, samples, objective, truncated }
+    }
+
+    /// A guaranteed-valid fallback action: a binary cut on the sampled
+    /// dimension if cuttable, else on the first cuttable dimension.
+    fn fallback_cut(&self, dim_mask: &[bool], dim_action: usize) -> (usize, usize) {
+        let dim = if dim_mask[dim_action] {
+            dim_action
+        } else {
+            dim_mask.iter().position(|&m| m).expect("caller checked a dim is cuttable")
+        };
+        (dim, 0) // action 0 = Cut with ncuts 2
+    }
+}
+
+impl RolloutEnv for NeuroCutsEnv {
+    fn episode(&mut self, net: &PolicyValueNet, seed: u64) -> (Vec<Sample>, f64) {
+        let ep = self.build_tree(net, seed, false);
+        (ep.samples, -ep.objective)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionMode;
+    use classbench::{generate_rules, ClassifierFamily, GeneratorConfig};
+    use dtree::validate::assert_tree_valid;
+    use nn::NetConfig;
+
+    fn env_and_net(
+        mode: PartitionMode,
+        size: usize,
+    ) -> (NeuroCutsEnv, PolicyValueNet) {
+        let rules =
+            generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, size).with_seed(71));
+        let cfg = NeuroCutsConfig::smoke_test().with_partition_mode(mode);
+        let env = NeuroCutsEnv::new(rules, cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(72);
+        let net = PolicyValueNet::new(
+            NetConfig {
+                obs_dim: env.encoder.obs_dim(),
+                dim_actions: env.action_space.dim_actions(),
+                num_actions: env.action_space.num_actions(),
+                hidden: [32, 32],
+            },
+            &mut rng,
+        );
+        (env, net)
+    }
+
+    #[test]
+    fn episodes_build_valid_trees() {
+        for mode in [PartitionMode::None, PartitionMode::Simple, PartitionMode::EffiCuts] {
+            let (env, net) = env_and_net(mode, 80);
+            let ep = env.build_tree(&net, 1, false);
+            assert!(!ep.samples.is_empty());
+            assert_tree_valid(&ep.tree, 300, 73);
+        }
+    }
+
+    #[test]
+    fn every_sample_has_a_negative_reward() {
+        let (env, net) = env_and_net(PartitionMode::None, 80);
+        let ep = env.build_tree(&net, 2, false);
+        // Rewards are -(objective) of a non-empty subtree: strictly < 0.
+        assert!(ep.samples.iter().all(|s| s.reward < 0.0));
+        // The root decision's reward equals minus the episode objective.
+        assert!((f64::from(ep.samples[0].reward) + ep.objective).abs() < 1e-3);
+    }
+
+    #[test]
+    fn episodes_are_deterministic_in_seed() {
+        let (env, net) = env_and_net(PartitionMode::Simple, 60);
+        let a = env.build_tree(&net, 5, false);
+        let b = env.build_tree(&net, 5, false);
+        assert_eq!(a.samples.len(), b.samples.len());
+        assert!((a.objective - b.objective).abs() < 1e-12);
+        let c = env.build_tree(&net, 6, false);
+        // Different seeds explore different trees (stochastic policy).
+        assert!(
+            a.samples.len() != c.samples.len()
+                || (a.objective - c.objective).abs() > 1e-12
+                || a.samples
+                    .iter()
+                    .zip(&c.samples)
+                    .any(|(x, y)| x.dim_action != y.dim_action)
+        );
+    }
+
+    #[test]
+    fn greedy_build_is_deterministic_regardless_of_seed() {
+        let (env, net) = env_and_net(PartitionMode::None, 60);
+        let a = env.build_tree(&net, 1, true);
+        let b = env.build_tree(&net, 999, true);
+        assert_eq!(a.samples.len(), b.samples.len());
+        assert!((a.objective - b.objective).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_truncation_bounds_trees() {
+        let rules =
+            generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 120).with_seed(74));
+        let mut cfg = NeuroCutsConfig::smoke_test();
+        cfg.max_tree_depth = 3;
+        cfg.max_timesteps_per_rollout = 100_000;
+        let env = NeuroCutsEnv::new(rules, cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(75);
+        let net = PolicyValueNet::new(
+            NetConfig {
+                obs_dim: env.encoder.obs_dim(),
+                dim_actions: 5,
+                num_actions: env.action_space.num_actions(),
+                hidden: [16, 16],
+            },
+            &mut rng,
+        );
+        let ep = env.build_tree(&net, 1, false);
+        assert!(TreeStats::compute(&ep.tree).max_depth <= 3);
+    }
+
+    #[test]
+    fn rollout_truncation_caps_samples() {
+        let rules =
+            generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 200).with_seed(76));
+        let mut cfg = NeuroCutsConfig::smoke_test();
+        cfg.max_timesteps_per_rollout = 10;
+        let env = NeuroCutsEnv::new(rules, cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let net = PolicyValueNet::new(
+            NetConfig {
+                obs_dim: env.encoder.obs_dim(),
+                dim_actions: 5,
+                num_actions: env.action_space.num_actions(),
+                hidden: [16, 16],
+            },
+            &mut rng,
+        );
+        let ep = env.build_tree(&net, 1, false);
+        assert!(ep.truncated);
+        assert!(ep.samples.len() <= 10);
+        // Truncated episodes must not pollute the best-tree record.
+        assert!(env.best().is_none());
+    }
+
+    #[test]
+    fn best_tree_is_tracked_and_shared_across_clones() {
+        let (env, net) = env_and_net(PartitionMode::None, 60);
+        let clone = env.clone();
+        let _ = clone.build_tree(&net, 1, false);
+        let best = env.best().expect("best tree recorded via the clone");
+        assert!(best.objective > 0.0);
+        assert!(best.stats.time >= 1);
+        // A second, worse episode must not replace it.
+        let before = env.best().unwrap().objective;
+        for s in 2..6 {
+            let _ = env.build_tree(&net, s, false);
+        }
+        assert!(env.best().unwrap().objective <= before);
+    }
+
+    #[test]
+    fn traffic_aware_objective_uses_expected_cost() {
+        let (env, net) = env_and_net(PartitionMode::None, 80);
+        // A trace concentrated in one corner of the space: expected
+        // lookup cost must be <= worst case, so the traffic objective is
+        // never larger than the worst-case objective for the same tree.
+        let trace: Vec<Packet> = (0..200)
+            .map(|i| Packet::new(i % 50, i % 50, i % 50, 80, 6))
+            .collect();
+        let traffic_env = env.clone().with_traffic(trace);
+        let worst = env.build_tree(&net, 3, false);
+        let avg = traffic_env.build_tree(&net, 3, false);
+        // Same seed, same policy -> same tree shape; only the objective
+        // differs.
+        assert_eq!(worst.samples.len(), avg.samples.len());
+        assert!(
+            avg.objective <= worst.objective + 1e-9,
+            "expected {} <= worst {}",
+            avg.objective,
+            worst.objective
+        );
+        assert!(avg.objective >= 1.0, "at least the root is visited");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_traffic_trace_panics() {
+        let (env, _net) = env_and_net(PartitionMode::None, 20);
+        let _ = env.with_traffic(Vec::new());
+    }
+
+    #[test]
+    fn partition_modes_produce_partition_nodes_eventually() {
+        let (env, net) = env_and_net(PartitionMode::EffiCuts, 150);
+        let mut saw_partition = false;
+        for seed in 0..20 {
+            let ep = env.build_tree(&net, seed, false);
+            if ep
+                .tree
+                .nodes()
+                .iter()
+                .any(|n| matches!(n.kind, dtree::NodeKind::Partition { .. }))
+            {
+                saw_partition = true;
+                break;
+            }
+        }
+        assert!(saw_partition, "EffiCuts partition never sampled in 20 episodes");
+    }
+}

@@ -1,0 +1,226 @@
+//! The NeuroCuts reward (Eqs. 1–5 and Algorithm 1, line 17):
+//!
+//! ```text
+//! R(node) = -( c · f(Time(subtree)) + (1 − c) · f(Space(subtree)) )
+//! ```
+//!
+//! where `Time`/`Space` aggregate recursively — `max` over children for
+//! cut-like nodes and `sum` for partitions (time); `sum` for both
+//! (space). The rewards are the *true* objective; the paper explicitly
+//! avoids reward engineering (§4 footnote 2).
+
+use crate::config::{NeuroCutsConfig, RewardScaling};
+use dtree::{DecisionTree, MemoryModel, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// The scalarised objective `c·f(T) + (1−c)·f(S)`; rewards are its
+/// negation. Lower objective = better tree.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Objective {
+    /// Time-space coefficient `c`.
+    pub c: f64,
+    /// Reward scaling `f`.
+    pub scaling: RewardScaling,
+    /// Memory model used for `Space`.
+    pub memory: MemoryModel,
+}
+
+impl Objective {
+    /// Build from a NeuroCuts configuration.
+    pub fn from_config(cfg: &NeuroCutsConfig) -> Self {
+        Objective {
+            c: cfg.time_space_coeff,
+            scaling: cfg.reward_scaling,
+            memory: MemoryModel::default(),
+        }
+    }
+
+    /// Scalarise a `(time, bytes)` pair.
+    pub fn value(&self, time: usize, bytes: usize) -> f64 {
+        self.c * self.scaling.apply(time as f64)
+            + (1.0 - self.c) * self.scaling.apply(bytes as f64)
+    }
+
+    /// Reward for a node whose subtree has the given metrics.
+    pub fn reward(&self, time: usize, bytes: usize) -> f64 {
+        -self.value(time, bytes)
+    }
+}
+
+/// Per-node `(Time, Space)` of every subtree, computed in one reverse
+/// pass over the arena (children are always appended after their
+/// parent, so reverse id order is a valid post-order).
+///
+/// `Space` here is the structural bytes of the subtree (Algorithm 1's
+/// `Space(s)`), excluding the rule table shared by the whole classifier.
+pub fn subtree_metrics(tree: &DecisionTree, memory: &MemoryModel) -> (Vec<usize>, Vec<usize>) {
+    let n = tree.num_nodes();
+    let mut time = vec![0usize; n];
+    let mut bytes = vec![0usize; n];
+    for id in (0..n).rev() {
+        let node = tree.node(id);
+        let own_bytes = memory.node_bytes(&node.kind, node.rules.len());
+        match &node.kind {
+            NodeKind::Leaf => {
+                time[id] = 1;
+                bytes[id] = own_bytes;
+            }
+            NodeKind::Partition { children } => {
+                time[id] = 1 + children.iter().map(|&c| time[c]).sum::<usize>();
+                bytes[id] = own_bytes + children.iter().map(|&c| bytes[c]).sum::<usize>();
+            }
+            other => {
+                let kids = other.children();
+                time[id] = 1 + kids.iter().map(|&c| time[c]).max().unwrap_or(0);
+                bytes[id] = own_bytes + kids.iter().map(|&c| bytes[c]).sum::<usize>();
+            }
+        }
+    }
+    (time, bytes)
+}
+
+/// Traffic-weighted expected lookup time per subtree (the paper's §8
+/// extension: optimise for a *specific traffic pattern* rather than the
+/// worst case). `counts[id]` is how many trace packets reach node `id`
+/// ([`DecisionTree::node_visit_counts`]).
+///
+/// Recursion: a leaf costs 1; a cut-like node costs 1 plus the
+/// visit-weighted mean of its children (falling back to the worst-case
+/// `max` for subtrees the trace never reaches, so unexercised branches
+/// are not free); a partition node costs 1 plus the sum of its children
+/// (every partition is always consulted).
+pub fn subtree_avg_time(tree: &DecisionTree, counts: &[usize]) -> Vec<f64> {
+    let n = tree.num_nodes();
+    assert_eq!(counts.len(), n, "counts must align with the node arena");
+    let mut avg = vec![0.0f64; n];
+    for id in (0..n).rev() {
+        let node = tree.node(id);
+        avg[id] = match &node.kind {
+            NodeKind::Leaf => 1.0,
+            NodeKind::Partition { children } => {
+                1.0 + children.iter().map(|&c| avg[c]).sum::<f64>()
+            }
+            other => {
+                let kids = other.children();
+                let here = counts[id];
+                if here == 0 {
+                    1.0 + kids
+                        .iter()
+                        .map(|&c| avg[c])
+                        .fold(0.0f64, f64::max)
+                } else {
+                    1.0 + kids
+                        .iter()
+                        .map(|&c| avg[c] * counts[c] as f64 / here as f64)
+                        .sum::<f64>()
+                }
+            }
+        };
+    }
+    avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionMode;
+    use classbench::{Dim, DimRange, Rule, RuleSet};
+    use dtree::stats::{subtree_bytes, subtree_time};
+
+    fn rules() -> RuleSet {
+        let mut a = Rule::default_rule(2);
+        a.ranges[Dim::Proto.index()] = DimRange::exact(6);
+        let mut b = Rule::default_rule(1);
+        b.ranges[Dim::DstPort.index()] = DimRange::new(0, 1024);
+        RuleSet::new(vec![a, b, Rule::default_rule(0)])
+    }
+
+    #[test]
+    fn metrics_match_recursive_reference() {
+        let mut t = DecisionTree::new(&rules());
+        let kids = t.cut_node(t.root(), Dim::DstPort, 4);
+        t.cut_node(kids[0], Dim::Proto, 2);
+        let part_kids = t.partition_node(kids[1], vec![vec![0], vec![2]]);
+        t.cut_node(part_kids[0], Dim::SrcIp, 2);
+        let memory = MemoryModel::default();
+        let (time, bytes) = subtree_metrics(&t, &memory);
+        for id in 0..t.num_nodes() {
+            assert_eq!(time[id], subtree_time(&t, id), "time at node {id}");
+            assert_eq!(bytes[id], subtree_bytes(&t, id, &memory), "bytes at node {id}");
+        }
+    }
+
+    #[test]
+    fn pure_time_objective_is_depth() {
+        let mut cfg = crate::NeuroCutsConfig::smoke_test();
+        cfg.time_space_coeff = 1.0;
+        cfg.reward_scaling = RewardScaling::Linear;
+        let obj = Objective::from_config(&cfg);
+        assert_eq!(obj.value(12, 999_999), 12.0);
+        assert_eq!(obj.reward(12, 999_999), -12.0);
+    }
+
+    #[test]
+    fn pure_space_objective_ignores_time() {
+        let mut cfg = crate::NeuroCutsConfig::smoke_test();
+        cfg.time_space_coeff = 0.0;
+        cfg.reward_scaling = RewardScaling::Linear;
+        let obj = Objective::from_config(&cfg);
+        assert_eq!(obj.value(999, 1000), 1000.0);
+    }
+
+    #[test]
+    fn mixed_objective_uses_log_scaling() {
+        let cfg = crate::NeuroCutsConfig::smoke_test()
+            .with_coeff(0.5)
+            .with_partition_mode(PartitionMode::Simple);
+        let obj = Objective::from_config(&cfg);
+        let v = obj.value(16, 4096);
+        let expect = 0.5 * (16f64).ln() + 0.5 * (4096f64).ln();
+        assert!((v - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_time_reduces_to_worst_case_without_traffic_reach() {
+        // With zero counts everywhere, avg time falls back to the
+        // worst-case max recursion and therefore equals subtree_time.
+        let mut t = DecisionTree::new(&rules());
+        let kids = t.cut_node(t.root(), Dim::DstPort, 4);
+        t.cut_node(kids[0], Dim::Proto, 2);
+        let counts = vec![0usize; t.num_nodes()];
+        let avg = subtree_avg_time(&t, &counts);
+        for id in 0..t.num_nodes() {
+            assert!((avg[id] - subtree_time(&t, id) as f64).abs() < 1e-9, "node {id}");
+        }
+    }
+
+    #[test]
+    fn avg_time_weights_by_visits() {
+        let mut t = DecisionTree::new(&rules());
+        let kids = t.cut_node(t.root(), Dim::DstPort, 2);
+        // Expand only the low-port child so paths differ in length.
+        t.cut_node(kids[0], Dim::Proto, 2);
+        // All traffic to the high-port (shallow) side: avg = 2.
+        let trace: Vec<classbench::Packet> =
+            (0..10).map(|i| classbench::Packet::new(0, 0, 0, 60000 + i, 6)).collect();
+        let counts = t.node_visit_counts(&trace);
+        let avg = subtree_avg_time(&t, &counts);
+        assert!((avg[t.root()] - 2.0).abs() < 1e-9, "got {}", avg[t.root()]);
+        // Worst case is 3 (through the expanded child).
+        assert_eq!(subtree_time(&t, t.root()), 3);
+        // Mixed traffic lands strictly between.
+        let mixed: Vec<classbench::Packet> = (0..10)
+            .map(|i| classbench::Packet::new(0, 0, 0, if i < 5 { 100 } else { 60000 }, 6))
+            .collect();
+        let counts = t.node_visit_counts(&mixed);
+        let avg = subtree_avg_time(&t, &counts);
+        assert!(avg[t.root()] > 2.0 && avg[t.root()] < 3.0, "got {}", avg[t.root()]);
+    }
+
+    #[test]
+    fn better_trees_get_higher_reward() {
+        let cfg = crate::NeuroCutsConfig::smoke_test();
+        let obj = Objective::from_config(&cfg);
+        assert!(obj.reward(5, 100) > obj.reward(10, 100));
+    }
+}

@@ -1,0 +1,324 @@
+//! The NeuroCuts training loop (Algorithm 1 + Figure 7).
+//!
+//! Each iteration: parallel workers generate whole-tree rollouts from
+//! the frozen policy, the experiences are concatenated, and PPO updates
+//! the shared policy/value network. The best completed tree across all
+//! rollouts is tracked continuously; training stops at the timestep
+//! budget or after `patience` iterations without improvement.
+
+use crate::config::NeuroCutsConfig;
+use crate::env::NeuroCutsEnv;
+pub use crate::env::BestTree;
+use classbench::RuleSet;
+use dtree::{DecisionTree, TreeStats};
+use nn::{NetConfig, PolicyValueNet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rl::{collect_parallel, Ppo, QConfig, QLearner, UpdateStats};
+use serde::{Deserialize, Serialize};
+
+/// The policy-optimisation algorithm behind a [`Trainer`]: PPO (the
+/// paper's choice) or the Q-learning baseline it rejected (§4).
+enum Learner {
+    Ppo(Ppo),
+    Q(QLearner),
+}
+
+/// Diagnostics for one training iteration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Total environment timesteps consumed so far.
+    pub timesteps: usize,
+    /// Episodes (trees) completed this iteration.
+    pub episodes: usize,
+    /// Mean episode return this iteration (−objective; higher better).
+    pub mean_return: f64,
+    /// Best objective seen so far (lower better).
+    pub best_objective: f64,
+    /// PPO update diagnostics.
+    pub ppo: UpdateStats,
+}
+
+/// The outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Per-iteration history.
+    pub history: Vec<IterationStats>,
+    /// The best tree found (None only if every rollout truncated).
+    pub best: Option<BestTree>,
+    /// Total timesteps consumed.
+    pub timesteps: usize,
+}
+
+/// Trains a NeuroCuts policy for one rule set.
+pub struct Trainer {
+    env: NeuroCutsEnv,
+    net: PolicyValueNet,
+    learner: Learner,
+    config: NeuroCutsConfig,
+    timesteps: usize,
+    iterations: usize,
+}
+
+impl Trainer {
+    /// Set up policy, PPO learner, and environment for `rules`.
+    pub fn new(rules: RuleSet, config: NeuroCutsConfig) -> Self {
+        let env = NeuroCutsEnv::new(rules, config.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x6e65_74); // "net"
+        let net = PolicyValueNet::new(
+            NetConfig {
+                obs_dim: env.encoder.obs_dim(),
+                dim_actions: env.action_space.dim_actions(),
+                num_actions: env.action_space.num_actions(),
+                hidden: config.hidden,
+            },
+            &mut rng,
+        );
+        let learner = if config.use_qlearning {
+            Learner::Q(QLearner::new(
+                QConfig {
+                    sgd_iters: config.ppo.sgd_iters,
+                    minibatch: config.ppo.minibatch,
+                    adam: config.ppo.adam,
+                    ..Default::default()
+                },
+                config.seed,
+            ))
+        } else {
+            Learner::Ppo(Ppo::new(config.ppo, config.seed))
+        };
+        Trainer { env, net, learner, config, timesteps: 0, iterations: 0 }
+    }
+
+    /// The environment (e.g. to inspect the rule set or best tree).
+    pub fn env(&self) -> &NeuroCutsEnv {
+        &self.env
+    }
+
+    /// Optimise for the *expected* classification time under `trace`
+    /// instead of the worst case — the traffic-aware objective the
+    /// paper's conclusion proposes (§8). Call before training.
+    pub fn set_traffic(mut self, trace: Vec<classbench::Packet>) -> Self {
+        self.env = self.env.with_traffic(trace);
+        self
+    }
+
+    /// The current policy network.
+    pub fn net(&self) -> &PolicyValueNet {
+        &self.net
+    }
+
+    /// Run one training iteration (collect one batch, one PPO update).
+    /// Returns the iteration's diagnostics.
+    pub fn step(&mut self) -> IterationStats {
+        let batch = collect_parallel(
+            &self.env,
+            &self.net,
+            self.config.timesteps_per_batch,
+            self.config.workers,
+            self.config
+                .seed
+                .wrapping_add(1 + self.iterations as u64 * 0x9e37_79b9),
+        );
+        self.timesteps += batch.len();
+        let ppo_stats = match &mut self.learner {
+            Learner::Ppo(ppo) => ppo.update(&mut self.net, &batch),
+            Learner::Q(q) => {
+                let qs = q.update(&mut self.net, &batch);
+                UpdateStats {
+                    value_loss: qs.td_error,
+                    epochs: qs.epochs,
+                    ..Default::default()
+                }
+            }
+        };
+        let stats = IterationStats {
+            iteration: self.iterations,
+            timesteps: self.timesteps,
+            episodes: batch.episodes,
+            mean_return: batch.mean_episode_return,
+            best_objective: self.env.best().map_or(f64::INFINITY, |b| b.objective),
+            ppo: ppo_stats,
+        };
+        self.iterations += 1;
+        stats
+    }
+
+    /// Train until the timestep budget is spent or `patience`
+    /// iterations pass without improving the best objective.
+    pub fn train(&mut self) -> TrainReport {
+        let mut history = Vec::new();
+        let mut stale = 0usize;
+        let mut best_seen = f64::INFINITY;
+        while self.timesteps < self.config.max_timesteps {
+            let stats = self.step();
+            if stats.best_objective + 1e-12 < best_seen {
+                best_seen = stats.best_objective;
+                stale = 0;
+            } else if best_seen.is_finite() {
+                // Patience only counts once *some* tree has completed;
+                // early truncated-rollout iterations are the learning
+                // phase, not stagnation.
+                stale += 1;
+            }
+            history.push(stats);
+            if self.config.patience > 0 && stale >= self.config.patience {
+                break;
+            }
+        }
+        TrainReport { history, best: self.env.best(), timesteps: self.timesteps }
+    }
+
+    /// Build one tree greedily (argmax actions) with the current
+    /// policy — the deterministic "final" tree.
+    pub fn greedy_tree(&self) -> (DecisionTree, TreeStats) {
+        let ep = self.env.build_tree(&self.net, 0, true);
+        let stats = TreeStats::compute(&ep.tree);
+        (ep.tree, stats)
+    }
+
+    /// Sample `n` stochastic tree variations from the current policy
+    /// (Figure 6).
+    pub fn sample_trees(&self, n: usize, seed: u64) -> Vec<(DecisionTree, TreeStats)> {
+        (0..n)
+            .map(|i| {
+                let ep = self.env.build_tree(&self.net, seed.wrapping_add(i as u64), false);
+                let stats = TreeStats::compute(&ep.tree);
+                (ep.tree, stats)
+            })
+            .collect()
+    }
+
+    /// Serialise the policy (checkpoint).
+    pub fn save_policy(&self) -> String {
+        self.net.to_json()
+    }
+
+    /// Restore a policy saved by [`Trainer::save_policy`].
+    ///
+    /// # Panics
+    /// Panics if the checkpoint's shape doesn't match this trainer's
+    /// configuration.
+    pub fn load_policy(&mut self, json: &str) {
+        let net = PolicyValueNet::from_json(json).expect("valid checkpoint");
+        assert_eq!(net.config, self.net.config, "checkpoint shape mismatch");
+        self.net = net;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionMode;
+    use classbench::{generate_rules, ClassifierFamily, GeneratorConfig};
+    use dtree::validate::assert_tree_valid;
+
+    fn rules(size: usize) -> RuleSet {
+        generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, size).with_seed(81))
+    }
+
+    #[test]
+    fn smoke_training_improves_or_matches_initial_policy() {
+        let mut trainer = Trainer::new(rules(64), NeuroCutsConfig::smoke_test());
+        let report = trainer.train();
+        assert!(!report.history.is_empty());
+        assert!(report.timesteps > 0);
+        let best = report.best.expect("at least one completed tree");
+        assert!(best.objective.is_finite());
+        assert_tree_valid(&best.tree, 200, 82);
+        // History is monotone in best objective.
+        let mut prev = f64::INFINITY;
+        for h in &report.history {
+            assert!(h.best_objective <= prev + 1e-9);
+            prev = h.best_objective;
+        }
+    }
+
+    #[test]
+    fn training_beats_the_random_policy_on_time() {
+        // The core learning claim at smoke scale: after training, the
+        // best tree is no worse than the first iteration's mean.
+        let mut cfg = NeuroCutsConfig::smoke_test();
+        cfg.max_timesteps = 3_000;
+        cfg.timesteps_per_batch = 600;
+        let mut trainer = Trainer::new(rules(64), cfg);
+        let report = trainer.train();
+        let first_mean = -report.history[0].mean_return; // mean objective
+        let best = report.best.unwrap().objective;
+        assert!(
+            best <= first_mean + 1e-9,
+            "best {best} should beat the average random tree {first_mean}"
+        );
+    }
+
+    #[test]
+    fn greedy_tree_is_valid_and_deterministic() {
+        let mut trainer = Trainer::new(rules(64), NeuroCutsConfig::smoke_test());
+        let _ = trainer.step();
+        let (t1, s1) = trainer.greedy_tree();
+        let (_t2, s2) = trainer.greedy_tree();
+        assert_eq!(s1, s2);
+        assert_tree_valid(&t1, 200, 83);
+    }
+
+    #[test]
+    fn sampled_trees_vary() {
+        let trainer = Trainer::new(rules(64), NeuroCutsConfig::smoke_test());
+        let trees = trainer.sample_trees(4, 42);
+        assert_eq!(trees.len(), 4);
+        for (t, _) in &trees {
+            assert_tree_valid(t, 100, 84);
+        }
+        // The stochastic policy explores: not all four identical (Fig 6).
+        let times: Vec<usize> = trees.iter().map(|(_, s)| s.time).collect();
+        let nodes: Vec<usize> = trees.iter().map(|(_, s)| s.nodes).collect();
+        assert!(
+            times.windows(2).any(|w| w[0] != w[1]) || nodes.windows(2).any(|w| w[0] != w[1]),
+            "four identical trees from a stochastic policy: {times:?} {nodes:?}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut trainer = Trainer::new(rules(64), NeuroCutsConfig::smoke_test());
+        let _ = trainer.step();
+        let ckpt = trainer.save_policy();
+        let (_, s1) = trainer.greedy_tree();
+        let mut restored = Trainer::new(rules(64), NeuroCutsConfig::smoke_test());
+        restored.load_policy(&ckpt);
+        let (_, s2) = restored.greedy_tree();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn partition_mode_efficuts_trains() {
+        // IPC mixes wildcards and specific rules, so the EffiCuts
+        // partition has real work to do while random-policy episodes
+        // still complete (FW-heavy sets need the paper's full 15k-step
+        // budget to get through the initial random phase).
+        let rules =
+            generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 80).with_seed(85));
+        let mut cfg = NeuroCutsConfig::smoke_test()
+            .with_partition_mode(PartitionMode::EffiCuts)
+            .with_coeff(0.0);
+        cfg.max_timesteps_per_rollout = 60_000;
+        cfg.max_timesteps = 2_500;
+        let mut trainer = Trainer::new(rules, cfg);
+        let report = trainer.train();
+        let best = report.best.expect("completed trees");
+        assert_tree_valid(&best.tree, 200, 86);
+    }
+
+    #[test]
+    fn patience_stops_early() {
+        let mut cfg = NeuroCutsConfig::smoke_test();
+        cfg.max_timesteps = usize::MAX / 2;
+        cfg.patience = 2;
+        let mut trainer = Trainer::new(rules(32), cfg);
+        let report = trainer.train();
+        // Must terminate (patience) well before the absurd budget.
+        assert!(report.history.len() < 100);
+    }
+}

@@ -1,0 +1,354 @@
+//! A compiled, read-only form of a [`DecisionTree`] for serving traffic.
+//!
+//! The arena tree is ideal for *construction* (algorithms expand leaves
+//! in place) but pays for that flexibility at lookup time: nodes hold
+//! `Vec`s, child spaces are recomputed from ranges, and matching walks
+//! enum variants with embedded allocations. [`FlatTree`] is the
+//! deployment artifact: all node parameters are precomputed into flat,
+//! contiguous pools (children, leaf rule references, cut strides), so a
+//! lookup is pure index arithmetic over dense arrays. Compilation also
+//! drops deleted rules and rebinds rule references.
+//!
+//! `FlatTree::classify` returns the **same rule ids** as the source
+//! tree, so results remain comparable with the [`classbench::RuleSet`]
+//! ground truth.
+
+use crate::node::{NodeKind, RuleId};
+use crate::tree::DecisionTree;
+use classbench::{Packet, Rule};
+use serde::{Deserialize, Serialize};
+
+/// One compiled node. Parameters index into the [`FlatTree`] pools.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum FlatNode {
+    /// `leaf_rules[start..end]` scanned in precedence order.
+    Leaf { start: u32, end: u32 },
+    /// Equal-size cut: child index is `min((v - lo) / step, ncuts-1)`;
+    /// children are `children[base..base+ncuts]`.
+    Cut { dim: u8, lo: u64, step: u64, ncuts: u32, base: u32 },
+    /// Simultaneous cuts: dims are `cut_dims[dstart..dend]`, children
+    /// row-major at `base`.
+    MultiCut { dstart: u32, dend: u32, base: u32 },
+    /// Unequal cut: boundaries are `bounds[bstart..bend]`; child `i`
+    /// covers `[bounds[i], bounds[i+1])`; children at `base`.
+    DenseCut { dim: u8, bstart: u32, bend: u32, base: u32 },
+    /// Binary threshold split.
+    Split { dim: u8, threshold: u64, left: u32, right: u32 },
+    /// All of `children[start..end]` are searched; best precedence wins.
+    Partition { start: u32, end: u32 },
+}
+
+/// Per-dimension parameters of one multicut axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct FlatCutDim {
+    dim: u8,
+    lo: u64,
+    step: u64,
+    ncuts: u32,
+}
+
+/// A compiled decision tree (see module docs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatTree {
+    nodes: Vec<FlatNode>,
+    children: Vec<u32>,
+    leaf_rules: Vec<u32>,
+    bounds: Vec<u64>,
+    cut_dims: Vec<FlatCutDim>,
+    /// `(rule, original id)` pairs; `leaf_rules` indexes this table.
+    rules: Vec<(Rule, RuleId)>,
+    /// Precedence rank per table entry (lower rank wins).
+    ranks: Vec<u32>,
+    root: u32,
+}
+
+impl FlatTree {
+    /// Compile a built tree. Deleted rules are dropped; node ids are
+    /// renumbered; lookup behaviour is preserved exactly.
+    pub fn compile(tree: &DecisionTree) -> FlatTree {
+        // Active rules in precedence order; remember original ids.
+        let mut order: Vec<RuleId> = (0..tree.rules().len())
+            .filter(|&r| tree.is_active(r))
+            .collect();
+        order.sort_by(|&a, &b| {
+            tree.rule(b)
+                .priority
+                .cmp(&tree.rule(a).priority)
+                .then(a.cmp(&b))
+        });
+        let mut table_index = vec![u32::MAX; tree.rules().len()];
+        let rules: Vec<(Rule, RuleId)> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                table_index[r] = i as u32;
+                (tree.rule(r).clone(), r)
+            })
+            .collect();
+        let ranks: Vec<u32> = (0..rules.len() as u32).collect();
+
+        let mut flat = FlatTree {
+            nodes: Vec::with_capacity(tree.num_nodes()),
+            children: Vec::new(),
+            leaf_rules: Vec::new(),
+            bounds: Vec::new(),
+            cut_dims: Vec::new(),
+            rules,
+            ranks,
+            root: 0,
+        };
+
+        // Node ids are preserved 1:1 (the arena already contains every
+        // node), so children can be emitted directly.
+        for node in tree.nodes() {
+            let compiled = match &node.kind {
+                NodeKind::Leaf => {
+                    let start = flat.leaf_rules.len() as u32;
+                    flat.leaf_rules.extend(
+                        node.rules
+                            .iter()
+                            .filter(|&&r| tree.is_active(r))
+                            .map(|&r| table_index[r]),
+                    );
+                    FlatNode::Leaf { start, end: flat.leaf_rules.len() as u32 }
+                }
+                NodeKind::Cut { dim, ncuts, children } => {
+                    let range = node.space.range(*dim);
+                    let base = flat.push_children(children);
+                    FlatNode::Cut {
+                        dim: dim.index() as u8,
+                        lo: range.lo,
+                        step: (range.len() / *ncuts as u64).max(1),
+                        ncuts: *ncuts as u32,
+                        base,
+                    }
+                }
+                NodeKind::MultiCut { dims, children } => {
+                    let dstart = flat.cut_dims.len() as u32;
+                    for &(dim, ncuts) in dims {
+                        let range = node.space.range(dim);
+                        flat.cut_dims.push(FlatCutDim {
+                            dim: dim.index() as u8,
+                            lo: range.lo,
+                            step: (range.len() / ncuts as u64).max(1),
+                            ncuts: ncuts as u32,
+                        });
+                    }
+                    let base = flat.push_children(children);
+                    FlatNode::MultiCut { dstart, dend: flat.cut_dims.len() as u32, base }
+                }
+                NodeKind::DenseCut { dim, bounds, children } => {
+                    let bstart = flat.bounds.len() as u32;
+                    flat.bounds.extend_from_slice(bounds);
+                    let base = flat.push_children(children);
+                    FlatNode::DenseCut {
+                        dim: dim.index() as u8,
+                        bstart,
+                        bend: flat.bounds.len() as u32,
+                        base,
+                    }
+                }
+                NodeKind::Split { dim, threshold, children } => FlatNode::Split {
+                    dim: dim.index() as u8,
+                    threshold: *threshold,
+                    left: children[0] as u32,
+                    right: children[1] as u32,
+                },
+                NodeKind::Partition { children } => {
+                    let start = flat.push_children(children);
+                    FlatNode::Partition { start, end: start + children.len() as u32 }
+                }
+            };
+            flat.nodes.push(compiled);
+        }
+        flat.root = tree.root() as u32;
+        flat
+    }
+
+    fn push_children(&mut self, children: &[usize]) -> u32 {
+        let base = self.children.len() as u32;
+        self.children.extend(children.iter().map(|&c| c as u32));
+        base
+    }
+
+    /// Number of compiled nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of active rules in the compiled table.
+    pub fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Approximate resident size in bytes of the compiled structure.
+    pub fn resident_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<FlatNode>()
+            + self.children.len() * 4
+            + self.leaf_rules.len() * 4
+            + self.bounds.len() * 8
+            + self.cut_dims.len() * std::mem::size_of::<FlatCutDim>()
+            + self.rules.len() * (std::mem::size_of::<Rule>() + 8)
+            + self.ranks.len() * 4
+    }
+
+    /// Classify a packet: the **original** rule id of the highest-
+    /// precedence match, identical to the source tree's `classify`.
+    pub fn classify(&self, packet: &Packet) -> Option<RuleId> {
+        self.classify_from(self.root, packet)
+            .map(|ti| self.rules[ti as usize].1)
+    }
+
+    /// Returns the winning *table* index (rank order), or `None`.
+    fn classify_from(&self, mut id: u32, packet: &Packet) -> Option<u32> {
+        loop {
+            match self.nodes[id as usize] {
+                FlatNode::Leaf { start, end } => {
+                    return self.leaf_rules[start as usize..end as usize]
+                        .iter()
+                        .copied()
+                        .find(|&ti| self.rules[ti as usize].0.matches(packet));
+                }
+                FlatNode::Cut { dim, lo, step, ncuts, base } => {
+                    let v = packet.values[dim as usize];
+                    let idx =
+                        ((v.saturating_sub(lo)) / step).min(u64::from(ncuts) - 1) as u32;
+                    id = self.children[(base + idx) as usize];
+                }
+                FlatNode::MultiCut { dstart, dend, base } => {
+                    let mut idx = 0u32;
+                    for cd in &self.cut_dims[dstart as usize..dend as usize] {
+                        let v = packet.values[cd.dim as usize];
+                        let i = ((v.saturating_sub(cd.lo)) / cd.step)
+                            .min(u64::from(cd.ncuts) - 1)
+                            as u32;
+                        idx = idx * cd.ncuts + i;
+                    }
+                    id = self.children[(base + idx) as usize];
+                }
+                FlatNode::DenseCut { dim, bstart, bend, base } => {
+                    let v = packet.values[dim as usize];
+                    let bounds = &self.bounds[bstart as usize..bend as usize];
+                    let idx = bounds
+                        .partition_point(|&b| b <= v)
+                        .saturating_sub(1)
+                        .min(bounds.len() - 2) as u32;
+                    id = self.children[(base + idx) as usize];
+                }
+                FlatNode::Split { dim, threshold, left, right } => {
+                    id = if packet.values[dim as usize] < threshold { left } else { right };
+                }
+                FlatNode::Partition { start, end } => {
+                    let mut best: Option<u32> = None;
+                    for &c in &self.children[start as usize..end as usize] {
+                        if let Some(ti) = self.classify_from(c, packet) {
+                            // Table order *is* precedence order.
+                            if best.is_none_or(|b| ti < b) {
+                                best = Some(ti);
+                            }
+                        }
+                    }
+                    return best;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classbench::{
+        generate_rules, generate_trace, ClassifierFamily, Dim, GeneratorConfig, TraceConfig,
+    };
+
+    fn agreement_check(tree: &DecisionTree, rules: &classbench::RuleSet, probes: usize) {
+        let flat = FlatTree::compile(tree);
+        assert_eq!(flat.num_nodes(), tree.num_nodes());
+        let trace = generate_trace(rules, &TraceConfig::new(probes).with_seed(91));
+        for p in &trace {
+            assert_eq!(flat.classify(p), tree.classify(p), "at {p}");
+        }
+    }
+
+    #[test]
+    fn compiled_cut_tree_agrees() {
+        let rules =
+            generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 150).with_seed(90));
+        let mut tree = DecisionTree::new(&rules);
+        let kids = tree.cut_node(tree.root(), Dim::SrcIp, 8);
+        for k in kids {
+            if !tree.is_terminal(k, 8) {
+                tree.cut_node(k, Dim::DstPort, 4);
+            }
+        }
+        agreement_check(&tree, &rules, 500);
+    }
+
+    #[test]
+    fn compiled_mixed_kinds_agree() {
+        let rules =
+            generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 150).with_seed(92));
+        let mut tree = DecisionTree::new(&rules);
+        let all = tree.node(tree.root()).rules.clone();
+        let (a, b) = all.split_at(all.len() / 2);
+        let parts = tree.partition_node(tree.root(), vec![a.to_vec(), b.to_vec()]);
+        tree.multicut_node(parts[0], &[(Dim::SrcIp, 4), (Dim::Proto, 2)]);
+        tree.split_node(parts[1], Dim::DstPort, 1024);
+        let leaves: Vec<usize> = tree.leaf_ids().collect();
+        for id in leaves {
+            let range = *tree.node(id).space.range(Dim::SrcPort);
+            if range.len() > 4096 && tree.node(id).rules.len() > 4 {
+                let mid1 = range.lo + range.len() / 3;
+                let mid2 = range.lo + 2 * range.len() / 3;
+                tree.dense_cut_node(id, Dim::SrcPort, vec![range.lo, mid1, mid2, range.hi]);
+                break;
+            }
+        }
+        agreement_check(&tree, &rules, 600);
+    }
+
+    #[test]
+    fn compiled_tree_drops_deleted_rules() {
+        let rules =
+            generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 80).with_seed(93));
+        let mut tree = DecisionTree::new(&rules);
+        tree.cut_node(tree.root(), Dim::DstIp, 8);
+        let top = tree.rules().iter().map(|r| r.priority).max().unwrap();
+        let id = crate::updates::insert_rule(&mut tree, Rule::default_rule(top + 1));
+        crate::updates::delete_rule(&mut tree, id);
+        let flat = FlatTree::compile(&tree);
+        assert_eq!(flat.num_rules(), tree.num_active_rules());
+        let trace = generate_trace(&rules, &TraceConfig::new(300).with_seed(94));
+        for p in &trace {
+            assert_eq!(flat.classify(p), tree.classify(p));
+        }
+    }
+
+    #[test]
+    fn compiled_tree_roundtrips_through_serde() {
+        let rules =
+            generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 100).with_seed(95));
+        let mut tree = DecisionTree::new(&rules);
+        tree.cut_node(tree.root(), Dim::SrcIp, 16);
+        let flat = FlatTree::compile(&tree);
+        let json = serde_json::to_string(&flat).unwrap();
+        let restored: FlatTree = serde_json::from_str(&json).unwrap();
+        let trace = generate_trace(&rules, &TraceConfig::new(200).with_seed(96));
+        for p in &trace {
+            assert_eq!(flat.classify(p), restored.classify(p));
+        }
+    }
+
+    #[test]
+    fn resident_bytes_is_positive_and_scales() {
+        let rules =
+            generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 60).with_seed(97));
+        let mut small_tree = DecisionTree::new(&rules);
+        let small = FlatTree::compile(&small_tree).resident_bytes();
+        small_tree.cut_node(small_tree.root(), Dim::SrcIp, 32);
+        let bigger = FlatTree::compile(&small_tree).resident_bytes();
+        assert!(small > 0);
+        assert!(bigger > small);
+    }
+}

@@ -1,0 +1,42 @@
+//! Decision-tree substrate for packet classification.
+//!
+//! The paper's methodology (§5) implements *one* decision-tree data
+//! structure and builds HiCuts, HyperCuts, EffiCuts, CutSplit **and**
+//! NeuroCuts on top of it, so minor implementation differences cannot
+//! bias the comparison. This crate is that shared substrate:
+//!
+//! * [`NodeSpace`] — a 5-dimensional box, the region of header space a
+//!   node is responsible for;
+//! * [`DecisionTree`] — an arena-backed tree over a stable rule arena,
+//!   supporting the four expansion operations every algorithm in the
+//!   workspace is built from: equal-size **cuts** along one dimension,
+//!   multi-dimension cuts (HyperCuts), threshold **splits**
+//!   (HyperSplit/CutSplit), and rule **partitions** (EffiCuts /
+//!   NeuroCuts partition actions);
+//! * lookup ([`DecisionTree::classify`]), worst-case classification
+//!   time and memory accounting per the paper's Eqs. 1–4
+//!   ([`stats`], [`memory`]);
+//! * a correctness validator ([`validate`]) asserting tree lookup ≡
+//!   priority-ordered linear scan;
+//! * per-level visualisation data for Figures 5 and 6 ([`viz`]);
+//! * incremental rule insertion/deletion (§4 "Handling classifier
+//!   updates", [`updates`]).
+
+pub mod flat;
+pub mod memory;
+pub mod node;
+pub mod space;
+pub mod stats;
+pub mod tree;
+pub mod updates;
+pub mod validate;
+pub mod viz;
+
+pub use flat::FlatTree;
+pub use memory::MemoryModel;
+pub use node::{Node, NodeId, NodeKind, RuleId};
+pub use space::NodeSpace;
+pub use stats::{average_lookup_cost, TreeStats};
+pub use tree::DecisionTree;
+pub use validate::validate_tree;
+pub use viz::LevelProfile;

@@ -1,0 +1,250 @@
+//! 5-dimensional boxes: the region of header space a tree node owns.
+
+use classbench::{Dim, DimRange, Packet, Rule, DIMS, NUM_DIMS};
+use serde::{Deserialize, Serialize};
+
+/// The hyper-rectangle of header space a tree node is responsible for.
+///
+/// The root owns the full space; cutting/splitting produces child spaces
+/// that tile the parent exactly. Rule-partition children share their
+/// parent's space (they divide the *rules*, not the space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeSpace {
+    /// Per-dimension ranges, indexed by [`Dim`].
+    pub ranges: [DimRange; NUM_DIMS],
+}
+
+impl NodeSpace {
+    /// The full 5-tuple header space.
+    pub fn full() -> Self {
+        NodeSpace {
+            ranges: [
+                DimRange::full(Dim::SrcIp),
+                DimRange::full(Dim::DstIp),
+                DimRange::full(Dim::SrcPort),
+                DimRange::full(Dim::DstPort),
+                DimRange::full(Dim::Proto),
+            ],
+        }
+    }
+
+    /// The range this space covers in `dim`.
+    #[inline]
+    pub fn range(&self, dim: Dim) -> &DimRange {
+        &self.ranges[dim.index()]
+    }
+
+    /// True when the packet lies inside the box.
+    #[inline]
+    pub fn contains(&self, packet: &Packet) -> bool {
+        self.ranges
+            .iter()
+            .zip(packet.values.iter())
+            .all(|(r, &v)| r.contains(v))
+    }
+
+    /// True when the rule's hypercube overlaps the box in every dimension.
+    #[inline]
+    pub fn intersects_rule(&self, rule: &Rule) -> bool {
+        rule.intersects_space(&self.ranges)
+    }
+
+    /// True when the rule's hypercube, clipped to this box, covers the
+    /// whole box (used for redundancy pruning: such a rule matches every
+    /// packet that reaches the node).
+    pub fn covered_by_rule(&self, rule: &Rule) -> bool {
+        self.ranges
+            .iter()
+            .zip(rule.ranges.iter())
+            .all(|(s, r)| r.contains_range(s))
+    }
+
+    /// Number of distinct values covered (product of range lengths).
+    /// Saturates at `u128::MAX`; useful for sanity checks only.
+    pub fn volume(&self) -> u128 {
+        self.ranges
+            .iter()
+            .map(|r| r.len() as u128)
+            .product()
+    }
+
+    /// Cut along `dim` into `ncuts` equal sub-boxes (HiCuts-style).
+    pub fn cut(&self, dim: Dim, ncuts: usize) -> Vec<NodeSpace> {
+        self.ranges[dim.index()]
+            .split_equal(ncuts)
+            .into_iter()
+            .map(|r| {
+                let mut s = *self;
+                s.ranges[dim.index()] = r;
+                s
+            })
+            .collect()
+    }
+
+    /// Cut along several dimensions at once (HyperCuts-style); children
+    /// are returned in row-major order of `dims`.
+    pub fn multi_cut(&self, dims: &[(Dim, usize)]) -> Vec<NodeSpace> {
+        let mut spaces = vec![*self];
+        for &(dim, ncuts) in dims {
+            let mut next = Vec::with_capacity(spaces.len() * ncuts);
+            for s in &spaces {
+                next.extend(s.cut(dim, ncuts));
+            }
+            spaces = next;
+        }
+        spaces
+    }
+
+    /// Split at `threshold` in `dim` into (left `[lo, t)`, right `[t, hi)`).
+    pub fn split(&self, dim: Dim, threshold: u64) -> (NodeSpace, NodeSpace) {
+        let (l, r) = self.ranges[dim.index()].split_at(threshold);
+        let mut left = *self;
+        let mut right = *self;
+        left.ranges[dim.index()] = l;
+        right.ranges[dim.index()] = r;
+        (left, right)
+    }
+
+    /// Shrink each dimension to the tight bounding box of the given rules
+    /// clipped to this space (HyperCuts' *region compaction* optimisation).
+    ///
+    /// Returns `None` when `rules` is empty (nothing to bound).
+    pub fn compact_to_rules<'a>(
+        &self,
+        rules: impl IntoIterator<Item = &'a Rule>,
+    ) -> Option<NodeSpace> {
+        let mut bounds: Option<[DimRange; NUM_DIMS]> = None;
+        for rule in rules {
+            let clipped: [DimRange; NUM_DIMS] = std::array::from_fn(|i| {
+                rule.ranges[i].intersect(&self.ranges[i])
+            });
+            bounds = Some(match bounds {
+                None => clipped,
+                Some(b) => std::array::from_fn(|i| DimRange {
+                    lo: b[i].lo.min(clipped[i].lo),
+                    hi: b[i].hi.max(clipped[i].hi),
+                }),
+            });
+        }
+        bounds.map(|ranges| NodeSpace { ranges })
+    }
+
+    /// True when any dimension's range is empty (the box covers nothing).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.iter().any(|r| r.is_empty())
+    }
+}
+
+impl std::fmt::Display for NodeSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, r) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, " x ")?;
+            }
+            write!(f, "{}={}", DIMS[i].name(), r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_space_contains_any_valid_packet() {
+        let s = NodeSpace::full();
+        assert!(s.contains(&Packet::new(0, 0, 0, 0, 0)));
+        assert!(s.contains(&Packet::new((1 << 32) - 1, 0, 65535, 65535, 255)));
+        assert_eq!(s.volume(), (1u128 << 32) * (1 << 32) * (1 << 16) * (1 << 16) * 256);
+    }
+
+    #[test]
+    fn cut_tiles_the_space() {
+        let s = NodeSpace::full();
+        let kids = s.cut(Dim::SrcPort, 4);
+        assert_eq!(kids.len(), 4);
+        assert_eq!(kids[0].range(Dim::SrcPort).lo, 0);
+        assert_eq!(kids[3].range(Dim::SrcPort).hi, 65536);
+        // Other dims untouched.
+        assert_eq!(kids[2].range(Dim::DstIp), s.range(Dim::DstIp));
+        let vol: u128 = kids.iter().map(|k| k.volume()).sum();
+        assert_eq!(vol, s.volume());
+    }
+
+    #[test]
+    fn multi_cut_row_major() {
+        let s = NodeSpace::full();
+        let kids = s.multi_cut(&[(Dim::Proto, 2), (Dim::SrcPort, 2)]);
+        assert_eq!(kids.len(), 4);
+        // Row-major: proto splits outermost... actually innermost last:
+        // children 0,1 share the first proto half.
+        assert_eq!(kids[0].range(Dim::Proto), kids[1].range(Dim::Proto));
+        assert_ne!(kids[0].range(Dim::SrcPort), kids[1].range(Dim::SrcPort));
+        assert_ne!(kids[0].range(Dim::Proto), kids[2].range(Dim::Proto));
+        let vol: u128 = kids.iter().map(|k| k.volume()).sum();
+        assert_eq!(vol, s.volume());
+    }
+
+    #[test]
+    fn split_partitions_dim() {
+        let s = NodeSpace::full();
+        let (l, r) = s.split(Dim::DstPort, 1024);
+        assert_eq!(l.range(Dim::DstPort), &DimRange::new(0, 1024));
+        assert_eq!(r.range(Dim::DstPort), &DimRange::new(1024, 65536));
+        assert!(l.contains(&Packet::new(0, 0, 0, 1023, 0)));
+        assert!(!l.contains(&Packet::new(0, 0, 0, 1024, 0)));
+        assert!(r.contains(&Packet::new(0, 0, 0, 1024, 0)));
+    }
+
+    #[test]
+    fn covered_by_default_rule() {
+        let s = NodeSpace::full();
+        assert!(s.covered_by_rule(&Rule::default_rule(0)));
+        let mut narrow = Rule::default_rule(0);
+        narrow.ranges[Dim::Proto.index()] = DimRange::exact(6);
+        assert!(!s.covered_by_rule(&narrow));
+        // But a node space inside proto=6 is covered.
+        let mut sub = s;
+        sub.ranges[Dim::Proto.index()] = DimRange::exact(6);
+        assert!(sub.covered_by_rule(&narrow));
+    }
+
+    #[test]
+    fn region_compaction_bounds_rules() {
+        let s = NodeSpace::full();
+        let mut r1 = Rule::default_rule(0);
+        r1.ranges[Dim::SrcPort.index()] = DimRange::new(100, 200);
+        let mut r2 = Rule::default_rule(0);
+        r2.ranges[Dim::SrcPort.index()] = DimRange::new(150, 400);
+        let c = s.compact_to_rules([&r1, &r2]).unwrap();
+        assert_eq!(c.range(Dim::SrcPort), &DimRange::new(100, 400));
+        assert_eq!(c.range(Dim::DstIp), s.range(Dim::DstIp));
+        assert!(s.compact_to_rules(std::iter::empty()).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cut_children_disjoint_and_complete(
+            ncuts in 1usize..33, dim_idx in 0usize..5,
+            sport in 0u64..65536, proto in 0u64..256)
+        {
+            let dim = Dim::from_index(dim_idx);
+            let s = NodeSpace::full();
+            let kids = s.cut(dim, ncuts);
+            let p = Packet::new(12345, 67890, sport, 4242, proto);
+            // Exactly one child contains any given packet.
+            let owners = kids.iter().filter(|k| k.contains(&p)).count();
+            prop_assert_eq!(owners, 1);
+        }
+
+        #[test]
+        fn prop_split_exhaustive(threshold in 0u64..70000, sport in 0u64..65536) {
+            let s = NodeSpace::full();
+            let (l, r) = s.split(Dim::SrcPort, threshold);
+            let p = Packet::new(0, 0, sport, 0, 0);
+            prop_assert!(l.contains(&p) ^ r.contains(&p));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Worst-case classification time and space statistics, per the paper's
+//! recursion (Eqs. 1–4).
+//!
+//! For a node `n` with per-node access cost `t_n = 1` and byte cost
+//! `s_n`:
+//!
+//! * cut/split node:  `T_n = 1 + max_i T_i`, `S_n = s_n + Σ_i S_i`  (Eq. 1, 2)
+//! * partition node:  `T_n = 1 + Σ_i T_i`,  `S_n = s_n + Σ_i S_i`  (Eq. 3, 4)
+//! * leaf:            `T_n = 1`,            `S_n = s_n`
+//!
+//! `T_root` is the metric plotted as *classification time* in Figures 8,
+//! 10 and 11 — for non-partitioned trees it is simply the tree depth.
+
+use crate::memory::MemoryModel;
+use crate::node::{NodeId, NodeKind};
+use crate::tree::DecisionTree;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a built tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeStats {
+    /// Worst-case classification time `T_root` (Eqs. 1/3).
+    pub time: usize,
+    /// Total bytes under the default [`MemoryModel`].
+    pub bytes: usize,
+    /// Bytes per active rule (the paper's space metric).
+    pub bytes_per_rule: f64,
+    /// Number of nodes in the tree.
+    pub nodes: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Maximum node depth (levels below the root).
+    pub max_depth: usize,
+    /// Total leaf rule references divided by active rules — the rule
+    /// replication factor the partition heuristics fight.
+    pub replication: f64,
+    /// Largest number of rules stored in any leaf.
+    pub largest_leaf: usize,
+}
+
+/// Worst-case classification time of the subtree rooted at `id`
+/// (`Time(s)` in Algorithm 1).
+pub fn subtree_time(tree: &DecisionTree, id: NodeId) -> usize {
+    let node = tree.node(id);
+    match &node.kind {
+        NodeKind::Leaf => 1,
+        NodeKind::Partition { children } => {
+            1 + children.iter().map(|&c| subtree_time(tree, c)).sum::<usize>()
+        }
+        other => {
+            1 + other
+                .children()
+                .iter()
+                .map(|&c| subtree_time(tree, c))
+                .max()
+                .unwrap_or(0)
+        }
+    }
+}
+
+/// Bytes of the subtree rooted at `id` (`Space(s)` in Algorithm 1),
+/// excluding the shared rule table.
+pub fn subtree_bytes(tree: &DecisionTree, id: NodeId, model: &MemoryModel) -> usize {
+    let node = tree.node(id);
+    let own = model.node_bytes(&node.kind, node.rules.len());
+    own + node
+        .kind
+        .children()
+        .iter()
+        .map(|&c| subtree_bytes(tree, c, model))
+        .sum::<usize>()
+}
+
+/// Average lookup cost (nodes visited) over a packet trace — the
+/// traffic-aware classification-time metric of the paper's conclusion
+/// (§8: optimising for a specific traffic pattern rather than the worst
+/// case). Returns 0 for an empty trace.
+pub fn average_lookup_cost(tree: &DecisionTree, trace: &[classbench::Packet]) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let total: usize = trace.iter().map(|p| tree.classify_traced(p).1).sum();
+    total as f64 / trace.len() as f64
+}
+
+impl TreeStats {
+    /// Compute all statistics for a tree under the default memory model.
+    pub fn compute(tree: &DecisionTree) -> TreeStats {
+        TreeStats::compute_with(tree, &MemoryModel::default())
+    }
+
+    /// Compute all statistics under an explicit memory model.
+    pub fn compute_with(tree: &DecisionTree, model: &MemoryModel) -> TreeStats {
+        let time = subtree_time(tree, tree.root());
+        let bytes = subtree_bytes(tree, tree.root(), model)
+            + model.rule_table_entry * tree.num_active_rules();
+        let mut leaves = 0usize;
+        let mut max_depth = 0usize;
+        let mut leaf_rule_refs = 0usize;
+        let mut largest_leaf = 0usize;
+        for node in tree.nodes() {
+            max_depth = max_depth.max(node.depth);
+            if node.is_leaf() {
+                leaves += 1;
+                leaf_rule_refs += node.rules.len();
+                largest_leaf = largest_leaf.max(node.rules.len());
+            }
+        }
+        let active = tree.num_active_rules().max(1);
+        TreeStats {
+            time,
+            bytes,
+            bytes_per_rule: bytes as f64 / active as f64,
+            nodes: tree.num_nodes(),
+            leaves,
+            max_depth,
+            replication: leaf_rule_refs as f64 / active as f64,
+            largest_leaf,
+        }
+    }
+}
+
+impl std::fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "time={} bytes/rule={:.1} nodes={} leaves={} depth={} replication={:.2}x largest_leaf={}",
+            self.time,
+            self.bytes_per_rule,
+            self.nodes,
+            self.leaves,
+            self.max_depth,
+            self.replication,
+            self.largest_leaf
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classbench::{Dim, DimRange, Rule, RuleSet};
+
+    fn rules() -> RuleSet {
+        let mut a = Rule::default_rule(2);
+        a.ranges[Dim::Proto.index()] = DimRange::exact(6);
+        let mut b = Rule::default_rule(1);
+        b.ranges[Dim::DstPort.index()] = DimRange::new(0, 1024);
+        RuleSet::new(vec![a, b, Rule::default_rule(0)])
+    }
+
+    #[test]
+    fn single_leaf_has_time_one() {
+        let t = DecisionTree::new(&rules());
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.time, 1);
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.max_depth, 0);
+        assert_eq!(s.largest_leaf, 3);
+        assert!((s.replication - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cut_time_is_one_plus_max_child() {
+        let mut t = DecisionTree::new(&rules());
+        let kids = t.cut_node(t.root(), Dim::DstPort, 4);
+        assert_eq!(subtree_time(&t, t.root()), 2);
+        // Expand one child further: the max branch dominates.
+        t.cut_node(kids[0], Dim::Proto, 2);
+        assert_eq!(subtree_time(&t, t.root()), 3);
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.time, 3);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.leaves, 5);
+    }
+
+    #[test]
+    fn partition_time_is_one_plus_sum() {
+        let mut t = DecisionTree::new(&rules());
+        let kids = t.partition_node(t.root(), vec![vec![0], vec![1, 2]]);
+        // Both children are leaves (T=1 each): root T = 1 + 1 + 1 = 3.
+        assert_eq!(subtree_time(&t, t.root()), 3);
+        // Expanding one partition child adds to the sum.
+        t.cut_node(kids[1], Dim::DstPort, 2);
+        assert_eq!(subtree_time(&t, t.root()), 4);
+    }
+
+    #[test]
+    fn subtree_bytes_match_model_totals() {
+        let mut t = DecisionTree::new(&rules());
+        t.cut_node(t.root(), Dim::Proto, 2);
+        let model = MemoryModel::default();
+        let s = TreeStats::compute(&t);
+        assert_eq!(
+            s.bytes,
+            subtree_bytes(&t, t.root(), &model) + 3 * model.rule_table_entry
+        );
+        assert_eq!(s.bytes, model.tree_bytes(&t));
+    }
+
+    #[test]
+    fn replication_counts_leaf_refs() {
+        let mut t = DecisionTree::new(&rules());
+        // Cutting SrcIp replicates all (wildcard-in-SrcIp) rules into
+        // both children: replication 2x.
+        t.cut_node(t.root(), Dim::SrcIp, 2);
+        let s = TreeStats::compute(&t);
+        assert!((s.replication - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_cost_bounded_by_worst_case() {
+        let mut t = DecisionTree::new(&rules());
+        let kids = t.cut_node(t.root(), Dim::DstPort, 4);
+        t.cut_node(kids[0], Dim::Proto, 2);
+        let trace: Vec<classbench::Packet> = (0..64)
+            .map(|i| classbench::Packet::new(0, 0, 0, i * 1024, (i % 256) as u64))
+            .collect();
+        let avg = average_lookup_cost(&t, &trace);
+        let worst = TreeStats::compute(&t).time as f64;
+        assert!(avg >= 1.0);
+        assert!(avg <= worst, "avg {avg} > worst {worst}");
+        // Empty trace is well-defined.
+        assert_eq!(average_lookup_cost(&t, &[]), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let t = DecisionTree::new(&rules());
+        let s = TreeStats::compute(&t).to_string();
+        assert!(s.contains("time=1"));
+        assert!(s.contains("bytes/rule="));
+    }
+}

@@ -1,0 +1,846 @@
+//! The arena-backed decision tree and its expansion operations.
+
+use crate::node::{Node, NodeId, NodeKind, RuleId};
+use crate::space::NodeSpace;
+use classbench::{Dim, Packet, Rule, RuleSet};
+use serde::{Deserialize, Serialize};
+
+/// A packet-classification decision tree.
+///
+/// The tree owns a **stable rule arena**: rule ids are indices that never
+/// shift, so incremental updates (appending new rules, marking deletions)
+/// do not invalidate the rule lists stored at leaves. When constructed
+/// with [`DecisionTree::new`] from a [`RuleSet`], rule ids equal the rule
+/// set's priority-order indices, so `classify` results are directly
+/// comparable with [`RuleSet::classify`].
+///
+/// Match precedence is *higher priority wins, ties broken by lower rule
+/// id* — identical to the linear-scan ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    rules: Vec<Rule>,
+    active: Vec<bool>,
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl DecisionTree {
+    /// Start a tree for `rules`: a single root leaf owning every rule
+    /// and the full header space.
+    pub fn new(rules: &RuleSet) -> Self {
+        let rules: Vec<Rule> = rules.rules().to_vec();
+        let n = rules.len();
+        let root = Node::leaf(NodeSpace::full(), (0..n).collect(), 0, None);
+        DecisionTree {
+            active: vec![true; n],
+            rules,
+            nodes: vec![root],
+            root: 0,
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The node arena (all nodes ever created, in creation order).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// The rule arena (including deleted rules; see [`Self::is_active`]).
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Borrow a rule by id.
+    pub fn rule(&self, id: RuleId) -> &Rule {
+        &self.rules[id]
+    }
+
+    /// True while the rule has not been deleted by an update.
+    pub fn is_active(&self, id: RuleId) -> bool {
+        self.active[id]
+    }
+
+    /// Number of non-deleted rules.
+    pub fn num_active_rules(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if rule `a` takes precedence over rule `b`.
+    #[inline]
+    pub fn precedes(&self, a: RuleId, b: RuleId) -> bool {
+        let (pa, pb) = (self.rules[a].priority, self.rules[b].priority);
+        pa > pb || (pa == pb && a < b)
+    }
+
+    /// Ground-truth linear scan over the arena (used by the validator
+    /// and as the reference for incremental updates).
+    pub fn linear_classify(&self, packet: &Packet) -> Option<RuleId> {
+        let mut best: Option<RuleId> = None;
+        for (id, rule) in self.rules.iter().enumerate() {
+            if self.active[id]
+                && rule.matches(packet)
+                && best.is_none_or(|b| self.precedes(id, b))
+            {
+                best = Some(id);
+            }
+        }
+        best
+    }
+
+    /// Index of the child a packet descends into under an equal-size cut
+    /// of `range` into `ncuts` pieces. Clamped, so packets outside the
+    /// (possibly region-compacted) range map to the nearest child; leaf
+    /// matching re-checks full rule predicates, preserving correctness.
+    #[inline]
+    fn cut_child_index(range: &classbench::DimRange, ncuts: usize, value: u64) -> usize {
+        let step = (range.len() / ncuts as u64).max(1);
+        ((value.saturating_sub(range.lo)) / step).min(ncuts as u64 - 1) as usize
+    }
+
+    /// Classify a packet: id of the highest-precedence matching rule.
+    pub fn classify(&self, packet: &Packet) -> Option<RuleId> {
+        self.classify_from(self.root, packet)
+    }
+
+    /// Classify and report the lookup cost: the number of nodes visited,
+    /// counting every consulted partition child subtree (the same
+    /// accounting as Eq. 1/3, but for this packet's actual path rather
+    /// than the worst case). Used for traffic-aware objectives (§8).
+    pub fn classify_traced(&self, packet: &Packet) -> (Option<RuleId>, usize) {
+        let mut visited = 0usize;
+        let result = self.classify_traced_from(self.root, packet, &mut visited);
+        (result, visited)
+    }
+
+    fn classify_traced_from(
+        &self,
+        mut id: NodeId,
+        packet: &Packet,
+        visited: &mut usize,
+    ) -> Option<RuleId> {
+        loop {
+            *visited += 1;
+            let node = &self.nodes[id];
+            match &node.kind {
+                NodeKind::Leaf => {
+                    return node
+                        .rules
+                        .iter()
+                        .copied()
+                        .find(|&r| self.active[r] && self.rules[r].matches(packet));
+                }
+                NodeKind::Partition { children } => {
+                    let mut best: Option<RuleId> = None;
+                    for &c in children {
+                        if let Some(r) = self.classify_traced_from(c, packet, visited) {
+                            if best.is_none_or(|b| self.precedes(r, b)) {
+                                best = Some(r);
+                            }
+                        }
+                    }
+                    return best;
+                }
+                NodeKind::Cut { dim, ncuts, children } => {
+                    let idx = Self::cut_child_index(
+                        node.space.range(*dim),
+                        *ncuts,
+                        packet.value(*dim),
+                    );
+                    id = children[idx];
+                }
+                NodeKind::MultiCut { dims, children } => {
+                    let mut idx = 0usize;
+                    for &(dim, ncuts) in dims {
+                        let i = Self::cut_child_index(
+                            node.space.range(dim),
+                            ncuts,
+                            packet.value(dim),
+                        );
+                        idx = idx * ncuts + i;
+                    }
+                    id = children[idx];
+                }
+                NodeKind::DenseCut { dim, bounds, children } => {
+                    let v = packet.value(*dim);
+                    let idx = bounds
+                        .partition_point(|&b| b <= v)
+                        .saturating_sub(1)
+                        .min(children.len() - 1);
+                    id = children[idx];
+                }
+                NodeKind::Split { dim, threshold, children } => {
+                    id = if packet.value(*dim) < *threshold {
+                        children[0]
+                    } else {
+                        children[1]
+                    };
+                }
+            }
+        }
+    }
+
+    /// How many packets of `trace` pass through each node during lookup
+    /// (partition children each see every packet their parent sees).
+    /// Index-aligned with the node arena.
+    pub fn node_visit_counts(&self, trace: &[Packet]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for packet in trace {
+            self.count_visits(self.root, packet, &mut counts);
+        }
+        counts
+    }
+
+    fn count_visits(&self, mut id: NodeId, packet: &Packet, counts: &mut [usize]) {
+        loop {
+            counts[id] += 1;
+            let node = &self.nodes[id];
+            match &node.kind {
+                NodeKind::Leaf => return,
+                NodeKind::Partition { children } => {
+                    for &c in children {
+                        self.count_visits(c, packet, counts);
+                    }
+                    return;
+                }
+                NodeKind::Cut { dim, ncuts, children } => {
+                    let idx = Self::cut_child_index(
+                        node.space.range(*dim),
+                        *ncuts,
+                        packet.value(*dim),
+                    );
+                    id = children[idx];
+                }
+                NodeKind::MultiCut { dims, children } => {
+                    let mut idx = 0usize;
+                    for &(dim, ncuts) in dims {
+                        let i = Self::cut_child_index(
+                            node.space.range(dim),
+                            ncuts,
+                            packet.value(dim),
+                        );
+                        idx = idx * ncuts + i;
+                    }
+                    id = children[idx];
+                }
+                NodeKind::DenseCut { dim, bounds, children } => {
+                    let v = packet.value(*dim);
+                    let idx = bounds
+                        .partition_point(|&b| b <= v)
+                        .saturating_sub(1)
+                        .min(children.len() - 1);
+                    id = children[idx];
+                }
+                NodeKind::Split { dim, threshold, children } => {
+                    id = if packet.value(*dim) < *threshold {
+                        children[0]
+                    } else {
+                        children[1]
+                    };
+                }
+            }
+        }
+    }
+
+    fn classify_from(&self, mut id: NodeId, packet: &Packet) -> Option<RuleId> {
+        loop {
+            let node = &self.nodes[id];
+            match &node.kind {
+                NodeKind::Leaf => {
+                    return node
+                        .rules
+                        .iter()
+                        .copied()
+                        .find(|&r| self.active[r] && self.rules[r].matches(packet));
+                }
+                NodeKind::Cut { dim, ncuts, children } => {
+                    let idx = Self::cut_child_index(
+                        node.space.range(*dim),
+                        *ncuts,
+                        packet.value(*dim),
+                    );
+                    id = children[idx];
+                }
+                NodeKind::MultiCut { dims, children } => {
+                    let mut idx = 0usize;
+                    for &(dim, ncuts) in dims {
+                        let i = Self::cut_child_index(
+                            node.space.range(dim),
+                            ncuts,
+                            packet.value(dim),
+                        );
+                        idx = idx * ncuts + i;
+                    }
+                    id = children[idx];
+                }
+                NodeKind::DenseCut { dim, bounds, children } => {
+                    let v = packet.value(*dim);
+                    // First boundary strictly above v, minus one, gives the
+                    // child whose [bounds[i], bounds[i+1]) contains v.
+                    // Clamp for packets outside the node's range.
+                    let idx = bounds
+                        .partition_point(|&b| b <= v)
+                        .saturating_sub(1)
+                        .min(children.len() - 1);
+                    id = children[idx];
+                }
+                NodeKind::Split { dim, threshold, children } => {
+                    id = if packet.value(*dim) < *threshold {
+                        children[0]
+                    } else {
+                        children[1]
+                    };
+                }
+                NodeKind::Partition { children } => {
+                    // All partitions must be consulted; highest precedence wins.
+                    let mut best: Option<RuleId> = None;
+                    for &c in children {
+                        if let Some(r) = self.classify_from(c, packet) {
+                            if best.is_none_or(|b| self.precedes(r, b)) {
+                                best = Some(r);
+                            }
+                        }
+                    }
+                    return best;
+                }
+            }
+        }
+    }
+
+    fn assign_rules(&self, parent_rules: &[RuleId], space: &NodeSpace) -> Vec<RuleId> {
+        parent_rules
+            .iter()
+            .copied()
+            .filter(|&r| self.active[r] && space.intersects_rule(&self.rules[r]))
+            .collect()
+    }
+
+    fn push_child(&mut self, parent: NodeId, space: NodeSpace, rules: Vec<RuleId>) -> NodeId {
+        let depth = self.nodes[parent].depth + 1;
+        let id = self.nodes.len();
+        self.nodes.push(Node::leaf(space, rules, depth, Some(parent)));
+        id
+    }
+
+    /// Apply an equal-size cut along `dim` into `ncuts` sub-ranges
+    /// (HiCuts / NeuroCuts cut action). Returns the new children.
+    ///
+    /// # Panics
+    /// Panics if the node is not a leaf or `ncuts < 2`.
+    pub fn cut_node(&mut self, id: NodeId, dim: Dim, ncuts: usize) -> Vec<NodeId> {
+        assert!(self.nodes[id].is_leaf(), "node {id} already expanded");
+        assert!(ncuts >= 2, "a cut needs at least 2 pieces");
+        let spaces = self.nodes[id].space.cut(dim, ncuts);
+        let parent_rules = std::mem::take(&mut self.nodes[id].rules);
+        let children: Vec<NodeId> = spaces
+            .into_iter()
+            .map(|s| {
+                let rules = self.assign_rules(&parent_rules, &s);
+                self.push_child(id, s, rules)
+            })
+            .collect();
+        self.nodes[id].rules = parent_rules;
+        self.nodes[id].kind = NodeKind::Cut { dim, ncuts, children: children.clone() };
+        children
+    }
+
+    /// Apply simultaneous cuts along several dimensions (HyperCuts).
+    /// Children are created row-major in `dims` order.
+    ///
+    /// # Panics
+    /// Panics if the node is not a leaf, `dims` is empty, contains a
+    /// repeated dimension, or any count is `< 2`.
+    pub fn multicut_node(&mut self, id: NodeId, dims: &[(Dim, usize)]) -> Vec<NodeId> {
+        assert!(self.nodes[id].is_leaf(), "node {id} already expanded");
+        assert!(!dims.is_empty(), "multicut needs at least one dimension");
+        assert!(dims.iter().all(|&(_, n)| n >= 2), "each cut needs >= 2 pieces");
+        let mut seen = [false; classbench::NUM_DIMS];
+        for &(d, _) in dims {
+            assert!(!seen[d.index()], "dimension {d} repeated in multicut");
+            seen[d.index()] = true;
+        }
+        let spaces = self.nodes[id].space.multi_cut(dims);
+        let parent_rules = std::mem::take(&mut self.nodes[id].rules);
+        let children: Vec<NodeId> = spaces
+            .into_iter()
+            .map(|s| {
+                let rules = self.assign_rules(&parent_rules, &s);
+                self.push_child(id, s, rules)
+            })
+            .collect();
+        self.nodes[id].rules = parent_rules;
+        self.nodes[id].kind = NodeKind::MultiCut { dims: dims.to_vec(), children: children.clone() };
+        children
+    }
+
+    /// Apply an equi-dense cut at the explicit `bounds` (EffiCuts):
+    /// child `i` covers `[bounds[i], bounds[i+1])` in `dim`.
+    ///
+    /// # Panics
+    /// Panics if the node is not a leaf, the bounds are not strictly
+    /// increasing, do not start/end exactly at the node's range, or
+    /// would create fewer than two children.
+    pub fn dense_cut_node(&mut self, id: NodeId, dim: Dim, bounds: Vec<u64>) -> Vec<NodeId> {
+        assert!(self.nodes[id].is_leaf(), "node {id} already expanded");
+        assert!(bounds.len() >= 3, "dense cut needs at least two children");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must strictly increase");
+        let range = *self.nodes[id].space.range(dim);
+        assert_eq!(bounds[0], range.lo, "bounds must start at the node range");
+        assert_eq!(*bounds.last().unwrap(), range.hi, "bounds must end at the node range");
+        let parent_rules = std::mem::take(&mut self.nodes[id].rules);
+        let children: Vec<NodeId> = bounds
+            .windows(2)
+            .map(|w| {
+                let mut space = self.nodes[id].space;
+                space.ranges[dim.index()] = classbench::DimRange::new(w[0], w[1]);
+                let rules = self.assign_rules(&parent_rules, &space);
+                self.push_child(id, space, rules)
+            })
+            .collect();
+        self.nodes[id].rules = parent_rules;
+        self.nodes[id].kind = NodeKind::DenseCut { dim, bounds, children: children.clone() };
+        children
+    }
+
+    /// Apply a binary threshold split (HyperSplit / CutSplit):
+    /// left child gets `[lo, threshold)`, right `[threshold, hi)`.
+    ///
+    /// # Panics
+    /// Panics if the node is not a leaf or the threshold is outside the
+    /// node's open range (which would create an empty child).
+    pub fn split_node(&mut self, id: NodeId, dim: Dim, threshold: u64) -> (NodeId, NodeId) {
+        assert!(self.nodes[id].is_leaf(), "node {id} already expanded");
+        let range = *self.nodes[id].space.range(dim);
+        assert!(
+            range.lo < threshold && threshold < range.hi,
+            "threshold {threshold} outside open range {range}"
+        );
+        let (ls, rs) = self.nodes[id].space.split(dim, threshold);
+        let parent_rules = std::mem::take(&mut self.nodes[id].rules);
+        let left_rules = self.assign_rules(&parent_rules, &ls);
+        let right_rules = self.assign_rules(&parent_rules, &rs);
+        let left = self.push_child(id, ls, left_rules);
+        let right = self.push_child(id, rs, right_rules);
+        self.nodes[id].rules = parent_rules;
+        self.nodes[id].kind = NodeKind::Split { dim, threshold, children: [left, right] };
+        (left, right)
+    }
+
+    /// Apply a rule partition: children share the node's space and own
+    /// the given disjoint rule subsets.
+    ///
+    /// # Panics
+    /// Panics if the node is not a leaf, fewer than two subsets are
+    /// given, a subset is empty, or the subsets are not a disjoint cover
+    /// of the node's rules.
+    pub fn partition_node(&mut self, id: NodeId, subsets: Vec<Vec<RuleId>>) -> Vec<NodeId> {
+        assert!(self.nodes[id].is_leaf(), "node {id} already expanded");
+        assert!(subsets.len() >= 2, "a partition needs at least 2 subsets");
+        assert!(subsets.iter().all(|s| !s.is_empty()), "empty partition subset");
+        let mut all: Vec<RuleId> = subsets.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut expected = self.nodes[id].rules.clone();
+        expected.sort_unstable();
+        assert_eq!(all, expected, "subsets must exactly cover the node's rules");
+
+        let space = self.nodes[id].space;
+        let children: Vec<NodeId> = subsets
+            .into_iter()
+            .map(|mut subset| {
+                // Keep precedence order within each partition.
+                subset.sort_by(|&a, &b| {
+                    self.rules[b]
+                        .priority
+                        .cmp(&self.rules[a].priority)
+                        .then(a.cmp(&b))
+                });
+                self.push_child(id, space, subset)
+            })
+            .collect();
+        self.nodes[id].kind = NodeKind::Partition { children: children.clone() };
+        children
+    }
+
+    /// HiCuts' rule-overlap optimisation: once a rule fully covers the
+    /// node's space, every packet reaching the node matches it, so all
+    /// lower-precedence rules at the node are unreachable and are
+    /// dropped. Returns how many rules were removed.
+    pub fn truncate_covered(&mut self, id: NodeId) -> usize {
+        let node = &self.nodes[id];
+        let cover = node.rules.iter().position(|&r| {
+            self.active[r] && node.space.covered_by_rule(&self.rules[r])
+        });
+        match cover {
+            Some(pos) if pos + 1 < node.rules.len() => {
+                let removed = node.rules.len() - pos - 1;
+                self.nodes[id].rules.truncate(pos + 1);
+                removed
+            }
+            _ => 0,
+        }
+    }
+
+    pub(crate) fn push_rule_impl(&mut self, rule: Rule) -> RuleId {
+        let id = self.rules.len();
+        self.rules.push(rule);
+        self.active.push(true);
+        id
+    }
+
+    /// Insert `id` into a leaf's rule list at its precedence position.
+    pub(crate) fn leaf_insert_sorted(&mut self, node: NodeId, id: RuleId) {
+        debug_assert!(self.nodes[node].is_leaf());
+        let pos = self.nodes[node]
+            .rules
+            .iter()
+            .position(|&r| self.precedes(id, r))
+            .unwrap_or(self.nodes[node].rules.len());
+        self.nodes[node].rules.insert(pos, id);
+    }
+
+    /// Remove `id` from a leaf's rule list if present.
+    pub(crate) fn leaf_remove(&mut self, node: NodeId, id: RuleId) {
+        debug_assert!(self.nodes[node].is_leaf());
+        self.nodes[node].rules.retain(|&r| r != id);
+    }
+
+    /// Mark a rule deleted.
+    pub(crate) fn deactivate_rule(&mut self, id: RuleId) {
+        self.active[id] = false;
+    }
+
+    /// Serialise the full tree (rule arena + nodes) to JSON — the
+    /// deployment format: a built classifier can be shipped to and
+    /// loaded by any process without retraining.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("tree serialises")
+    }
+
+    /// Load a tree saved by [`Self::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Iterate over the ids of all current leaf nodes.
+    pub fn leaf_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].is_leaf())
+    }
+
+    /// Iterate over the ids of all internal (expanded) nodes.
+    pub fn internal_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).filter(|&i| !self.nodes[i].is_leaf())
+    }
+
+    /// True when the node holds at most `binth` rules (the standard
+    /// leaf-termination condition in all the cutting papers).
+    pub fn is_terminal(&self, id: NodeId, binth: usize) -> bool {
+        self.nodes[id].rules.len() <= binth
+    }
+
+    /// True when cutting `dim` could still separate the node's rules:
+    /// the node's range in `dim` can be cut (length ≥ 2) and at least
+    /// two active rules have different projections onto it (clipped to
+    /// the node's space). Cutting a non-separable dimension replicates
+    /// every rule into some child for no discrimination gain.
+    pub fn dim_separable(&self, id: NodeId, dim: Dim) -> bool {
+        let node = &self.nodes[id];
+        let space = node.space.range(dim);
+        if space.len() < 2 {
+            return false;
+        }
+        let mut actives = node.rules.iter().filter(|&&r| self.active[r]);
+        let Some(&first) = actives.next() else { return false };
+        let head = self.rules[first].range(dim).intersect(space);
+        node.rules
+            .iter()
+            .filter(|&&r| self.active[r])
+            .any(|&r| self.rules[r].range(dim).intersect(space) != head)
+    }
+
+    /// True when some cut could still separate the node's rules (see
+    /// [`Self::dim_separable`]). When false, no sequence of cuts can
+    /// ever shrink the rule list — every tree builder must treat the
+    /// node as terminal or recurse forever.
+    pub fn is_separable(&self, id: NodeId) -> bool {
+        classbench::DIMS.iter().any(|&d| self.dim_separable(id, d))
+    }
+
+    /// True when cutting would make progress: at least one child would
+    /// hold strictly fewer rules than the node. Builders use this to
+    /// avoid infinite recursion when every rule spans the whole node.
+    pub fn cut_makes_progress(&self, id: NodeId, dim: Dim, ncuts: usize) -> bool {
+        let node = &self.nodes[id];
+        node.space
+            .cut(dim, ncuts)
+            .iter()
+            .any(|s| {
+                node.rules
+                    .iter()
+                    .filter(|&&r| self.active[r] && s.intersects_rule(&self.rules[r]))
+                    .count()
+                    < node.rules.len()
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classbench::{generate_rules, ClassifierFamily, DimRange, GeneratorConfig};
+
+    fn small_rules() -> RuleSet {
+        let mut r_tcp = Rule::default_rule(2);
+        r_tcp.ranges[Dim::Proto.index()] = DimRange::exact(6);
+        let mut r_low = Rule::default_rule(1);
+        r_low.ranges[Dim::DstPort.index()] = DimRange::new(0, 1024);
+        let r_def = Rule::default_rule(0);
+        RuleSet::new(vec![r_tcp, r_low, r_def])
+    }
+
+    #[test]
+    fn fresh_tree_is_single_leaf_with_all_rules() {
+        let rs = small_rules();
+        let t = DecisionTree::new(&rs);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.node(t.root()).rules, vec![0, 1, 2]);
+        assert_eq!(t.num_active_rules(), 3);
+        assert!(t.node(t.root()).is_leaf());
+    }
+
+    #[test]
+    fn classify_on_unexpanded_root_equals_linear_scan() {
+        let rs = small_rules();
+        let t = DecisionTree::new(&rs);
+        let p = Packet::new(1, 2, 3, 4, 6);
+        assert_eq!(t.classify(&p), Some(0)); // TCP rule
+        assert_eq!(t.classify(&p), t.linear_classify(&p));
+        let p = Packet::new(1, 2, 3, 500, 17);
+        assert_eq!(t.classify(&p), Some(1)); // low dst port
+        let p = Packet::new(1, 2, 3, 5000, 17);
+        assert_eq!(t.classify(&p), Some(2)); // default
+    }
+
+    #[test]
+    fn cut_assigns_rules_by_intersection() {
+        let rs = small_rules();
+        let mut t = DecisionTree::new(&rs);
+        let kids = t.cut_node(t.root(), Dim::DstPort, 4);
+        assert_eq!(kids.len(), 4);
+        // Child 0 covers dst ports [0, 16384): all three rules intersect.
+        assert_eq!(t.node(kids[0]).rules.len(), 3);
+        // Children 1..4 exclude [0, 1024): the low-port rule drops out.
+        for &k in &kids[1..] {
+            assert_eq!(t.node(k).rules, vec![0, 2]);
+            assert_eq!(t.node(k).depth, 1);
+            assert_eq!(t.node(k).parent, Some(t.root()));
+        }
+        // Lookup still agrees with the linear scan.
+        let p = Packet::new(0, 0, 0, 800, 17);
+        assert_eq!(t.classify(&p), Some(1));
+        let p = Packet::new(0, 0, 0, 40000, 6);
+        assert_eq!(t.classify(&p), Some(0));
+    }
+
+    #[test]
+    fn multicut_row_major_lookup() {
+        let rs = small_rules();
+        let mut t = DecisionTree::new(&rs);
+        let kids = t.multicut_node(t.root(), &[(Dim::DstPort, 2), (Dim::Proto, 2)]);
+        assert_eq!(kids.len(), 4);
+        // proto=6 < 128 -> inner index 0; dstport 40000 -> outer index 1.
+        let p = Packet::new(0, 0, 0, 40000, 6);
+        assert_eq!(t.classify(&p), Some(0));
+        let p = Packet::new(0, 0, 0, 100, 200);
+        assert_eq!(t.classify(&p), Some(1));
+    }
+
+    #[test]
+    fn dense_cut_routes_by_boundary() {
+        let rs = small_rules();
+        let mut t = DecisionTree::new(&rs);
+        let kids = t.dense_cut_node(t.root(), Dim::DstPort, vec![0, 1024, 8192, 65536]);
+        assert_eq!(kids.len(), 3);
+        assert_eq!(t.node(kids[0]).rules, vec![0, 1, 2]);
+        assert_eq!(t.node(kids[1]).rules, vec![0, 2]);
+        assert_eq!(t.classify(&Packet::new(0, 0, 0, 1023, 17)), Some(1));
+        assert_eq!(t.classify(&Packet::new(0, 0, 0, 1024, 17)), Some(2));
+        assert_eq!(t.classify(&Packet::new(0, 0, 0, 60000, 6)), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn dense_cut_rejects_unsorted_bounds() {
+        let rs = small_rules();
+        let mut t = DecisionTree::new(&rs);
+        t.dense_cut_node(t.root(), Dim::DstPort, vec![0, 9000, 1024, 65536]);
+    }
+
+    #[test]
+    fn split_routes_by_threshold() {
+        let rs = small_rules();
+        let mut t = DecisionTree::new(&rs);
+        let (l, r) = t.split_node(t.root(), Dim::DstPort, 1024);
+        assert_eq!(t.node(l).rules, vec![0, 1, 2]);
+        assert_eq!(t.node(r).rules, vec![0, 2]);
+        assert_eq!(t.classify(&Packet::new(0, 0, 0, 1023, 17)), Some(1));
+        assert_eq!(t.classify(&Packet::new(0, 0, 0, 1024, 17)), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside open range")]
+    fn split_at_boundary_panics() {
+        let rs = small_rules();
+        let mut t = DecisionTree::new(&rs);
+        t.split_node(t.root(), Dim::DstPort, 0);
+    }
+
+    #[test]
+    fn partition_searches_all_children() {
+        let rs = small_rules();
+        let mut t = DecisionTree::new(&rs);
+        let kids = t.partition_node(t.root(), vec![vec![1], vec![0, 2]]);
+        assert_eq!(kids.len(), 2);
+        // Match in the second partition child, but rule 1 (other child)
+        // has higher precedence for low ports.
+        assert_eq!(t.classify(&Packet::new(0, 0, 0, 100, 6)), Some(0));
+        assert_eq!(t.classify(&Packet::new(0, 0, 0, 100, 17)), Some(1));
+        assert_eq!(t.classify(&Packet::new(0, 0, 0, 9999, 17)), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly cover")]
+    fn partition_must_cover_rules() {
+        let rs = small_rules();
+        let mut t = DecisionTree::new(&rs);
+        t.partition_node(t.root(), vec![vec![0], vec![1]]); // missing rule 2
+    }
+
+    #[test]
+    #[should_panic(expected = "already expanded")]
+    fn double_expansion_panics() {
+        let rs = small_rules();
+        let mut t = DecisionTree::new(&rs);
+        t.cut_node(t.root(), Dim::Proto, 2);
+        t.cut_node(t.root(), Dim::Proto, 2);
+    }
+
+    #[test]
+    fn truncate_covered_drops_unreachable_rules() {
+        // Highest-precedence rule covers protocols [0, 128); after
+        // cutting proto in two, it fully covers the left child's space,
+        // making the two lower-precedence rules unreachable there.
+        let mut r_cover = Rule::default_rule(2);
+        r_cover.ranges[Dim::Proto.index()] = DimRange::new(0, 128);
+        let mut r_low = Rule::default_rule(1);
+        r_low.ranges[Dim::DstPort.index()] = DimRange::new(0, 1024);
+        let rs = RuleSet::new(vec![r_cover, r_low, Rule::default_rule(0)]);
+        let mut t = DecisionTree::new(&rs);
+        let kids = t.cut_node(t.root(), Dim::Proto, 2);
+        assert_eq!(t.node(kids[0]).rules, vec![0, 1, 2]);
+        let removed = t.truncate_covered(kids[0]);
+        assert_eq!(removed, 2);
+        assert_eq!(t.node(kids[0]).rules, vec![0]);
+        // Classification through the truncated node is still correct.
+        assert_eq!(t.classify(&Packet::new(0, 0, 0, 9999, 6)), Some(0));
+        // The untouched right child still resolves to the default rule.
+        assert_eq!(t.classify(&Packet::new(0, 0, 0, 9999, 200)), Some(2));
+    }
+
+    #[test]
+    fn cut_makes_progress_detection() {
+        let rs = small_rules();
+        let t = DecisionTree::new(&rs);
+        // All three rules are full-width in SrcIp: cutting there cannot
+        // separate them.
+        assert!(!t.cut_makes_progress(t.root(), Dim::SrcIp, 8));
+        // Cutting DstPort separates the low-port rule.
+        assert!(t.cut_makes_progress(t.root(), Dim::DstPort, 8));
+    }
+
+    #[test]
+    fn generated_rules_classify_consistently() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 200).with_seed(3));
+        let mut t = DecisionTree::new(&rs);
+        let kids = t.cut_node(t.root(), Dim::SrcIp, 16);
+        for k in kids {
+            if !t.is_terminal(k, 8) {
+                t.cut_node(k, Dim::DstIp, 4);
+            }
+        }
+        let trace = classbench::generate_trace(&rs, &classbench::TraceConfig::new(300));
+        for p in &trace {
+            assert_eq!(t.classify(p), rs.classify(p), "packet {p}");
+        }
+    }
+
+    #[test]
+    fn classify_traced_counts_path_nodes() {
+        let rs = small_rules();
+        let mut t = DecisionTree::new(&rs);
+        let kids = t.cut_node(t.root(), Dim::DstPort, 4);
+        t.cut_node(kids[0], Dim::Proto, 2);
+        // Path through the expanded child: root + cut child + leaf = 3.
+        let (r, visited) = t.classify_traced(&Packet::new(0, 0, 0, 100, 6));
+        assert_eq!(r, Some(0));
+        assert_eq!(visited, 3);
+        // Path through an unexpanded child: root + leaf = 2.
+        let (_, visited) = t.classify_traced(&Packet::new(0, 0, 0, 50000, 6));
+        assert_eq!(visited, 2);
+        // classify_traced agrees with classify.
+        let p = Packet::new(0, 0, 0, 500, 17);
+        assert_eq!(t.classify_traced(&p).0, t.classify(&p));
+    }
+
+    #[test]
+    fn classify_traced_counts_all_partitions() {
+        let rs = small_rules();
+        let mut t = DecisionTree::new(&rs);
+        t.partition_node(t.root(), vec![vec![0], vec![1, 2]]);
+        // Root + both partition children are always consulted.
+        let (_, visited) = t.classify_traced(&Packet::new(0, 0, 0, 0, 6));
+        assert_eq!(visited, 3);
+    }
+
+    #[test]
+    fn visit_counts_route_like_lookup() {
+        let rs = small_rules();
+        let mut t = DecisionTree::new(&rs);
+        let kids = t.cut_node(t.root(), Dim::DstPort, 2);
+        let trace = vec![
+            Packet::new(0, 0, 0, 100, 6),    // low half
+            Packet::new(0, 0, 0, 200, 17),   // low half
+            Packet::new(0, 0, 0, 60000, 6),  // high half
+        ];
+        let counts = t.node_visit_counts(&trace);
+        assert_eq!(counts[t.root()], 3);
+        assert_eq!(counts[kids[0]], 2);
+        assert_eq!(counts[kids[1]], 1);
+        // Totals match per-packet traced costs.
+        let total: usize = counts.iter().sum();
+        let traced: usize = trace.iter().map(|p| t.classify_traced(p).1).sum();
+        assert_eq!(total, traced);
+    }
+
+    #[test]
+    fn leaf_and_internal_iterators() {
+        let rs = small_rules();
+        let mut t = DecisionTree::new(&rs);
+        t.cut_node(t.root(), Dim::Proto, 2);
+        assert_eq!(t.leaf_ids().count(), 2);
+        assert_eq!(t.internal_ids().count(), 1);
+        assert_eq!(t.num_nodes(), 3);
+    }
+}

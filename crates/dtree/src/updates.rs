@@ -1,0 +1,229 @@
+//! Incremental classifier updates (§4, "Handling classifier updates").
+//!
+//! Small updates modify the existing tree in place: a new rule is routed
+//! down the existing structure and inserted into every leaf whose space
+//! it intersects; a deleted rule is removed from its leaves and marked
+//! inactive in the arena. When enough updates accumulate, the caller is
+//! expected to rebuild (retrain) — [`UpdateLog`] tracks the churn so the
+//! policy layer can decide when.
+
+use crate::node::{NodeId, NodeKind, RuleId};
+use crate::tree::DecisionTree;
+use classbench::Rule;
+use serde::{Deserialize, Serialize};
+
+/// Running counters of in-place updates applied to a tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateLog {
+    /// Rules inserted since the last rebuild.
+    pub inserted: usize,
+    /// Rules deleted since the last rebuild.
+    pub deleted: usize,
+}
+
+impl UpdateLog {
+    /// Fraction of the current active rules that changed; the rebuild
+    /// policy in the paper retrains "when enough small updates
+    /// accumulate".
+    pub fn churn(&self, active_rules: usize) -> f64 {
+        (self.inserted + self.deleted) as f64 / active_rules.max(1) as f64
+    }
+}
+
+/// Insert `rule` into the existing tree structure. Returns the new
+/// rule's stable id.
+///
+/// The rule is appended to the arena and added, in precedence position,
+/// to every leaf whose space intersects it. At partition nodes the rule
+/// descends into the child with the fewest rules (children share the
+/// parent's space, and lookups consult all of them, so any child is
+/// correct; picking the smallest keeps partitions balanced).
+pub fn insert_rule(tree: &mut DecisionTree, rule: Rule) -> RuleId {
+    let id = tree.push_rule(rule);
+    let mut stack: Vec<NodeId> = vec![tree.root()];
+    while let Some(nid) = stack.pop() {
+        if !tree.node(nid).space.intersects_rule(tree.rule(id)) {
+            continue;
+        }
+        match tree.node(nid).kind.clone() {
+            NodeKind::Leaf => tree.leaf_insert_sorted(nid, id),
+            NodeKind::Partition { children } => {
+                let target = children
+                    .into_iter()
+                    .min_by_key(|&c| tree.node(c).rules.len())
+                    .expect("partition node with no children");
+                stack.push(target);
+            }
+            other => {
+                // Cut / MultiCut / Split: descend into every child whose
+                // space the rule intersects (it may span several).
+                stack.extend(other.children().iter().copied());
+            }
+        }
+    }
+    id
+}
+
+/// Delete a rule: mark it inactive and remove it from every leaf list.
+///
+/// # Panics
+/// Panics if `id` is out of range or already deleted.
+pub fn delete_rule(tree: &mut DecisionTree, id: RuleId) {
+    assert!(tree.is_active(id), "rule {id} is not active");
+    tree.deactivate_rule(id);
+    for nid in 0..tree.num_nodes() {
+        if tree.node(nid).is_leaf() {
+            tree.leaf_remove(nid, id);
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Append a rule to the arena (used by [`insert_rule`]).
+    pub(crate) fn push_rule(&mut self, rule: Rule) -> RuleId {
+        self.push_rule_impl(rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classbench::{
+        generate_rules, generate_trace, ClassifierFamily, Dim, DimRange, GeneratorConfig,
+        TraceConfig,
+    };
+    use crate::validate::assert_tree_valid;
+
+    fn built_tree() -> DecisionTree {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 120).with_seed(4));
+        let mut t = DecisionTree::new(&rs);
+        let kids = t.cut_node(t.root(), Dim::SrcIp, 8);
+        for k in kids {
+            if !t.is_terminal(k, 8) {
+                t.cut_node(k, Dim::DstIp, 4);
+            }
+        }
+        t
+    }
+
+    fn new_rule(priority: i32) -> Rule {
+        let mut r = Rule::default_rule(priority);
+        r.ranges[Dim::SrcIp.index()] = DimRange::from_prefix(0x0a000000, 8, 32);
+        r.ranges[Dim::DstPort.index()] = DimRange::exact(8080);
+        r
+    }
+
+    #[test]
+    fn insert_is_visible_to_classification() {
+        let mut t = built_tree();
+        let hi_prio = t.rules().iter().map(|r| r.priority).max().unwrap() + 1;
+        let id = insert_rule(&mut t, new_rule(hi_prio));
+        // A packet inside the new rule now matches it (highest priority).
+        let p = classbench::Packet::new(0x0a000001, 0, 0, 8080, 6);
+        assert_eq!(t.classify(&p), Some(id));
+        assert_tree_valid(&t, 300, 1);
+    }
+
+    #[test]
+    fn insert_respects_existing_priorities() {
+        let mut t = built_tree();
+        // Insert at the *lowest* priority: the default rule still wins
+        // where it used to.
+        let lo_prio = t.rules().iter().map(|r| r.priority).min().unwrap() - 1;
+        let id = insert_rule(&mut t, new_rule(lo_prio));
+        let p = classbench::Packet::new(0x0a000001, 0, 0, 8080, 6);
+        let got = t.classify(&p);
+        assert_ne!(got, Some(id), "low-priority insert must not shadow");
+        assert_tree_valid(&t, 300, 2);
+    }
+
+    #[test]
+    fn delete_removes_matches() {
+        let mut t = built_tree();
+        let hi_prio = t.rules().iter().map(|r| r.priority).max().unwrap() + 1;
+        let id = insert_rule(&mut t, new_rule(hi_prio));
+        let p = classbench::Packet::new(0x0a000001, 0, 0, 8080, 6);
+        assert_eq!(t.classify(&p), Some(id));
+        delete_rule(&mut t, id);
+        assert_ne!(t.classify(&p), Some(id));
+        assert!(!t.is_active(id));
+        assert_tree_valid(&t, 300, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not active")]
+    fn double_delete_panics() {
+        let mut t = built_tree();
+        let id = insert_rule(&mut t, new_rule(999));
+        delete_rule(&mut t, id);
+        delete_rule(&mut t, id);
+    }
+
+    #[test]
+    fn many_updates_stay_consistent() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 100).with_seed(9));
+        let extra = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 40).with_seed(10));
+        let mut t = DecisionTree::new(&rs);
+        let kids = t.cut_node(t.root(), Dim::DstIp, 16);
+        for k in kids {
+            if !t.is_terminal(k, 8) {
+                t.cut_node(k, Dim::SrcPort, 4);
+            }
+        }
+        let mut log = UpdateLog::default();
+        let mut inserted = Vec::new();
+        for r in extra.rules().iter().take(30) {
+            let mut r = r.clone();
+            r.priority += 1000; // stack above existing rules
+            inserted.push(insert_rule(&mut t, r));
+            log.inserted += 1;
+        }
+        for &id in inserted.iter().step_by(2) {
+            delete_rule(&mut t, id);
+            log.deleted += 1;
+        }
+        assert_eq!(log.inserted, 30);
+        assert_eq!(log.deleted, 15);
+        assert!(log.churn(t.num_active_rules()) > 0.0);
+        assert_tree_valid(&t, 400, 4);
+        // Tree classification equals linear scan on a realistic trace too.
+        let trace = generate_trace(&rs, &TraceConfig::new(200));
+        for p in &trace {
+            assert_eq!(t.classify(p), t.linear_classify(p));
+        }
+    }
+
+    #[test]
+    fn insert_into_partitioned_tree_balances() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 60).with_seed(6));
+        let mut t = DecisionTree::new(&rs);
+        let all = t.node(t.root()).rules.clone();
+        let (a, b) = all.split_at(all.len() / 3);
+        t.partition_node(t.root(), vec![a.to_vec(), b.to_vec()]);
+        let before: Vec<usize> = t
+            .node(t.root())
+            .kind
+            .children()
+            .iter()
+            .map(|&c| t.node(c).rules.len())
+            .collect();
+        let hi = t.rules().iter().map(|r| r.priority).max().unwrap() + 1;
+        insert_rule(&mut t, new_rule(hi));
+        let after: Vec<usize> = t
+            .node(t.root())
+            .kind
+            .children()
+            .iter()
+            .map(|&c| t.node(c).rules.len())
+            .collect();
+        // The smaller partition received the rule.
+        let min_idx = before
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &n)| n)
+            .unwrap()
+            .0;
+        assert_eq!(after[min_idx], before[min_idx] + 1);
+        assert_tree_valid(&t, 300, 5);
+    }
+}

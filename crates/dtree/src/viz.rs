@@ -1,0 +1,165 @@
+//! Per-level tree profiles for the paper's Figure 5 and Figure 6
+//! visualisations: how many nodes exist at each level and which
+//! dimensions the policy cuts there.
+
+use crate::node::NodeKind;
+use crate::tree::DecisionTree;
+use classbench::{DIMS, NUM_DIMS};
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one tree level.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelRow {
+    /// Nodes at this level.
+    pub nodes: usize,
+    /// Leaves at this level.
+    pub leaves: usize,
+    /// How many nodes at this level cut/split each dimension.
+    pub cut_dims: [usize; NUM_DIMS],
+    /// Partition nodes at this level.
+    pub partitions: usize,
+}
+
+/// Per-level profile of a tree (x-axis of Figure 5: tree level; y-axis:
+/// node count; colours: cut-dimension mix).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelProfile {
+    /// One row per level, root first.
+    pub levels: Vec<LevelRow>,
+}
+
+impl LevelProfile {
+    /// Compute the profile for `tree`.
+    pub fn compute(tree: &DecisionTree) -> LevelProfile {
+        let mut levels: Vec<LevelRow> = Vec::new();
+        for node in tree.nodes() {
+            if node.depth >= levels.len() {
+                levels.resize(node.depth + 1, LevelRow::default());
+            }
+            let row = &mut levels[node.depth];
+            row.nodes += 1;
+            match &node.kind {
+                NodeKind::Leaf => row.leaves += 1,
+                NodeKind::Cut { dim, .. } => row.cut_dims[dim.index()] += 1,
+                NodeKind::DenseCut { dim, .. } => row.cut_dims[dim.index()] += 1,
+                NodeKind::Split { dim, .. } => row.cut_dims[dim.index()] += 1,
+                NodeKind::MultiCut { dims, .. } => {
+                    for (dim, _) in dims {
+                        row.cut_dims[dim.index()] += 1;
+                    }
+                }
+                NodeKind::Partition { .. } => row.partitions += 1,
+            }
+        }
+        LevelProfile { levels }
+    }
+
+    /// Number of levels (max depth + 1).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Widest level's node count.
+    pub fn max_width(&self) -> usize {
+        self.levels.iter().map(|l| l.nodes).max().unwrap_or(0)
+    }
+
+    /// Total cut counts per dimension over the whole tree — the
+    /// "distribution of cut dimensions" colouring in Figure 5.
+    pub fn total_cut_dims(&self) -> [usize; NUM_DIMS] {
+        let mut total = [0usize; NUM_DIMS];
+        for row in &self.levels {
+            for (t, c) in total.iter_mut().zip(row.cut_dims.iter()) {
+                *t += c;
+            }
+        }
+        total
+    }
+
+    /// Render an ASCII bar chart: one row per level with a width-scaled
+    /// bar and the dominant cut dimension, the textual equivalent of
+    /// Figure 5's histograms.
+    pub fn render_ascii(&self, max_bar: usize) -> String {
+        let peak = self.max_width().max(1);
+        let mut out = String::new();
+        for (depth, row) in self.levels.iter().enumerate() {
+            let bar_len = (row.nodes * max_bar).div_ceil(peak).max(1);
+            let dominant = row
+                .cut_dims
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, _)| DIMS[i].name())
+                .unwrap_or(if row.partitions > 0 { "Partition" } else { "-" });
+            out.push_str(&format!(
+                "L{depth:<3} {:>7} |{}| {}\n",
+                row.nodes,
+                "#".repeat(bar_len),
+                dominant
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classbench::{Dim, DimRange, Rule, RuleSet};
+
+    fn tree() -> DecisionTree {
+        let mut a = Rule::default_rule(1);
+        a.ranges[Dim::DstPort.index()] = DimRange::new(0, 1024);
+        let rs = RuleSet::new(vec![a, Rule::default_rule(0)]);
+        DecisionTree::new(&rs)
+    }
+
+    #[test]
+    fn single_leaf_profile() {
+        let t = tree();
+        let p = LevelProfile::compute(&t);
+        assert_eq!(p.depth(), 1);
+        assert_eq!(p.levels[0].nodes, 1);
+        assert_eq!(p.levels[0].leaves, 1);
+        assert_eq!(p.total_cut_dims(), [0; NUM_DIMS]);
+    }
+
+    #[test]
+    fn cut_dims_are_recorded_per_level() {
+        let mut t = tree();
+        let kids = t.cut_node(t.root(), Dim::DstPort, 4);
+        t.cut_node(kids[0], Dim::Proto, 2);
+        let p = LevelProfile::compute(&t);
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.levels[0].cut_dims[Dim::DstPort.index()], 1);
+        assert_eq!(p.levels[1].cut_dims[Dim::Proto.index()], 1);
+        assert_eq!(p.levels[1].nodes, 4);
+        assert_eq!(p.levels[1].leaves, 3);
+        assert_eq!(p.levels[2].nodes, 2);
+        assert_eq!(p.max_width(), 4);
+        let totals = p.total_cut_dims();
+        assert_eq!(totals[Dim::DstPort.index()], 1);
+        assert_eq!(totals[Dim::Proto.index()], 1);
+    }
+
+    #[test]
+    fn partition_nodes_counted() {
+        let mut t = tree();
+        t.partition_node(t.root(), vec![vec![0], vec![1]]);
+        let p = LevelProfile::compute(&t);
+        assert_eq!(p.levels[0].partitions, 1);
+        assert_eq!(p.levels[1].nodes, 2);
+    }
+
+    #[test]
+    fn ascii_render_has_one_row_per_level() {
+        let mut t = tree();
+        t.cut_node(t.root(), Dim::DstPort, 4);
+        let p = LevelProfile::compute(&t);
+        let s = p.render_ascii(40);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("DstPort"));
+        assert!(s.starts_with("L0"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Masked categorical distributions over logits.
+//!
+//! NeuroCuts actions are sampled from two categorical heads (dimension
+//! and cut/partition action, Appendix A), with an **action mask**
+//! prohibiting partition actions below the top node. Masked entries get
+//! probability exactly zero and contribute nothing to gradients.
+
+/// Logit value used for masked entries: small enough that masked
+/// probabilities underflow to zero, large enough to avoid `-inf` NaNs.
+const MASKED: f32 = -1.0e9;
+
+/// A categorical distribution over `logits`, with `mask[i] == false`
+/// marking invalid entries.
+#[derive(Debug, Clone)]
+pub struct MaskedCategorical {
+    /// Normalised log-probabilities (masked entries ≈ `-1e9`).
+    pub log_probs: Vec<f32>,
+    /// Probabilities (masked entries exactly 0 after underflow).
+    pub probs: Vec<f32>,
+}
+
+impl MaskedCategorical {
+    /// Build from raw logits and a validity mask.
+    ///
+    /// # Panics
+    /// Panics if no entry is valid or lengths differ.
+    pub fn new(logits: &[f32], mask: &[bool]) -> Self {
+        assert_eq!(logits.len(), mask.len());
+        assert!(mask.iter().any(|&m| m), "no valid action");
+        let masked: Vec<f32> = logits
+            .iter()
+            .zip(mask.iter())
+            .map(|(&l, &m)| if m { l } else { MASKED })
+            .collect();
+        let max = masked.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exp: Vec<f32> = masked.iter().map(|&l| (l - max).exp()).collect();
+        let sum: f32 = exp.iter().sum();
+        let log_sum = sum.ln() + max;
+        let log_probs: Vec<f32> = masked.iter().map(|&l| l - log_sum).collect();
+        let probs: Vec<f32> = exp.iter().map(|&e| e / sum).collect();
+        MaskedCategorical { log_probs, probs }
+    }
+
+    /// Unmasked convenience constructor.
+    pub fn from_logits(logits: &[f32]) -> Self {
+        Self::new(logits, &vec![true; logits.len()])
+    }
+
+    /// Sample an index proportionally to `probs` using a uniform draw
+    /// `u ∈ [0, 1)` supplied by the caller (keeps this crate free of RNG
+    /// plumbing and makes sampling reproducible).
+    pub fn sample(&self, u: f32) -> usize {
+        let mut acc = 0.0f32;
+        let mut last_valid = 0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            if p > 0.0 {
+                last_valid = i;
+                acc += p;
+                if u < acc {
+                    return i;
+                }
+            }
+        }
+        last_valid // numerical slack: u ≈ 1.0
+    }
+
+    /// Index of the most likely action (greedy decoding).
+    pub fn argmax(&self) -> usize {
+        self.probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    /// Log-probability of `action`.
+    pub fn log_prob(&self, action: usize) -> f32 {
+        self.log_probs[action]
+    }
+
+    /// Entropy `H = -Σ p log p` (masked entries contribute 0).
+    pub fn entropy(&self) -> f32 {
+        -self
+            .probs
+            .iter()
+            .zip(self.log_probs.iter())
+            .filter(|(&p, _)| p > 0.0)
+            .map(|(&p, &lp)| p * lp)
+            .sum::<f32>()
+    }
+
+    /// Gradient of `log p(action)` with respect to the logits:
+    /// `d log p_a / d z_i = [i == a] - p_i`.
+    pub fn dlogp_dlogits(&self, action: usize) -> Vec<f32> {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| if i == action { 1.0 - p } else { -p })
+            .collect()
+    }
+
+    /// Gradient of the entropy with respect to the logits:
+    /// `dH/dz_i = -p_i (log p_i + H)`.
+    pub fn dentropy_dlogits(&self) -> Vec<f32> {
+        let h = self.entropy();
+        self.probs
+            .iter()
+            .zip(self.log_probs.iter())
+            .map(|(&p, &lp)| if p > 0.0 { -p * (lp + h) } else { 0.0 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn probabilities_normalise() {
+        let d = MaskedCategorical::from_logits(&[1.0, 2.0, 3.0]);
+        let sum: f32 = d.probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(d.probs[2] > d.probs[1] && d.probs[1] > d.probs[0]);
+    }
+
+    #[test]
+    fn masked_entries_get_zero_probability() {
+        let d = MaskedCategorical::new(&[5.0, 5.0, 5.0], &[true, false, true]);
+        assert_eq!(d.probs[1], 0.0);
+        assert!((d.probs[0] - 0.5).abs() < 1e-5);
+        // Sampling never yields the masked action.
+        for i in 0..100 {
+            let u = i as f32 / 100.0;
+            assert_ne!(d.sample(u), 1);
+        }
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log_n() {
+        let d = MaskedCategorical::from_logits(&[0.0; 8]);
+        assert!((d.entropy() - (8.0f32).ln()).abs() < 1e-5);
+        // A peaked distribution has lower entropy.
+        let p = MaskedCategorical::from_logits(&[10.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(p.entropy() < 0.01);
+    }
+
+    #[test]
+    fn argmax_and_logprob() {
+        let d = MaskedCategorical::from_logits(&[0.0, 3.0, 1.0]);
+        assert_eq!(d.argmax(), 1);
+        assert!((d.log_prob(1) - d.probs[1].ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dlogp_matches_finite_difference() {
+        let logits = [0.3f32, -1.2, 0.7, 0.0];
+        let action = 2;
+        let d = MaskedCategorical::from_logits(&logits);
+        let grad = d.dlogp_dlogits(action);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut lp = logits;
+            lp[i] += eps;
+            let mut lm = logits;
+            lm[i] -= eps;
+            let numeric = (MaskedCategorical::from_logits(&lp).log_prob(action)
+                - MaskedCategorical::from_logits(&lm).log_prob(action))
+                / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-2,
+                "i={i}: numeric {numeric} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn dentropy_matches_finite_difference() {
+        let logits = [0.5f32, -0.5, 1.5, -2.0];
+        let d = MaskedCategorical::from_logits(&logits);
+        let grad = d.dentropy_dlogits();
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut lp = logits;
+            lp[i] += eps;
+            let mut lm = logits;
+            lm[i] -= eps;
+            let numeric = (MaskedCategorical::from_logits(&lp).entropy()
+                - MaskedCategorical::from_logits(&lm).entropy())
+                / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-2,
+                "i={i}: numeric {numeric} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn masked_gradients_are_zero() {
+        let d = MaskedCategorical::new(&[1.0, 2.0, 3.0], &[true, false, true]);
+        assert_eq!(d.dlogp_dlogits(0)[1], 0.0);
+        assert_eq!(d.dentropy_dlogits()[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no valid action")]
+    fn all_masked_panics() {
+        let _ = MaskedCategorical::new(&[1.0, 2.0], &[false, false]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sampling_respects_support(
+            logits in proptest::collection::vec(-5.0f32..5.0, 2..10),
+            u in 0.0f32..1.0,
+            mask_seed in 0u64..u64::MAX)
+        {
+            // Build a mask with at least one valid entry.
+            let mut mask: Vec<bool> =
+                (0..logits.len()).map(|i| (mask_seed >> i) & 1 == 1).collect();
+            if !mask.iter().any(|&m| m) {
+                mask[0] = true;
+            }
+            let d = MaskedCategorical::new(&logits, &mask);
+            let s = d.sample(u);
+            prop_assert!(mask[s], "sampled a masked action");
+            let total: f32 = d.probs.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+        }
+    }
+}

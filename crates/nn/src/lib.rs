@@ -1,0 +1,31 @@
+//! A minimal dense neural-network library for the NeuroCuts policy.
+//!
+//! The paper's model (Appendix B) is a fully-connected network with two
+//! tanh hidden layers shared between the policy heads and the value
+//! function. That topology is small and fixed, so instead of pulling in
+//! a tensor framework we implement exactly what is needed with
+//! hand-derived reverse-mode gradients:
+//!
+//! * [`Matrix`] — a row-major `f32` matrix with the handful of BLAS-like
+//!   kernels the model needs;
+//! * [`Linear`] — an affine layer with gradient accumulation and Adam
+//!   state;
+//! * [`categorical`] — masked categorical distributions over logits
+//!   (sampling, log-probabilities, entropy, and their gradients);
+//! * [`PolicyValueNet`] — the shared-trunk two-head policy + value
+//!   network, with `forward` / `backward` / `adam_step`.
+//!
+//! Every gradient path is covered by finite-difference checks in the
+//! test suite.
+
+pub mod adam;
+pub mod categorical;
+pub mod linear;
+pub mod matrix;
+pub mod policy_value;
+
+pub use adam::AdamConfig;
+pub use categorical::MaskedCategorical;
+pub use linear::Linear;
+pub use matrix::Matrix;
+pub use policy_value::{ForwardCache, NetConfig, PolicyValueNet};

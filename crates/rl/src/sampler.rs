@@ -1,0 +1,151 @@
+//! Parallel rollout collection — the "policy evaluation" workers of the
+//! paper's Figure 7: several workers generate whole-tree rollouts from
+//! the *same* (read-only) policy, their experiences are concatenated,
+//! and one SGD update follows.
+//!
+//! The work is CPU-bound tree construction, so plain scoped threads
+//! (crossbeam) are the right concurrency primitive here — an async
+//! runtime would add overhead without benefit for compute-bound loops.
+
+use crate::rollout::{RolloutBatch, Sample};
+use nn::PolicyValueNet;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An environment that can run one full episode (one tree build) under
+/// a frozen policy and return the 1-step experiences plus an episode
+/// objective (e.g. the final tree reward).
+pub trait RolloutEnv: Send + Clone {
+    /// Run one episode with the given policy; `seed` makes the episode's
+    /// action sampling reproducible.
+    fn episode(&mut self, net: &PolicyValueNet, seed: u64) -> (Vec<Sample>, f64);
+}
+
+/// Collect at least `min_samples` experiences by running episodes on
+/// `workers` parallel clones of `env` against a shared frozen policy.
+///
+/// Deterministic per `(seed, workers)`: each worker w runs episodes
+/// seeded `seed + w`, `seed + w + workers`, ... and results are merged
+/// in worker order.
+pub fn collect_parallel<E: RolloutEnv>(
+    env: &E,
+    net: &PolicyValueNet,
+    min_samples: usize,
+    workers: usize,
+    seed: u64,
+) -> RolloutBatch {
+    let workers = workers.max(1);
+    let collected = AtomicUsize::new(0);
+    let batches: Vec<Mutex<RolloutBatch>> =
+        (0..workers).map(|_| Mutex::new(RolloutBatch::default())).collect();
+
+    crossbeam::scope(|scope| {
+        for w in 0..workers {
+            let mut worker_env = env.clone();
+            let batches = &batches;
+            let collected = &collected;
+            scope.spawn(move |_| {
+                let mut round = 0u64;
+                while collected.load(Ordering::Relaxed) < min_samples {
+                    let ep_seed = seed
+                        .wrapping_add(w as u64)
+                        .wrapping_add(round.wrapping_mul(workers as u64));
+                    let (samples, ep_return) = worker_env.episode(net, ep_seed);
+                    collected.fetch_add(samples.len().max(1), Ordering::Relaxed);
+                    let mut guard = batches[w].lock();
+                    guard.merge(RolloutBatch {
+                        samples,
+                        episodes: 1,
+                        mean_episode_return: ep_return,
+                    });
+                    round += 1;
+                }
+            });
+        }
+    })
+    .expect("rollout worker panicked");
+
+    let mut out = RolloutBatch::default();
+    for b in batches {
+        out.merge(b.into_inner());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::NetConfig;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// A toy env: episodes emit a fixed number of dummy samples whose
+    /// rewards encode the episode seed, so determinism is observable.
+    #[derive(Clone)]
+    struct ToyEnv {
+        steps: usize,
+    }
+
+    impl RolloutEnv for ToyEnv {
+        fn episode(&mut self, net: &PolicyValueNet, seed: u64) -> (Vec<Sample>, f64) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let samples = (0..self.steps)
+                .map(|_| {
+                    let obs = vec![rng.gen::<f32>(), rng.gen::<f32>()];
+                    let (_, _, v) = net.forward_one(&obs);
+                    Sample {
+                        obs,
+                        dim_action: 0,
+                        act_action: 0,
+                        dim_mask: vec![true; 2],
+                        act_mask: vec![true; 2],
+                        log_prob: -0.5,
+                        value: v,
+                        reward: (seed % 10) as f32,
+                    }
+                })
+                .collect();
+            (samples, (seed % 10) as f64)
+        }
+    }
+
+    fn net() -> PolicyValueNet {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        PolicyValueNet::new(
+            NetConfig { obs_dim: 2, dim_actions: 2, num_actions: 2, hidden: [4, 4] },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn collects_at_least_min_samples() {
+        let env = ToyEnv { steps: 7 };
+        let batch = collect_parallel(&env, &net(), 50, 4, 99);
+        assert!(batch.len() >= 50);
+        assert!(batch.episodes >= 50 / 7);
+    }
+
+    #[test]
+    fn single_worker_is_deterministic() {
+        let env = ToyEnv { steps: 3 };
+        let n = net();
+        let a = collect_parallel(&env, &n, 12, 1, 42);
+        let b = collect_parallel(&env, &n, 12, 1, 42);
+        assert_eq!(a.len(), b.len());
+        let ra: Vec<f32> = a.samples.iter().map(|s| s.reward).collect();
+        let rb: Vec<f32> = b.samples.iter().map(|s| s.reward).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn workers_use_distinct_seeds() {
+        let env = ToyEnv { steps: 5 };
+        let batch = collect_parallel(&env, &net(), 40, 4, 7);
+        // Episodes from different workers should show different rewards
+        // (seeds 7, 8, 9, 10 -> rewards 7, 8, 9, 0 mod 10).
+        let mut rewards: Vec<i64> = batch.samples.iter().map(|s| s.reward as i64).collect();
+        rewards.sort_unstable();
+        rewards.dedup();
+        assert!(rewards.len() >= 2, "expected seed diversity, got {rewards:?}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Build all five algorithms on the same classifiers and print a
+//! side-by-side comparison of classification time (tree depth) and
+//! memory (bytes/rule) — a miniature of the paper's Figures 8 and 9
+//! without the RL training (see the `nc-bench` binaries for the full
+//! figure regeneration).
+//!
+//! ```text
+//! cargo run --release --example compare_baselines
+//! ```
+
+use baselines::{
+    build_cutsplit, build_efficuts, build_hicuts, build_hypercuts, build_hypersplit,
+    CutSplitConfig, EffiCutsConfig, HiCutsConfig, HyperCutsConfig, HyperSplitConfig,
+};
+use classbench::{generate_rules, ClassifierFamily, GeneratorConfig};
+use dtree::{validate::assert_tree_valid, DecisionTree, TreeStats};
+
+fn row(name: &str, tree: &DecisionTree) {
+    let s = TreeStats::compute(tree);
+    println!(
+        "  {name:<11} time={:>3}  bytes/rule={:>9.1}  nodes={:>6}  replication={:>6.2}x",
+        s.time, s.bytes_per_rule, s.nodes, s.replication
+    );
+    assert_tree_valid(tree, 200, 7);
+}
+
+fn main() {
+    for family in ClassifierFamily::ALL {
+        for seed in 0..2u64 {
+            let cfg = GeneratorConfig::new(family, 1000).with_seed(seed);
+            let rules = generate_rules(&cfg);
+            println!("\n=== {} ({} rules) ===", cfg.label(), rules.len());
+            row("HiCuts", &build_hicuts(&rules, &HiCutsConfig::default()));
+            row("HyperCuts", &build_hypercuts(&rules, &HyperCutsConfig::default()));
+            row("HyperSplit", &build_hypersplit(&rules, &HyperSplitConfig::default()));
+            row("EffiCuts", &build_efficuts(&rules, &EffiCutsConfig::default()));
+            row("CutSplit", &build_cutsplit(&rules, &CutSplitConfig::default()));
+        }
+    }
+    println!("\nall trees validated against the linear-scan ground truth");
+}

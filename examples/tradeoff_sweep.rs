@@ -1,0 +1,32 @@
+//! Sweep the time-space coefficient `c` on one classifier — a
+//! single-classifier miniature of Figure 11: classification time
+//! improves as `c → 1`, bytes-per-rule improves as `c → 0`.
+//!
+//! ```text
+//! cargo run --release --example tradeoff_sweep
+//! ```
+
+use classbench::{generate_rules, ClassifierFamily, GeneratorConfig};
+use neurocuts::{NeuroCutsConfig, PartitionMode, Trainer};
+
+fn main() {
+    let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 300).with_seed(3));
+    println!("sweeping c on {} rules (simple partitioner, log reward scaling)\n", rules.len());
+    println!("{:>5} | {:>10} | {:>12}", "c", "time", "bytes/rule");
+    println!("{:->5}-+-{:->10}-+-{:->12}", "", "", "");
+
+    for &c in &[0.0, 0.1, 0.5, 1.0] {
+        let cfg = NeuroCutsConfig::small(18_000)
+            .with_coeff(c)
+            .with_partition_mode(PartitionMode::Simple)
+            .with_seed(11);
+        let mut trainer = Trainer::new(rules.clone(), cfg);
+        let report = trainer.train();
+        let stats = match report.best {
+            Some(best) => best.stats,
+            None => trainer.greedy_tree().1,
+        };
+        println!("{c:>5.1} | {:>10} | {:>12.1}", stats.time, stats.bytes_per_rule);
+    }
+    println!("\nexpect time to shrink towards c=1 and bytes/rule towards c=0");
+}

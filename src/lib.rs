@@ -1,0 +1,18 @@
+//! Umbrella crate for the NeuroCuts workspace: re-exports every member
+//! crate so examples and integration tests can depend on one package.
+//!
+//! * [`classbench`] — rules, packets, ClassBench-style generation;
+//! * [`dtree`] — the shared decision-tree substrate;
+//! * [`baselines`] — HiCuts / HyperCuts / HyperSplit / EffiCuts /
+//!   CutSplit;
+//! * [`nn`] — the dense policy network;
+//! * [`rl`] — PPO and parallel samplers;
+//! * [`neurocuts`] — the RL environment and trainer (the paper's
+//!   contribution).
+
+pub use baselines;
+pub use classbench;
+pub use dtree;
+pub use neurocuts;
+pub use nn;
+pub use rl;

@@ -1,0 +1,117 @@
+//! End-to-end integration: the full pipeline from rule generation
+//! through training to a validated, deployable tree, spanning every
+//! crate in the workspace.
+
+use baselines::{build_hicuts, HiCutsConfig};
+use classbench::{
+    generate_rules, generate_trace, parse_rules, write_rules, ClassifierFamily,
+    GeneratorConfig, TraceConfig,
+};
+use dtree::validate::assert_tree_valid;
+use dtree::{DecisionTree, TreeStats};
+use neurocuts::{NeuroCutsConfig, PartitionMode, Trainer};
+
+/// Best completed training tree, or the greedy tree when the tiny smoke
+/// budget never completed a rollout (untrained policies are heavy-
+/// tailed; the bench harness uses the same fallback).
+fn best_or_greedy(trainer: &mut Trainer) -> (DecisionTree, TreeStats) {
+    let report = trainer.train();
+    match report.best {
+        Some(b) => (b.tree, b.stats),
+        None => trainer.greedy_tree(),
+    }
+}
+
+#[test]
+fn generate_train_classify_pipeline() {
+    // Generate -> serialise -> parse (the ClassBench interchange loop).
+    let generated =
+        generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 120).with_seed(100));
+    let rules = parse_rules(&write_rules(&generated)).expect("format round-trips");
+    assert_eq!(rules.len(), generated.len());
+
+    // Train with a tiny budget.
+    let mut trainer = Trainer::new(rules.clone(), NeuroCutsConfig::smoke_test());
+    let (tree, _) = best_or_greedy(&mut trainer);
+    assert_tree_valid(&tree, 400, 101);
+
+    // The learned tree and the baseline agree with the ground truth on
+    // a realistic trace.
+    let hicuts = build_hicuts(&rules, &HiCutsConfig::default());
+    let trace = generate_trace(&rules, &TraceConfig::new(600).with_seed(102));
+    for p in &trace {
+        let truth = rules.classify(p);
+        assert_eq!(tree.classify(p), truth);
+        assert_eq!(hicuts.classify(p), truth);
+    }
+}
+
+#[test]
+fn trained_policy_transfers_within_same_rules() {
+    // Checkpoint a policy, restore it into a fresh trainer, and verify
+    // the greedy trees coincide — the deployment story for retraining
+    // on classifier updates.
+    let rules =
+        generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 90).with_seed(103));
+    let mut a = Trainer::new(rules.clone(), NeuroCutsConfig::smoke_test());
+    let _ = a.step();
+    let ckpt = a.save_policy();
+    let (_, sa) = a.greedy_tree();
+
+    let mut b = Trainer::new(rules, NeuroCutsConfig::smoke_test());
+    b.load_policy(&ckpt);
+    let (tb, sb) = b.greedy_tree();
+    assert_eq!(sa, sb);
+    assert_tree_valid(&tb, 300, 104);
+}
+
+#[test]
+fn all_partition_modes_end_to_end() {
+    for mode in [PartitionMode::None, PartitionMode::Simple, PartitionMode::EffiCuts] {
+        let rules =
+            generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 80).with_seed(105));
+        let cfg = NeuroCutsConfig::smoke_test().with_partition_mode(mode);
+        let mut trainer = Trainer::new(rules.clone(), cfg);
+        let (tree, stats) = best_or_greedy(&mut trainer);
+        assert_tree_valid(&tree, 300, 106);
+        assert!(stats.time >= 1, "{mode:?}");
+    }
+}
+
+#[test]
+fn space_objective_trains_smaller_trees_than_it_reports() {
+    // Untrained-policy rollouts are heavy-tailed; scan a few seeds until
+    // one training run completes a tree within the smoke budget.
+    let best = (107u64..117)
+        .find_map(|seed| {
+            let rules =
+                generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 80).with_seed(seed));
+            let cfg = NeuroCutsConfig::smoke_test().with_coeff(0.0).with_seed(seed);
+            Trainer::new(rules, cfg).train().best
+        })
+        .expect("at least one of ten seeds completes a tree");
+    // c = 0 with log scaling: objective is log(bytes).
+    let expect = (best.stats.bytes as f64
+        - (dtree::MemoryModel::default().rule_table_entry * best.tree.num_active_rules())
+            as f64)
+        .max(1.0)
+        .ln();
+    assert!((best.objective - expect).abs() < 1e-6);
+}
+
+#[test]
+fn stats_are_consistent_across_the_stack() {
+    // TreeStats (dtree), subtree_metrics (neurocuts::reward) and the
+    // harness memory model must agree about the same tree.
+    let rules =
+        generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 150).with_seed(108));
+    let tree = build_hicuts(&rules, &HiCutsConfig::default());
+    let stats = TreeStats::compute(&tree);
+    let model = dtree::MemoryModel::default();
+    let (time, bytes) = neurocuts::reward::subtree_metrics(&tree, &model);
+    assert_eq!(stats.time, time[tree.root()]);
+    assert_eq!(
+        stats.bytes,
+        bytes[tree.root()] + model.rule_table_entry * tree.num_active_rules()
+    );
+}

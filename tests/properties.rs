@@ -1,0 +1,130 @@
+//! Workspace-level property tests: randomised rule sets, packets, and
+//! builder choices must never break the classification invariant.
+
+use baselines::{build_cutsplit, build_efficuts, build_hicuts, build_hypersplit};
+use baselines::{CutSplitConfig, EffiCutsConfig, HiCutsConfig, HyperSplitConfig};
+use classbench::{
+    generate_rules, ClassifierFamily, Dim, DimRange, GeneratorConfig, Packet, Rule, RuleSet,
+};
+use proptest::prelude::*;
+
+fn arb_rule(priority: i32) -> impl Strategy<Value = Rule> {
+    // Each dimension: either a wildcard, an exact value, or a range.
+    let dim_range = |span: u64| {
+        prop_oneof![
+            Just((0u64, span)),
+            (0..span).prop_map(move |v| (v, v + 1)),
+            (0..span, 1..=span).prop_map(move |(lo, len)| {
+                let hi = (lo + len).min(span);
+                (lo.min(hi - 1), hi)
+            }),
+        ]
+    };
+    (
+        dim_range(1 << 32),
+        dim_range(1 << 32),
+        dim_range(1 << 16),
+        dim_range(1 << 16),
+        dim_range(256),
+    )
+        .prop_map(move |(s, d, sp, dp, pr)| {
+            Rule::from_fields(
+                DimRange::new(s.0, s.1),
+                DimRange::new(d.0, d.1),
+                DimRange::new(sp.0, sp.1),
+                DimRange::new(dp.0, dp.1),
+                DimRange::new(pr.0, pr.1),
+                priority,
+            )
+        })
+}
+
+fn arb_ruleset(max_rules: usize) -> impl Strategy<Value = RuleSet> {
+    proptest::collection::vec(arb_rule(0), 1..max_rules).prop_map(|mut rules| {
+        rules.push(Rule::default_rule(0));
+        RuleSet::from_ordered(rules)
+    })
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (0..1u64 << 32, 0..1u64 << 32, 0..1u64 << 16, 0..1u64 << 16, 0..256u64)
+        .prop_map(|(a, b, c, d, e)| Packet::new(a, b, c, d, e))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_hicuts_matches_linear_scan(
+        rules in arb_ruleset(40),
+        packets in proptest::collection::vec(arb_packet(), 30))
+    {
+        let tree = build_hicuts(&rules, &HiCutsConfig::default());
+        for p in &packets {
+            prop_assert_eq!(tree.classify(p), rules.classify(p), "at {}", p);
+        }
+    }
+
+    #[test]
+    fn prop_hypersplit_matches_linear_scan(
+        rules in arb_ruleset(40),
+        packets in proptest::collection::vec(arb_packet(), 30))
+    {
+        let tree = build_hypersplit(&rules, &HyperSplitConfig::default());
+        for p in &packets {
+            prop_assert_eq!(tree.classify(p), rules.classify(p), "at {}", p);
+        }
+    }
+
+    #[test]
+    fn prop_efficuts_matches_linear_scan(
+        rules in arb_ruleset(40),
+        packets in proptest::collection::vec(arb_packet(), 30))
+    {
+        let tree = build_efficuts(&rules, &EffiCutsConfig::default());
+        for p in &packets {
+            prop_assert_eq!(tree.classify(p), rules.classify(p), "at {}", p);
+        }
+    }
+
+    #[test]
+    fn prop_cutsplit_matches_linear_scan(
+        rules in arb_ruleset(40),
+        packets in proptest::collection::vec(arb_packet(), 30))
+    {
+        let tree = build_cutsplit(&rules, &CutSplitConfig::default());
+        for p in &packets {
+            prop_assert_eq!(tree.classify(p), rules.classify(p), "at {}", p);
+        }
+    }
+
+    #[test]
+    fn prop_updates_preserve_invariant(
+        seed in 0u64..50,
+        extra in arb_rule(1_000_000),
+        packets in proptest::collection::vec(arb_packet(), 20))
+    {
+        let rules = generate_rules(
+            &GeneratorConfig::new(ClassifierFamily::Acl, 60).with_seed(seed));
+        let mut tree = build_hicuts(&rules, &HiCutsConfig::default());
+        let id = dtree::updates::insert_rule(&mut tree, extra);
+        for p in &packets {
+            prop_assert_eq!(tree.classify(p), tree.linear_classify(p), "after insert at {}", p);
+        }
+        dtree::updates::delete_rule(&mut tree, id);
+        for p in &packets {
+            prop_assert_eq!(tree.classify(p), rules.classify(p), "after delete at {}", p);
+        }
+    }
+
+    #[test]
+    fn prop_rule_matching_is_geometric(rule in arb_rule(0), packet in arb_packet()) {
+        // A rule matches iff the packet is inside in every dimension —
+        // matching must equal the per-dimension containment conjunction.
+        let expect = classbench::DIMS.iter().all(|&d| {
+            rule.range(d).contains(packet.value(d))
+        });
+        prop_assert_eq!(rule.matches(&packet), expect);
+        let _ = Dim::SrcIp; // keep the import exercised under cfg changes
+    }
+}
