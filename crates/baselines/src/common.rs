@@ -97,11 +97,7 @@ pub fn simulate_cut(tree: &DecisionTree, id: NodeId, dim: Dim, ncuts: usize) -> 
 }
 
 /// Rule counts for a simultaneous multi-dimension cut (HyperCuts).
-pub fn simulate_multicut(
-    tree: &DecisionTree,
-    id: NodeId,
-    dims: &[(Dim, usize)],
-) -> Vec<usize> {
+pub fn simulate_multicut(tree: &DecisionTree, id: NodeId, dims: &[(Dim, usize)]) -> Vec<usize> {
     let node = tree.node(id);
     node.space
         .multi_cut(dims)
@@ -124,7 +120,7 @@ pub fn dims_by_distinct_ranges(tree: &DecisionTree, id: NodeId) -> Vec<(Dim, usi
         .filter(|&&d| node.space.range(d).len() >= 2)
         .map(|&d| (d, distinct_ranges(tree, id, d)))
         .collect();
-    out.sort_by(|a, b| b.1.cmp(&a.1));
+    out.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     out
 }
 

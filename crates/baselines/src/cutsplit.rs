@@ -44,6 +44,7 @@ impl Default for CutSplitConfig {
 
 /// The four CutSplit subsets, keyed by which IP dimensions are small.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)] // the `Small` postfix is the paper's term
 enum Subset {
     /// Both source and destination IP are small: FiCuts in both.
     BothSmall,
@@ -88,9 +89,8 @@ fn ficuts(
         }
         let children = match dims {
             [d] => {
-                let fan = cfg
-                    .ficuts_fanout
-                    .min(tree.node(id).space.range(*d).len().max(2) as usize);
+                let fan =
+                    cfg.ficuts_fanout.min(tree.node(id).space.range(*d).len().max(2) as usize);
                 if simulate_cut(tree, id, *d, fan).iter().all(|&c| c >= n) {
                     remaining.push(id);
                     continue;
@@ -153,11 +153,8 @@ pub fn build_cutsplit(rules: &RuleSet, cfg: &CutSplitConfig) -> DecisionTree {
             Subset::DstSmall => &[Dim::DstIp],
             Subset::NeitherSmall => &[],
         };
-        let mut remaining = if dims.is_empty() {
-            vec![node]
-        } else {
-            ficuts(&mut tree, node, dims, cfg)
-        };
+        let mut remaining =
+            if dims.is_empty() { vec![node] } else { ficuts(&mut tree, node, dims, cfg) };
         split_subtrees(&mut tree, &mut remaining, &split_cfg);
     }
     tree
@@ -195,11 +192,8 @@ mod tests {
             .iter()
             .filter(|n| matches!(n.kind, NodeKind::Cut { .. } | NodeKind::MultiCut { .. }))
             .count();
-        let splits = tree
-            .nodes()
-            .iter()
-            .filter(|n| matches!(n.kind, NodeKind::Split { .. }))
-            .count();
+        let splits =
+            tree.nodes().iter().filter(|n| matches!(n.kind, NodeKind::Split { .. })).count();
         assert!(cuts > 0, "FiCuts phase should cut");
         assert!(splits > 0, "post-splitting should split");
     }

@@ -102,11 +102,9 @@ pub fn partition_by_largeness(
             Some(&t) => t,
             // No 1-bit neighbour: merge into the overall largest other
             // partition to keep the tree count bounded.
-            None => *sigs
-                .iter()
-                .filter(|&&s| s != small)
-                .max_by_key(|&&s| by_sig[&s].len())
-                .unwrap(),
+            None => {
+                *sigs.iter().filter(|&&s| s != small).max_by_key(|&&s| by_sig[&s].len()).unwrap()
+            }
         };
         let moved = by_sig.remove(&small).unwrap();
         by_sig.get_mut(&target).unwrap().extend(moved);
@@ -120,12 +118,7 @@ pub fn partition_by_largeness(
 /// Equi-dense boundaries for cutting `dim` at node `id` into at most
 /// `fanout` children with roughly equal rule counts. Returns `None`
 /// when fewer than two children are possible.
-fn equi_dense_bounds(
-    tree: &DecisionTree,
-    id: NodeId,
-    dim: Dim,
-    fanout: usize,
-) -> Option<Vec<u64>> {
+fn equi_dense_bounds(tree: &DecisionTree, id: NodeId, dim: Dim, fanout: usize) -> Option<Vec<u64>> {
     let node = tree.node(id);
     let space = *node.space.range(dim);
     let endpoints = interior_endpoints(tree, id, dim);
@@ -149,10 +142,7 @@ fn equi_dense_bounds(
 
     let mut bounds = vec![space.lo];
     for &e in &endpoints {
-        let since_last = starts
-            .iter()
-            .filter(|&&s| s >= *bounds.last().unwrap() && s < e)
-            .count();
+        let since_last = starts.iter().filter(|&&s| s >= *bounds.last().unwrap() && s < e).count();
         if since_last >= target && bounds.len() < fanout {
             bounds.push(e);
         }
@@ -229,11 +219,8 @@ pub fn build_efficuts(rules: &RuleSet, cfg: &EffiCutsConfig) -> DecisionTree {
     let root = tree.root();
     let all = tree.node(root).rules.clone();
     let groups = partition_by_largeness(&tree, &all, cfg.largeness_threshold, cfg.min_partition);
-    let children: Vec<NodeId> = if groups.len() >= 2 {
-        tree.partition_node(root, groups)
-    } else {
-        vec![root]
-    };
+    let children: Vec<NodeId> =
+        if groups.len() >= 2 { tree.partition_node(root, groups) } else { vec![root] };
     for c in children {
         grow_equidense(&mut tree, c, cfg);
     }
@@ -312,10 +299,7 @@ mod tests {
         ));
         // The EffiCuts headline: drastically less memory on
         // wildcard-heavy sets, at some cost in classification time.
-        assert!(
-            ef.bytes_per_rule < hi.bytes_per_rule,
-            "efficuts {ef} vs hicuts {hi}"
-        );
+        assert!(ef.bytes_per_rule < hi.bytes_per_rule, "efficuts {ef} vs hicuts {hi}");
         assert!(ef.replication < hi.replication);
     }
 

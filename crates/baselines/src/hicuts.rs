@@ -143,14 +143,8 @@ mod tests {
     #[test]
     fn spfac_trades_depth_for_space() {
         let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 500).with_seed(3));
-        let narrow = build_hicuts(
-            &rs,
-            &HiCutsConfig { spfac: 1.5, ..Default::default() },
-        );
-        let wide = build_hicuts(
-            &rs,
-            &HiCutsConfig { spfac: 8.0, ..Default::default() },
-        );
+        let narrow = build_hicuts(&rs, &HiCutsConfig { spfac: 1.5, ..Default::default() });
+        let wide = build_hicuts(&rs, &HiCutsConfig { spfac: 8.0, ..Default::default() });
         let sn = TreeStats::compute(&narrow);
         let sw = TreeStats::compute(&wide);
         // More space budget must not *hurt* depth.

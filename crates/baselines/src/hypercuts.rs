@@ -48,8 +48,7 @@ fn choose_multicut(
     cfg: &HyperCutsConfig,
 ) -> Option<Vec<(Dim, usize)>> {
     let n = tree.node(id).rules.len();
-    let budget = ((cfg.spfac * (n as f64).sqrt()) as usize)
-        .clamp(4, cfg.max_children);
+    let budget = ((cfg.spfac * (n as f64).sqrt()) as usize).clamp(4, cfg.max_children);
 
     // Candidate dims: distinct count above the mean (HyperCuts' rule),
     // keeping at most `max_dims` of the most discriminating.
@@ -86,14 +85,9 @@ fn choose_multicut(
         let mut best: Option<(usize, usize)> = None; // (candidate idx, worst child)
         for i in 0..candidates.len() {
             let doubled = counts[i] * 2;
-            let total: usize = counts
-                .iter()
-                .enumerate()
-                .map(|(j, &c)| if j == i { doubled } else { c })
-                .product();
-            if total > budget
-                || (doubled as u64) > tree.node(id).space.range(candidates[i]).len()
-            {
+            let total: usize =
+                counts.iter().enumerate().map(|(j, &c)| if j == i { doubled } else { c }).product();
+            if total > budget || (doubled as u64) > tree.node(id).space.range(candidates[i]).len() {
                 continue;
             }
             let trial: Vec<(Dim, usize)> = candidates
@@ -116,11 +110,8 @@ fn choose_multicut(
         }
     }
 
-    let chosen: Vec<(Dim, usize)> = candidates
-        .into_iter()
-        .zip(counts)
-        .filter(|&(_, c)| c >= 2)
-        .collect();
+    let chosen: Vec<(Dim, usize)> =
+        candidates.into_iter().zip(counts).filter(|&(_, c)| c >= 2).collect();
     if chosen.is_empty() {
         return None;
     }
@@ -198,10 +189,7 @@ mod tests {
             ))
             .time;
         }
-        assert!(
-            hyper_depth <= hi_depth + 3,
-            "hypercuts {hyper_depth} vs hicuts {hi_depth}"
-        );
+        assert!(hyper_depth <= hi_depth + 3, "hypercuts {hyper_depth} vs hicuts {hi_depth}");
     }
 
     #[test]

@@ -57,11 +57,7 @@ fn split_score(tree: &DecisionTree, id: NodeId, dim: Dim, threshold: u64) -> Sco
 
 /// Best `(dim, threshold)` for a node, or `None` when no endpoint-based
 /// split makes progress.
-fn choose_split(
-    tree: &DecisionTree,
-    id: NodeId,
-    cfg: &HyperSplitConfig,
-) -> Option<(Dim, u64)> {
+fn choose_split(tree: &DecisionTree, id: NodeId, cfg: &HyperSplitConfig) -> Option<(Dim, u64)> {
     let n = tree.node(id).rules.len();
     let mut best: Option<(Score, Dim, u64)> = None;
     for &dim in &DIMS {
@@ -151,10 +147,7 @@ mod tests {
         ));
         // HyperSplit's raison d'être: balanced splits replicate less on
         // wildcard-heavy (FW) rule sets.
-        assert!(
-            hs.bytes_per_rule <= hc.bytes_per_rule * 1.5,
-            "hypersplit {hs} vs hicuts {hc}"
-        );
+        assert!(hs.bytes_per_rule <= hc.bytes_per_rule * 1.5, "hypersplit {hs} vs hicuts {hc}");
     }
 
     #[test]

@@ -7,8 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 fn classify_throughput(c: &mut Criterion) {
-    let rules =
-        generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 1000).with_seed(1));
+    let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 1000).with_seed(1));
     let trace = generate_trace(&rules, &TraceConfig::new(4096).with_seed(2));
     let mut group = c.benchmark_group("classify_throughput");
     group.throughput(Throughput::Elements(trace.len() as u64));

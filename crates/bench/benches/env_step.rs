@@ -14,8 +14,7 @@ fn env_episode(c: &mut Criterion) {
     let mut group = c.benchmark_group("env_episode");
     group.sample_size(10);
     for size in [60usize, 150] {
-        let rules =
-            generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, size).with_seed(1));
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, size).with_seed(1));
         let mut cfg = NeuroCutsConfig::fast();
         cfg.hidden = [64, 64];
         cfg.max_timesteps_per_rollout = 20_000;

@@ -1,9 +1,7 @@
 //! Criterion bench: rule-set and trace synthesis throughput of the
 //! ClassBench-equivalent generator.
 
-use classbench::{
-    generate_rules, generate_trace, ClassifierFamily, GeneratorConfig, TraceConfig,
-};
+use classbench::{generate_rules, generate_trace, ClassifierFamily, GeneratorConfig, TraceConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 

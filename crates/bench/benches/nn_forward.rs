@@ -14,12 +14,7 @@ fn nn_forward(c: &mut Criterion) {
     for hidden in [64usize, 128, 256, 512] {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let net = PolicyValueNet::new(
-            NetConfig {
-                obs_dim: 315,
-                dim_actions: 5,
-                num_actions: 14,
-                hidden: [hidden, hidden],
-            },
+            NetConfig { obs_dim: 315, dim_actions: 5, num_actions: 14, hidden: [hidden, hidden] },
             &mut rng,
         );
         let obs = vec![0.5f32; 315];

@@ -12,11 +12,9 @@ fn tree_construction(c: &mut Criterion) {
     for family in ClassifierFamily::ALL {
         let rules = generate_rules(&GeneratorConfig::new(family, 500).with_seed(1));
         for name in nc_bench::BASELINE_NAMES {
-            group.bench_with_input(
-                BenchmarkId::new(name, family.tag()),
-                &rules,
-                |b, rules| b.iter(|| black_box(nc_bench::build_baseline(name, rules))),
-            );
+            group.bench_with_input(BenchmarkId::new(name, family.tag()), &rules, |b, rules| {
+                b.iter(|| black_box(nc_bench::build_baseline(name, rules)))
+            });
         }
     }
     group.finish();

@@ -33,10 +33,7 @@ fn run(tag: &str, cfg: NeuroCutsConfig, rules: &RuleSet) {
 }
 
 fn base() -> NeuroCutsConfig {
-    harness_config()
-        .with_coeff(1.0)
-        .with_partition_mode(PartitionMode::Simple)
-        .with_seed(7)
+    harness_config().with_coeff(1.0).with_partition_mode(PartitionMode::Simple).with_seed(7)
 }
 
 fn ablate_rewards(rules: &RuleSet) {
@@ -85,11 +82,7 @@ fn main() {
     let which: Vec<String> = std::env::args().skip(1).collect();
     let all = which.is_empty();
     let rules = rules();
-    println!(
-        "ablations on acl1 at {} rules, {} timesteps/run\n",
-        rules.len(),
-        train_timesteps()
-    );
+    println!("ablations on acl1 at {} rules, {} timesteps/run\n", rules.len(), train_timesteps());
     if all || which.iter().any(|w| w == "rewards") {
         ablate_rewards(&rules);
     }

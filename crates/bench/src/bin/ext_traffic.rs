@@ -41,8 +41,7 @@ fn main() {
         None => worst_case.greedy_tree(),
     };
 
-    let mut traffic_aware =
-        Trainer::new(rules.clone(), base_cfg).set_traffic(train_trace);
+    let mut traffic_aware = Trainer::new(rules.clone(), base_cfg).set_traffic(train_trace);
     let report = traffic_aware.train();
     let (ta_tree, ta_stats) = match report.best {
         Some(b) => (b.tree, b.stats),

@@ -44,12 +44,6 @@ fn main() {
     }
 
     let (first, last) = (series.first().unwrap(), series.last().unwrap());
-    println!(
-        "\ntime at c=1 vs c=0: {:.2}x better (paper: ~2x)",
-        first.1 / last.1.max(1e-9)
-    );
-    println!(
-        "bytes/rule at c=0 vs c=1: {:.2}x better (paper: ~2x)",
-        last.2 / first.2.max(1e-9)
-    );
+    println!("\ntime at c=1 vs c=0: {:.2}x better (paper: ~2x)", first.1 / last.1.max(1e-9));
+    println!("bytes/rule at c=0 vs c=1: {:.2}x better (paper: ~2x)", last.2 / first.2.max(1e-9));
 }

@@ -33,14 +33,11 @@ fn show(tag: &str, profile: &LevelProfile, stats: &TreeStats) {
 fn main() {
     // fw5_1k analog: the wildcard-heavy family of the paper's figure.
     let size = suite_size();
-    let rules =
-        generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, size).with_seed(4)); // fw5
+    let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, size).with_seed(4)); // fw5
     println!("Figure 5: learning to split fw5 at {size} rules ({} loaded)\n", rules.len());
 
-    let mut cfg = harness_config()
-        .with_coeff(1.0)
-        .with_partition_mode(PartitionMode::Simple)
-        .with_seed(5);
+    let mut cfg =
+        harness_config().with_coeff(1.0).with_partition_mode(PartitionMode::Simple).with_seed(5);
     cfg.patience = 0; // run the full budget so snapshots are comparable
     let iters_budget = (cfg.max_timesteps / cfg.timesteps_per_batch).max(2);
     let mut trainer = Trainer::new(rules.clone(), cfg);

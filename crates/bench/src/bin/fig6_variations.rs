@@ -13,17 +13,14 @@ use neurocuts::{PartitionMode, Trainer};
 
 fn main() {
     let size = suite_size();
-    let rules =
-        generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, size).with_seed(3)); // acl4
+    let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, size).with_seed(3)); // acl4
     println!(
         "Figure 6: stochastic tree variations on acl4 at {size} rules ({} loaded)\n",
         rules.len()
     );
 
-    let cfg = harness_config()
-        .with_coeff(1.0)
-        .with_partition_mode(PartitionMode::Simple)
-        .with_seed(6);
+    let cfg =
+        harness_config().with_coeff(1.0).with_partition_mode(PartitionMode::Simple).with_seed(6);
     let mut trainer = Trainer::new(rules, cfg);
     let report = trainer.train();
     println!(

@@ -60,10 +60,7 @@ fn main() {
                 .map(|(&n, &b)| improvement(n, b))
                 .collect::<Vec<_>>(),
         );
-        println!(
-            "NeuroCuts vs {name:<10} median space improvement: {:>7.1}%",
-            med_imp * 100.0
-        );
+        println!("NeuroCuts vs {name:<10} median space improvement: {:>7.1}%", med_imp * 100.0);
     }
     println!(
         "\npaper shape: >>0% vs HiCuts/HyperCuts, ~40% vs EffiCuts, negative vs CutSplit (-26%)"

@@ -13,9 +13,15 @@ fn main() {
     println!("Table 1: NeuroCuts hyperparameters (paper_default)\n");
     let rows: Vec<(&str, String)> = vec![
         ("Time-space coefficient c", format!("{} (set by user)", cfg.time_space_coeff)),
-        ("Top-node partitioning", format!("{:?} (swept: none/simple/EffiCuts)", cfg.partition_mode)),
+        (
+            "Top-node partitioning",
+            format!("{:?} (swept: none/simple/EffiCuts)", cfg.partition_mode),
+        ),
         ("Reward scaling f", format!("{:?} (swept: x / log x)", cfg.reward_scaling)),
-        ("Max timesteps per rollout", format!("{} (swept: 1000/5000/15000)", cfg.max_timesteps_per_rollout)),
+        (
+            "Max timesteps per rollout",
+            format!("{} (swept: 1000/5000/15000)", cfg.max_timesteps_per_rollout),
+        ),
         ("Max tree depth", format!("{} (swept: 100/500)", cfg.max_tree_depth)),
         ("Max timesteps to train", cfg.max_timesteps.to_string()),
         ("Max timesteps per batch", cfg.timesteps_per_batch.to_string()),

@@ -33,10 +33,7 @@ pub struct SuiteEntry {
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Rules per classifier (`NC_SIZE`, default 300).
@@ -66,11 +63,7 @@ pub fn suite() -> Vec<SuiteEntry> {
     for family in families {
         for seed in 0..family.num_variants().min(max_variants) as u64 {
             let cfg = GeneratorConfig::new(family, size).with_seed(seed);
-            out.push(SuiteEntry {
-                label: cfg.label(),
-                family,
-                rules: generate_rules(&cfg),
-            });
+            out.push(SuiteEntry { label: cfg.label(), family, rules: generate_rules(&cfg) });
         }
     }
     out
@@ -86,12 +79,8 @@ pub const BASELINE_NAMES: [&str; 4] = ["HiCuts", "HyperCuts", "EffiCuts", "CutSp
 pub fn build_baseline(name: &str, rules: &RuleSet) -> DecisionTree {
     match name {
         "HiCuts" => baselines::build_hicuts(rules, &baselines::HiCutsConfig::default()),
-        "HyperCuts" => {
-            baselines::build_hypercuts(rules, &baselines::HyperCutsConfig::default())
-        }
-        "HyperSplit" => {
-            baselines::build_hypersplit(rules, &baselines::HyperSplitConfig::default())
-        }
+        "HyperCuts" => baselines::build_hypercuts(rules, &baselines::HyperCutsConfig::default()),
+        "HyperSplit" => baselines::build_hypersplit(rules, &baselines::HyperSplitConfig::default()),
         "EffiCuts" => baselines::build_efficuts(rules, &baselines::EffiCutsConfig::default()),
         "CutSplit" => baselines::build_cutsplit(rules, &baselines::CutSplitConfig::default()),
         other => panic!("unknown baseline {other}"),
@@ -126,16 +115,12 @@ pub fn run_neurocuts(rules: &RuleSet, cfg: NeuroCutsConfig) -> NeuroCutsResult {
     let score = |s: &TreeStats| objective.value(s.time, s.bytes);
     let (greedy_tree, greedy_stats) = trainer.greedy_tree();
     match report.best {
-        Some(best) if score(&best.stats) <= score(&greedy_stats) => NeuroCutsResult {
-            stats: best.stats,
-            tree: best.tree,
-            timesteps: report.timesteps,
-        },
-        _ => NeuroCutsResult {
-            stats: greedy_stats,
-            tree: greedy_tree,
-            timesteps: report.timesteps,
-        },
+        Some(best) if score(&best.stats) <= score(&greedy_stats) => {
+            NeuroCutsResult { stats: best.stats, tree: best.tree, timesteps: report.timesteps }
+        }
+        _ => {
+            NeuroCutsResult { stats: greedy_stats, tree: greedy_tree, timesteps: report.timesteps }
+        }
     }
 }
 

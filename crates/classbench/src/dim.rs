@@ -11,13 +11,7 @@ pub const NUM_DIMS: usize = 5;
 pub const DIM_BITS: [u32; NUM_DIMS] = [32, 32, 16, 16, 8];
 
 /// All dimensions in canonical order.
-pub const DIMS: [Dim; NUM_DIMS] = [
-    Dim::SrcIp,
-    Dim::DstIp,
-    Dim::SrcPort,
-    Dim::DstPort,
-    Dim::Proto,
-];
+pub const DIMS: [Dim; NUM_DIMS] = [Dim::SrcIp, Dim::DstIp, Dim::SrcPort, Dim::DstPort, Dim::Proto];
 
 /// One of the five packet-header fields a classifier matches on.
 ///

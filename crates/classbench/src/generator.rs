@@ -97,12 +97,7 @@ fn sample_proto(rng: &mut impl Rng, dist: &ProtoDist) -> DimRange {
 
 /// Sample an IP range: pick a base prefix from the pool (locality), then
 /// refine it to the target prefix length with random low bits.
-fn sample_ip(
-    rng: &mut impl Rng,
-    pool: &[u64],
-    base_len: u32,
-    dist: &PrefixLenDist,
-) -> DimRange {
+fn sample_ip(rng: &mut impl Rng, pool: &[u64], base_len: u32, dist: &PrefixLenDist) -> DimRange {
     let len = sample_prefix_len(rng, dist);
     if len == 0 {
         return DimRange::full(Dim::SrcIp);
@@ -130,8 +125,7 @@ pub fn generate_rules(cfg: &GeneratorConfig) -> RuleSet {
 
     // Shared base-prefix pools give the rule set locality: many rules
     // nest under a few address blocks, like real classifiers.
-    let pool_size =
-        ((cfg.size.max(64) / 256).max(1) * profile.base_prefix_pool_per_256).max(4);
+    let pool_size = ((cfg.size.max(64) / 256).max(1) * profile.base_prefix_pool_per_256).max(4);
     let make_pool = |rng: &mut ChaCha8Rng| -> Vec<u64> {
         (0..pool_size)
             .map(|_| {
@@ -233,11 +227,7 @@ mod tests {
     #[test]
     fn acl_source_ports_mostly_wildcard() {
         let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 1000));
-        let wild = rs
-            .rules()
-            .iter()
-            .filter(|r| r.is_wildcard(Dim::SrcPort))
-            .count() as f64
+        let wild = rs.rules().iter().filter(|r| r.is_wildcard(Dim::SrcPort)).count() as f64
             / rs.len() as f64;
         assert!(wild > 0.7, "ACL src-port wildcard fraction {wild}");
     }
@@ -246,11 +236,7 @@ mod tests {
     fn fw_has_more_ip_wildcards_than_acl() {
         let frac_wild = |fam| {
             let rs = generate_rules(&GeneratorConfig::new(fam, 1000));
-            rs.rules()
-                .iter()
-                .filter(|r| r.is_wildcard(Dim::SrcIp))
-                .count() as f64
-                / rs.len() as f64
+            rs.rules().iter().filter(|r| r.is_wildcard(Dim::SrcIp)).count() as f64 / rs.len() as f64
         };
         assert!(frac_wild(ClassifierFamily::Fw) > frac_wild(ClassifierFamily::Acl));
     }

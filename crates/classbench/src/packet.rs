@@ -17,9 +17,7 @@ pub struct Packet {
 impl Packet {
     /// Construct from the five header fields in canonical order.
     pub fn new(src_ip: u64, dst_ip: u64, src_port: u64, dst_port: u64, proto: u64) -> Self {
-        Packet {
-            values: [src_ip, dst_ip, src_port, dst_port, proto],
-        }
+        Packet { values: [src_ip, dst_ip, src_port, dst_port, proto] }
     }
 
     /// The packet's value in dimension `dim`.
@@ -30,10 +28,7 @@ impl Packet {
 
     /// True when every field lies inside its dimension's value space.
     pub fn is_valid(&self) -> bool {
-        self.values
-            .iter()
-            .zip(crate::dim::DIMS.iter())
-            .all(|(&v, &d)| v < d.span())
+        self.values.iter().zip(crate::dim::DIMS.iter()).all(|(&v, &d)| v < d.span())
     }
 
     /// Serialise to a fixed 13-byte wire layout

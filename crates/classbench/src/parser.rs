@@ -48,9 +48,7 @@ fn parse_ipv4(s: &str, line: usize) -> Result<u64, ParseError> {
     let mut out: u64 = 0;
     let mut count = 0;
     for part in s.split('.') {
-        let octet: u64 = part
-            .parse()
-            .map_err(|_| err(line, format!("bad IPv4 octet {part:?}")))?;
+        let octet: u64 = part.parse().map_err(|_| err(line, format!("bad IPv4 octet {part:?}")))?;
         if octet > 255 {
             return Err(err(line, format!("IPv4 octet {octet} out of range")));
         }
@@ -64,13 +62,10 @@ fn parse_ipv4(s: &str, line: usize) -> Result<u64, ParseError> {
 }
 
 fn parse_prefix(s: &str, line: usize) -> Result<DimRange, ParseError> {
-    let (addr, len) = s
-        .split_once('/')
-        .ok_or_else(|| err(line, format!("missing '/' in prefix {s:?}")))?;
+    let (addr, len) =
+        s.split_once('/').ok_or_else(|| err(line, format!("missing '/' in prefix {s:?}")))?;
     let value = parse_ipv4(addr, line)?;
-    let len: u32 = len
-        .parse()
-        .map_err(|_| err(line, format!("bad prefix length {len:?}")))?;
+    let len: u32 = len.parse().map_err(|_| err(line, format!("bad prefix length {len:?}")))?;
     if len > 32 {
         return Err(err(line, format!("prefix length {len} > 32")));
     }
@@ -99,19 +94,14 @@ fn parse_port_range(lo: &str, hi: &str, line: usize) -> Result<DimRange, ParseEr
 }
 
 fn parse_proto(s: &str, line: usize) -> Result<DimRange, ParseError> {
-    let (value, mask) = s
-        .split_once('/')
-        .ok_or_else(|| err(line, format!("missing '/' in protocol {s:?}")))?;
+    let (value, mask) =
+        s.split_once('/').ok_or_else(|| err(line, format!("missing '/' in protocol {s:?}")))?;
     let value = parse_u64_maybe_hex(value, line)?;
     let mask = parse_u64_maybe_hex(mask, line)?;
     if value > 255 {
         return Err(err(line, format!("protocol {value} out of range")));
     }
-    Ok(if mask == 0 {
-        DimRange::full(Dim::Proto)
-    } else {
-        DimRange::exact(value)
-    })
+    Ok(if mask == 0 { DimRange::full(Dim::Proto) } else { DimRange::exact(value) })
 }
 
 /// Parse a ClassBench filter-set from text. Lines are highest priority
@@ -124,9 +114,8 @@ pub fn parse_rules(text: &str) -> Result<RuleSet, ParseError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let line = line
-            .strip_prefix('@')
-            .ok_or_else(|| err(line_no, "rule must start with '@'"))?;
+        let line =
+            line.strip_prefix('@').ok_or_else(|| err(line_no, "rule must start with '@'"))?;
         let tok: Vec<&str> = line.split_whitespace().collect();
         if tok.len() < 9 {
             return Err(err(line_no, format!("expected >= 9 tokens, got {}", tok.len())));
@@ -155,11 +144,8 @@ fn format_ip(v: u64) -> String {
 fn format_prefix(r: &DimRange, bits: u32) -> String {
     // Recover the prefix length from the block size (ClassBench IP
     // fields are always power-of-two aligned prefixes).
-    let block_bits = if r.len() >= (1u64 << bits) {
-        bits
-    } else {
-        63 - r.len().max(1).leading_zeros()
-    };
+    let block_bits =
+        if r.len() >= (1u64 << bits) { bits } else { 63 - r.len().max(1).leading_zeros() };
     format!("{}/{}", format_ip(r.lo), bits - block_bits)
 }
 
@@ -266,5 +252,92 @@ mod tests {
         let e = parse_rules(&text).unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn wildcard_fields_roundtrip() {
+        // A rule wildcarded in every dimension, and one wildcarded per
+        // dimension, survive write -> parse exactly.
+        let mut rules = vec![Rule::default_rule(0)];
+        for dim in crate::dim::DIMS {
+            let mut r = Rule::default_rule(0);
+            // Pin every other dimension to an exact value so only `dim`
+            // is wildcard.
+            for other in crate::dim::DIMS {
+                if other != dim {
+                    r.ranges[other.index()] = DimRange::exact(7);
+                }
+            }
+            rules.push(r);
+        }
+        let rs = RuleSet::from_ordered(rules);
+        let back = parse_rules(&write_rules(&rs)).unwrap();
+        assert_eq!(back.len(), rs.len());
+        for (a, b) in rs.rules().iter().zip(back.rules()) {
+            assert_eq!(a.ranges, b.ranges, "{a} vs {b}");
+        }
+        for dim in crate::dim::DIMS {
+            assert!(back.rule(0).is_wildcard(dim), "{dim}");
+        }
+    }
+
+    #[test]
+    fn degenerate_port_ranges() {
+        // A single-port inclusive range `80 : 80` is the half-open
+        // [80, 81); hex bounds parse the same as decimal.
+        let text = "@1.2.3.4/32 5.6.7.8/32 80 : 80 0x50 : 0x50 0x06/0xFF\n";
+        let rs = parse_rules(text).unwrap();
+        let r = rs.rule(0);
+        assert_eq!(r.range(Dim::SrcPort), &DimRange::new(80, 81));
+        assert_eq!(r.range(Dim::DstPort), &DimRange::new(80, 81));
+        // The extreme single points survive a write -> parse round trip.
+        for port in [0u64, 65535] {
+            let mut rule = Rule::default_rule(0);
+            rule.ranges[Dim::SrcPort.index()] = DimRange::new(port, port + 1);
+            let rs = RuleSet::from_ordered(vec![rule, Rule::default_rule(0)]);
+            let back = parse_rules(&write_rules(&rs)).unwrap();
+            assert_eq!(back.rule(0).range(Dim::SrcPort), &DimRange::new(port, port + 1));
+        }
+    }
+
+    #[test]
+    fn inverted_port_ranges_are_rejected() {
+        let e = parse_rules("@1.2.3.4/32 5.6.7.8/32 10 : 9 0 : 65535 0x00/0x00\n").unwrap_err();
+        assert!(e.message.contains("inverted"), "{e}");
+        let e = parse_rules("@1.2.3.4/32 5.6.7.8/32 0 : 65535 0xFFFF : 0x0001 0x00/0x00\n")
+            .unwrap_err();
+        assert!(e.message.contains("inverted"), "{e}");
+    }
+
+    #[test]
+    fn malformed_fields_are_rejected_with_context() {
+        // (line text, substring expected in the error message)
+        let cases: [(&str, &str); 8] = [
+            ("@1.2.3.4/32 5.6.7.8/32 0 : 1 0 : 1 6\n", "missing '/' in protocol"),
+            ("@1.2.3.4/32 5.6.7.8/32 0 : 1 0 : 1 999/0xFF\n", "protocol 999 out of range"),
+            ("@1.2.3.4/32 5.6.7.8/32 0 : 1 0 : 1 0xZZ/0xFF\n", "bad number"),
+            ("@1.2.3.256/32 5.6.7.8/32 0 : 1 0 : 1 0x00/0x00\n", "octet 256 out of range"),
+            ("@1.2.3.4.5/32 5.6.7.8/32 0 : 1 0 : 1 0x00/0x00\n", "expected 4 octets"),
+            ("@1.2.3.4 5.6.7.8/32 0 : 1 0 : 1 0x00/0x00\n", "missing '/' in prefix"),
+            ("@1.2.3.4/x2 5.6.7.8/32 0 : 1 0 : 1 0x00/0x00\n", "bad prefix length"),
+            ("@1.2.3.4/32 5.6.7.8/32 0 - 1 0 : 1 0x00/0x00\n", "expected ':'"),
+        ];
+        for (text, want) in cases {
+            let e = parse_rules(text).unwrap_err();
+            assert!(e.message.contains(want), "{text:?}: got {e}");
+            assert_eq!(e.line, 1, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_family() {
+        for fam in ClassifierFamily::ALL {
+            let rs = generate_rules(&GeneratorConfig::new(fam, 150).with_seed(11));
+            let back = parse_rules(&write_rules(&rs)).unwrap();
+            assert_eq!(back.len(), rs.len(), "{fam}");
+            for (a, b) in rs.rules().iter().zip(back.rules()) {
+                assert_eq!(a.ranges, b.ranges, "{fam}: {a} vs {b}");
+            }
+        }
     }
 }

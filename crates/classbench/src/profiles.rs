@@ -135,8 +135,7 @@ pub struct FamilyProfile {
 }
 
 /// Well-known ports sampled for [`PortClass::ExactWellKnown`].
-pub const WELL_KNOWN_PORTS: [u16; 12] =
-    [20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 443, 993];
+pub const WELL_KNOWN_PORTS: [u16; 12] = [20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 443, 993];
 
 /// Protocol numbers: ICMP, TCP, UDP, GRE, ESP.
 pub const PROTO_ICMP: u8 = 1;
@@ -159,7 +158,11 @@ const ACL_PROFILE: FamilyProfile = FamilyProfile {
     },
     // ACL source ports are nearly always wildcarded...
     src_port: PortClassDist {
-        points: &[(PortClass::Wildcard, 0.90), (PortClass::HighRange, 0.07), (PortClass::ExactHigh, 0.03)],
+        points: &[
+            (PortClass::Wildcard, 0.90),
+            (PortClass::HighRange, 0.07),
+            (PortClass::ExactHigh, 0.03),
+        ],
     },
     // ...while destination ports name the service.
     dst_port: PortClassDist {
@@ -193,7 +196,11 @@ const FW_PROFILE: FamilyProfile = FamilyProfile {
         points: &[(0, 0.20), (8, 0.05), (16, 0.15), (24, 0.25), (32, 0.35)],
     },
     src_port: PortClassDist {
-        points: &[(PortClass::Wildcard, 0.75), (PortClass::HighRange, 0.15), (PortClass::ArbitraryRange, 0.10)],
+        points: &[
+            (PortClass::Wildcard, 0.75),
+            (PortClass::HighRange, 0.15),
+            (PortClass::ArbitraryRange, 0.10),
+        ],
     },
     dst_port: PortClassDist {
         points: &[
@@ -226,7 +233,11 @@ const IPC_PROFILE: FamilyProfile = FamilyProfile {
         points: &[(0, 0.08), (16, 0.12), (24, 0.30), (28, 0.15), (32, 0.35)],
     },
     src_port: PortClassDist {
-        points: &[(PortClass::Wildcard, 0.82), (PortClass::HighRange, 0.10), (PortClass::ExactHigh, 0.08)],
+        points: &[
+            (PortClass::Wildcard, 0.82),
+            (PortClass::HighRange, 0.10),
+            (PortClass::ExactHigh, 0.08),
+        ],
     },
     dst_port: PortClassDist {
         points: &[

@@ -51,10 +51,7 @@ impl Rule {
         proto: DimRange,
         priority: i32,
     ) -> Self {
-        Rule {
-            ranges: [src_ip, dst_ip, src_port, dst_port, proto],
-            priority,
-        }
+        Rule { ranges: [src_ip, dst_ip, src_port, dst_port, proto], priority }
     }
 
     /// The rule's range in dimension `dim`.
@@ -68,25 +65,18 @@ impl Rule {
     pub fn matches(&self, packet: &Packet) -> bool {
         // Check ports/proto first: they discriminate more cheaply on
         // typical rule sets, but correctness is order-independent.
-        self.ranges
-            .iter()
-            .zip(packet.values.iter())
-            .all(|(r, &v)| r.contains(v))
+        self.ranges.iter().zip(packet.values.iter()).all(|(r, &v)| r.contains(v))
     }
 
     /// True when the rule's hypercube intersects the given node space.
     #[inline]
     pub fn intersects_space(&self, space: &[DimRange; NUM_DIMS]) -> bool {
-        self.ranges
-            .iter()
-            .zip(space.iter())
-            .all(|(r, s)| r.overlaps(s))
+        self.ranges.iter().zip(space.iter()).all(|(r, s)| r.overlaps(s))
     }
 
     /// True when every dimension is fully wildcarded.
     pub fn is_default(&self) -> bool {
-        DIMS.iter()
-            .all(|&d| self.ranges[d.index()] == DimRange::full(d))
+        DIMS.iter().all(|&d| self.ranges[d.index()] == DimRange::full(d))
     }
 
     /// True when dimension `dim` is fully wildcarded.
@@ -168,11 +158,7 @@ mod tests {
         );
         assert!(rules.iter().all(|r| r.matches(&pkt)));
         // Highest priority match is rule with priority 2.
-        let best = rules
-            .iter()
-            .filter(|r| r.matches(&pkt))
-            .max_by_key(|r| r.priority)
-            .unwrap();
+        let best = rules.iter().filter(|r| r.matches(&pkt)).max_by_key(|r| r.priority).unwrap();
         assert_eq!(best.priority, 2);
     }
 
@@ -181,13 +167,7 @@ mod tests {
         let r = Rule::default_rule(0);
         assert!(r.is_default());
         assert!(r.matches(&Packet::new(0, 0, 0, 0, 0)));
-        assert!(r.matches(&Packet::new(
-            (1 << 32) - 1,
-            (1 << 32) - 1,
-            65535,
-            65535,
-            255
-        )));
+        assert!(r.matches(&Packet::new((1 << 32) - 1, (1 << 32) - 1, 65535, 65535, 255)));
     }
 
     #[test]

@@ -21,7 +21,7 @@ impl RuleSet {
     /// Ties in priority keep their relative input order (stable sort),
     /// matching the "first listed wins" convention of ClassBench files.
     pub fn new(mut rules: Vec<Rule>) -> Self {
-        rules.sort_by(|a, b| b.priority.cmp(&a.priority));
+        rules.sort_by_key(|r| std::cmp::Reverse(r.priority));
         RuleSet { rules }
     }
 
@@ -71,9 +71,7 @@ impl RuleSet {
     /// Among equal priorities the new rule is placed last, so existing
     /// rules keep precedence over later additions.
     pub fn insert(&mut self, rule: Rule) -> usize {
-        let idx = self
-            .rules
-            .partition_point(|r| r.priority >= rule.priority);
+        let idx = self.rules.partition_point(|r| r.priority >= rule.priority);
         self.rules.insert(idx, rule);
         idx
     }
@@ -167,10 +165,7 @@ mod tests {
 
     #[test]
     fn insert_keeps_order_and_precedence() {
-        let mut rs = RuleSet::from_ordered(vec![
-            rule_with_src(0, 10, 0),
-            Rule::default_rule(0),
-        ]);
+        let mut rs = RuleSet::from_ordered(vec![rule_with_src(0, 10, 0), Rule::default_rule(0)]);
         // Insert at priority 1: ties with the existing priority-1 rule and
         // must land *after* it.
         let idx = rs.insert(rule_with_src(0, 10, 1));
@@ -183,10 +178,7 @@ mod tests {
 
     #[test]
     fn remove_rule() {
-        let mut rs = RuleSet::from_ordered(vec![
-            rule_with_src(0, 10, 0),
-            Rule::default_rule(0),
-        ]);
+        let mut rs = RuleSet::from_ordered(vec![rule_with_src(0, 10, 0), Rule::default_rule(0)]);
         let removed = rs.remove(0);
         assert_eq!(removed.ranges[0], DimRange::new(0, 10));
         assert_eq!(rs.len(), 1);

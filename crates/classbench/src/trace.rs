@@ -94,27 +94,22 @@ pub fn generate_trace(rules: &RuleSet, cfg: &TraceConfig) -> Vec<Packet> {
 }
 
 /// Serialise a trace to the 13-bytes-per-packet wire layout.
-pub fn trace_to_bytes(trace: &[Packet]) -> bytes::Bytes {
-    let mut buf = bytes::BytesMut::with_capacity(trace.len() * 13);
+pub fn trace_to_bytes(trace: &[Packet]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(trace.len() * 13);
     for p in trace {
         buf.extend_from_slice(&p.to_wire());
     }
-    buf.freeze()
+    buf
 }
 
 /// Inverse of [`trace_to_bytes`]. Trailing partial records are ignored.
 pub fn trace_from_bytes(data: &[u8]) -> Vec<Packet> {
-    data.chunks_exact(13)
-        .map(|c| Packet::from_wire(c.try_into().unwrap()))
-        .collect()
+    data.chunks_exact(13).map(|c| Packet::from_wire(c.try_into().unwrap())).collect()
 }
 
 /// Check that every value of every packet lies inside its dimension span.
 pub fn trace_is_valid(trace: &[Packet]) -> bool {
-    trace.iter().all(|p| {
-        DIMS.iter()
-            .all(|&d| p.value(d) < d.span())
-    })
+    trace.iter().all(|p| DIMS.iter().all(|&d| p.value(d) < d.span()))
 }
 
 #[cfg(test)]
@@ -157,10 +152,7 @@ mod tests {
             assert!(rs.classify(p).is_some(), "{p}");
         }
         // Skew means a decent fraction hits the top half of the rule list.
-        let top_half_hits = trace
-            .iter()
-            .filter(|p| rs.classify(p).unwrap() < rs.len() / 2)
-            .count();
+        let top_half_hits = trace.iter().filter(|p| rs.classify(p).unwrap() < rs.len() / 2).count();
         assert!(top_half_hits > trace.len() / 2);
     }
 

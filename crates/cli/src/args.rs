@@ -14,12 +14,9 @@ impl Args {
         let mut values = HashMap::new();
         let mut it = argv.iter();
         while let Some(flag) = it.next() {
-            let key = flag
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{key} requires a value"))?;
+            let key =
+                flag.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+            let value = it.next().ok_or_else(|| format!("--{key} requires a value"))?;
             values.insert(key.to_string(), value.clone());
         }
         Ok(Args { values })
@@ -47,9 +44,7 @@ impl Args {
     pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.values.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("bad value for --{key}: {v:?}")),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
         }
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::args::Args;
 use classbench::{
-    generate_rules, generate_trace, parse_rules, write_rules, ClassifierFamily,
-    GeneratorConfig, RuleSet, TraceConfig,
+    generate_rules, generate_trace, parse_rules, write_rules, ClassifierFamily, GeneratorConfig,
+    RuleSet, TraceConfig,
 };
 use dtree::{DecisionTree, TreeStats};
 use neurocuts::{NeuroCutsConfig, PartitionMode, Trainer};
@@ -28,21 +28,20 @@ subcommands:
       print a saved tree's statistics";
 
 fn read_rules(path: &str) -> Result<RuleSet, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_rules(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn read_tree(path: &str) -> Result<DecisionTree, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     DecisionTree::from_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn write_out(out: Option<&str>, content: &str) -> Result<(), String> {
     match out {
-        Some(path) => std::fs::write(path, content)
-            .map_err(|e| format!("cannot write {path}: {e}")),
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+        }
         None => {
             println!("{content}");
             Ok(())
@@ -112,9 +111,7 @@ pub fn build(argv: &[String]) -> Result<(), String> {
     let algo = args.required("algo")?;
     let tree = match algo {
         "hicuts" => baselines::build_hicuts(&rules, &baselines::HiCutsConfig::default()),
-        "hypercuts" => {
-            baselines::build_hypercuts(&rules, &baselines::HyperCutsConfig::default())
-        }
+        "hypercuts" => baselines::build_hypercuts(&rules, &baselines::HyperCutsConfig::default()),
         "hypersplit" => {
             baselines::build_hypersplit(&rules, &baselines::HyperSplitConfig::default())
         }

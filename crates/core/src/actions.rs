@@ -125,10 +125,7 @@ impl ActionSpace {
     /// Dimension-head mask: a dimension is selectable while its range at
     /// the node still has at least 2 values to cut.
     pub fn dim_mask(&self, space: &dtree::NodeSpace) -> Vec<bool> {
-        classbench::DIMS
-            .iter()
-            .map(|&d| space.range(d).len() >= 2)
-            .collect()
+        classbench::DIMS.iter().map(|&d| space.range(d).len() >= 2).collect()
     }
 }
 
@@ -141,23 +138,14 @@ mod tests {
     #[test]
     fn decode_cut_actions() {
         let space = ActionSpace::new(PartitionMode::None);
-        assert_eq!(
-            space.decode(0, 0),
-            Action::Cut { dim: Dim::SrcIp, ncuts: 2 }
-        );
-        assert_eq!(
-            space.decode(4, 4),
-            Action::Cut { dim: Dim::Proto, ncuts: 32 }
-        );
+        assert_eq!(space.decode(0, 0), Action::Cut { dim: Dim::SrcIp, ncuts: 2 });
+        assert_eq!(space.decode(4, 4), Action::Cut { dim: Dim::Proto, ncuts: 32 });
     }
 
     #[test]
     fn decode_partition_actions() {
         let space = ActionSpace::new(PartitionMode::Simple);
-        assert_eq!(
-            space.decode(2, 5 + 3),
-            Action::SimplePartition { dim: Dim::SrcPort, level: 3 }
-        );
+        assert_eq!(space.decode(2, 5 + 3), Action::SimplePartition { dim: Dim::SrcPort, level: 3 });
         assert_eq!(space.decode(0, space.efficuts_index()), Action::EffiCutsPartition);
     }
 

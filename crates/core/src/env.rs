@@ -42,11 +42,7 @@ pub struct NodeMeta {
 impl NodeMeta {
     /// Metadata of the root: full windows, no partition, top.
     pub fn root() -> Self {
-        NodeMeta {
-            coverage_window: [(0, 7); NUM_DIMS],
-            efficuts_id: None,
-            top: true,
-        }
+        NodeMeta { coverage_window: [(0, 7); NUM_DIMS], efficuts_id: None, top: true }
     }
 
     /// Metadata inherited by cut children: same windows/id, not top.
@@ -149,7 +145,7 @@ impl NeuroCutsEnv {
     /// sampled (training rollouts, Figure 6 variations).
     pub fn build_tree(&self, net: &PolicyValueNet, seed: u64, greedy: bool) -> Episode {
         let cfg = &*self.config;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6570_69); // "epi"
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0065_7069); // "epi"
         let mut tree = DecisionTree::new(&self.rules);
         let mut metas: Vec<NodeMeta> = vec![NodeMeta::root()];
         let mut samples: Vec<Sample> = Vec::new();
@@ -189,16 +185,12 @@ impl NeuroCutsEnv {
             // still discriminate rules at this node — cutting any other
             // dimension replicates every rule into some child for zero
             // gain, which every hand-tuned heuristic also refuses to do.
-            let dim_mask: Vec<bool> = classbench::DIMS
-                .iter()
-                .map(|&d| tree.dim_separable(id, d))
-                .collect();
+            let dim_mask: Vec<bool> =
+                classbench::DIMS.iter().map(|&d| tree.dim_separable(id, d)).collect();
             if !dim_mask.iter().any(|&m| m) {
                 continue; // nothing separable: forced leaf
             }
-            let act_mask = self
-                .action_space
-                .act_mask(meta.top || self.config.partition_anywhere);
+            let act_mask = self.action_space.act_mask(meta.top || self.config.partition_anywhere);
 
             let obs = self.encoder.encode(&tree.node(id).space, &meta, &dim_mask, &act_mask);
             let (dim_logits, act_logits, value) = net.forward_one(&obs);
@@ -218,9 +210,7 @@ impl NeuroCutsEnv {
             let children: Vec<NodeId> = loop {
                 match self.action_space.decode(dim_action, act_action) {
                     Action::Cut { dim, ncuts } => {
-                        let ncuts = ncuts.min(
-                            tree.node(id).space.range(dim).len().max(2) as usize,
-                        );
+                        let ncuts = ncuts.min(tree.node(id).space.range(dim).len().max(2) as usize);
                         let kids = tree.cut_node(id, dim, ncuts.max(2));
                         for &k in &kids {
                             tree.truncate_covered(k);
@@ -234,34 +224,27 @@ impl NeuroCutsEnv {
                     Action::SimplePartition { dim, level } => {
                         match plan_simple_partition(&tree, id, &meta, dim, level) {
                             Some(split) => {
-                                let kids = tree.partition_node(
-                                    id,
-                                    vec![split.small, split.large],
-                                );
+                                let kids = tree.partition_node(id, vec![split.small, split.large]);
                                 metas.push(split.small_meta);
                                 metas.push(split.large_meta);
                                 break kids;
                             }
                             None => {
                                 // Fall back: binary cut on a valid dim.
-                                (dim_action, act_action) =
-                                    self.fallback_cut(&dim_mask, dim_action);
+                                (dim_action, act_action) = self.fallback_cut(&dim_mask, dim_action);
                             }
                         }
                     }
-                    Action::EffiCutsPartition => {
-                        match plan_efficuts_partition(&tree, id, &meta) {
-                            Some((groups, group_metas)) => {
-                                let kids = tree.partition_node(id, groups);
-                                metas.extend(group_metas);
-                                break kids;
-                            }
-                            None => {
-                                (dim_action, act_action) =
-                                    self.fallback_cut(&dim_mask, dim_action);
-                            }
+                    Action::EffiCutsPartition => match plan_efficuts_partition(&tree, id, &meta) {
+                        Some((groups, group_metas)) => {
+                            let kids = tree.partition_node(id, groups);
+                            metas.extend(group_metas);
+                            break kids;
                         }
-                    }
+                        None => {
+                            (dim_action, act_action) = self.fallback_cut(&dim_mask, dim_action);
+                        }
+                    },
                 }
             };
             debug_assert_eq!(metas.len(), tree.num_nodes());
@@ -300,8 +283,7 @@ impl NeuroCutsEnv {
         };
         let value_at = |node: NodeId| -> f64 {
             self.objective.c * self.objective.scaling.apply(time_at(node))
-                + (1.0 - self.objective.c)
-                    * self.objective.scaling.apply(bytes[node] as f64)
+                + (1.0 - self.objective.c) * self.objective.scaling.apply(bytes[node] as f64)
         };
         let objective = value_at(tree.root());
         if self.config.dense_rewards {
@@ -359,10 +341,7 @@ mod tests {
     use dtree::validate::assert_tree_valid;
     use nn::NetConfig;
 
-    fn env_and_net(
-        mode: PartitionMode,
-        size: usize,
-    ) -> (NeuroCutsEnv, PolicyValueNet) {
+    fn env_and_net(mode: PartitionMode, size: usize) -> (NeuroCutsEnv, PolicyValueNet) {
         let rules =
             generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, size).with_seed(71));
         let cfg = NeuroCutsConfig::smoke_test().with_partition_mode(mode);
@@ -412,10 +391,7 @@ mod tests {
         assert!(
             a.samples.len() != c.samples.len()
                 || (a.objective - c.objective).abs() > 1e-12
-                || a.samples
-                    .iter()
-                    .zip(&c.samples)
-                    .any(|(x, y)| x.dim_action != y.dim_action)
+                || a.samples.iter().zip(&c.samples).any(|(x, y)| x.dim_action != y.dim_action)
         );
     }
 
@@ -430,8 +406,7 @@ mod tests {
 
     #[test]
     fn depth_truncation_bounds_trees() {
-        let rules =
-            generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 120).with_seed(74));
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 120).with_seed(74));
         let mut cfg = NeuroCutsConfig::smoke_test();
         cfg.max_tree_depth = 3;
         cfg.max_timesteps_per_rollout = 100_000;
@@ -452,8 +427,7 @@ mod tests {
 
     #[test]
     fn rollout_truncation_caps_samples() {
-        let rules =
-            generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 200).with_seed(76));
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 200).with_seed(76));
         let mut cfg = NeuroCutsConfig::smoke_test();
         cfg.max_timesteps_per_rollout = 10;
         let env = NeuroCutsEnv::new(rules, cfg);
@@ -496,9 +470,8 @@ mod tests {
         // A trace concentrated in one corner of the space: expected
         // lookup cost must be <= worst case, so the traffic objective is
         // never larger than the worst-case objective for the same tree.
-        let trace: Vec<Packet> = (0..200)
-            .map(|i| Packet::new(i % 50, i % 50, i % 50, 80, 6))
-            .collect();
+        let trace: Vec<Packet> =
+            (0..200).map(|i| Packet::new(i % 50, i % 50, i % 50, 80, 6)).collect();
         let traffic_env = env.clone().with_traffic(trace);
         let worst = env.build_tree(&net, 3, false);
         let avg = traffic_env.build_tree(&net, 3, false);
@@ -527,12 +500,7 @@ mod tests {
         let mut saw_partition = false;
         for seed in 0..20 {
             let ep = env.build_tree(&net, seed, false);
-            if ep
-                .tree
-                .nodes()
-                .iter()
-                .any(|n| matches!(n.kind, dtree::NodeKind::Partition { .. }))
-            {
+            if ep.tree.nodes().iter().any(|n| matches!(n.kind, dtree::NodeKind::Partition { .. })) {
                 saw_partition = true;
                 break;
             }

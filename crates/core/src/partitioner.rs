@@ -38,11 +38,8 @@ pub fn plan_simple_partition(
         return None;
     }
     let threshold = COVERAGE_LEVELS[level];
-    let (small, large): (Vec<RuleId>, Vec<RuleId>) = tree
-        .node(id)
-        .rules
-        .iter()
-        .partition(|&&r| tree.rule(r).largeness(dim) <= threshold);
+    let (small, large): (Vec<RuleId>, Vec<RuleId>) =
+        tree.node(id).rules.iter().partition(|&&r| tree.rule(r).largeness(dim) <= threshold);
     if small.is_empty() || large.is_empty() {
         return None;
     }
@@ -62,12 +59,7 @@ pub fn plan_efficuts_partition(
     id: NodeId,
     meta: &NodeMeta,
 ) -> Option<(Vec<Vec<RuleId>>, Vec<NodeMeta>)> {
-    let groups = baselines::partition_by_largeness(
-        tree,
-        &tree.node(id).rules.clone(),
-        0.5,
-        16,
-    );
+    let groups = baselines::partition_by_largeness(tree, &tree.node(id).rules.clone(), 0.5, 16);
     if groups.len() < 2 {
         return None;
     }
@@ -105,8 +97,7 @@ mod tests {
         let tree = mixed_tree();
         let meta = NodeMeta::root();
         // Level 4 = 16% coverage: narrow rules below, wildcards above.
-        let split =
-            plan_simple_partition(&tree, tree.root(), &meta, Dim::SrcIp, 4).unwrap();
+        let split = plan_simple_partition(&tree, tree.root(), &meta, Dim::SrcIp, 4).unwrap();
         assert_eq!(split.small.len(), 2);
         assert_eq!(split.large.len(), 2);
         assert_eq!(split.small_meta.coverage_window[0], (0, 4));

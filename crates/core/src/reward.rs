@@ -37,8 +37,7 @@ impl Objective {
 
     /// Scalarise a `(time, bytes)` pair.
     pub fn value(&self, time: usize, bytes: usize) -> f64 {
-        self.c * self.scaling.apply(time as f64)
-            + (1.0 - self.c) * self.scaling.apply(bytes as f64)
+        self.c * self.scaling.apply(time as f64) + (1.0 - self.c) * self.scaling.apply(bytes as f64)
     }
 
     /// Reward for a node whose subtree has the given metrics.
@@ -97,22 +96,14 @@ pub fn subtree_avg_time(tree: &DecisionTree, counts: &[usize]) -> Vec<f64> {
         let node = tree.node(id);
         avg[id] = match &node.kind {
             NodeKind::Leaf => 1.0,
-            NodeKind::Partition { children } => {
-                1.0 + children.iter().map(|&c| avg[c]).sum::<f64>()
-            }
+            NodeKind::Partition { children } => 1.0 + children.iter().map(|&c| avg[c]).sum::<f64>(),
             other => {
                 let kids = other.children();
                 let here = counts[id];
                 if here == 0 {
-                    1.0 + kids
-                        .iter()
-                        .map(|&c| avg[c])
-                        .fold(0.0f64, f64::max)
+                    1.0 + kids.iter().map(|&c| avg[c]).fold(0.0f64, f64::max)
                 } else {
-                    1.0 + kids
-                        .iter()
-                        .map(|&c| avg[c] * counts[c] as f64 / here as f64)
-                        .sum::<f64>()
+                    1.0 + kids.iter().map(|&c| avg[c] * counts[c] as f64 / here as f64).sum::<f64>()
                 }
             }
         };
@@ -189,8 +180,8 @@ mod tests {
         t.cut_node(kids[0], Dim::Proto, 2);
         let counts = vec![0usize; t.num_nodes()];
         let avg = subtree_avg_time(&t, &counts);
-        for id in 0..t.num_nodes() {
-            assert!((avg[id] - subtree_time(&t, id) as f64).abs() < 1e-9, "node {id}");
+        for (id, &a) in avg.iter().enumerate() {
+            assert!((a - subtree_time(&t, id) as f64).abs() < 1e-9, "node {id}");
         }
     }
 

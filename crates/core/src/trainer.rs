@@ -7,8 +7,8 @@
 //! budget or after `patience` iterations without improvement.
 
 use crate::config::NeuroCutsConfig;
-use crate::env::NeuroCutsEnv;
 pub use crate::env::BestTree;
+use crate::env::NeuroCutsEnv;
 use classbench::RuleSet;
 use dtree::{DecisionTree, TreeStats};
 use nn::{NetConfig, PolicyValueNet};
@@ -66,7 +66,7 @@ impl Trainer {
     /// Set up policy, PPO learner, and environment for `rules`.
     pub fn new(rules: RuleSet, config: NeuroCutsConfig) -> Self {
         let env = NeuroCutsEnv::new(rules, config.clone());
-        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x6e65_74); // "net"
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x006e_6574); // "net"
         let net = PolicyValueNet::new(
             NetConfig {
                 obs_dim: env.encoder.obs_dim(),
@@ -118,20 +118,14 @@ impl Trainer {
             &self.net,
             self.config.timesteps_per_batch,
             self.config.workers,
-            self.config
-                .seed
-                .wrapping_add(1 + self.iterations as u64 * 0x9e37_79b9),
+            self.config.seed.wrapping_add(1 + self.iterations as u64 * 0x9e37_79b9),
         );
         self.timesteps += batch.len();
         let ppo_stats = match &mut self.learner {
             Learner::Ppo(ppo) => ppo.update(&mut self.net, &batch),
             Learner::Q(q) => {
                 let qs = q.update(&mut self.net, &batch);
-                UpdateStats {
-                    value_loss: qs.td_error,
-                    epochs: qs.epochs,
-                    ..Default::default()
-                }
+                UpdateStats { value_loss: qs.td_error, epochs: qs.epochs, ..Default::default() }
             }
         };
         let stats = IterationStats {
@@ -298,8 +292,7 @@ mod tests {
         // partition has real work to do while random-policy episodes
         // still complete (FW-heavy sets need the paper's full 15k-step
         // budget to get through the initial random phase).
-        let rules =
-            generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 80).with_seed(85));
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 80).with_seed(85));
         let mut cfg = NeuroCutsConfig::smoke_test()
             .with_partition_mode(PartitionMode::EffiCuts)
             .with_coeff(0.0);

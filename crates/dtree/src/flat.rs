@@ -67,15 +67,9 @@ impl FlatTree {
     /// renumbered; lookup behaviour is preserved exactly.
     pub fn compile(tree: &DecisionTree) -> FlatTree {
         // Active rules in precedence order; remember original ids.
-        let mut order: Vec<RuleId> = (0..tree.rules().len())
-            .filter(|&r| tree.is_active(r))
-            .collect();
-        order.sort_by(|&a, &b| {
-            tree.rule(b)
-                .priority
-                .cmp(&tree.rule(a).priority)
-                .then(a.cmp(&b))
-        });
+        let mut order: Vec<RuleId> =
+            (0..tree.rules().len()).filter(|&r| tree.is_active(r)).collect();
+        order.sort_by(|&a, &b| tree.rule(b).priority.cmp(&tree.rule(a).priority).then(a.cmp(&b)));
         let mut table_index = vec![u32::MAX; tree.rules().len()];
         let rules: Vec<(Rule, RuleId)> = order
             .iter()
@@ -105,10 +99,7 @@ impl FlatTree {
                 NodeKind::Leaf => {
                     let start = flat.leaf_rules.len() as u32;
                     flat.leaf_rules.extend(
-                        node.rules
-                            .iter()
-                            .filter(|&&r| tree.is_active(r))
-                            .map(|&r| table_index[r]),
+                        node.rules.iter().filter(|&&r| tree.is_active(r)).map(|&r| table_index[r]),
                     );
                     FlatNode::Leaf { start, end: flat.leaf_rules.len() as u32 }
                 }
@@ -195,8 +186,7 @@ impl FlatTree {
     /// Classify a packet: the **original** rule id of the highest-
     /// precedence match, identical to the source tree's `classify`.
     pub fn classify(&self, packet: &Packet) -> Option<RuleId> {
-        self.classify_from(self.root, packet)
-            .map(|ti| self.rules[ti as usize].1)
+        self.classify_from(self.root, packet).map(|ti| self.rules[ti as usize].1)
     }
 
     /// Returns the winning *table* index (rank order), or `None`.
@@ -211,16 +201,14 @@ impl FlatTree {
                 }
                 FlatNode::Cut { dim, lo, step, ncuts, base } => {
                     let v = packet.values[dim as usize];
-                    let idx =
-                        ((v.saturating_sub(lo)) / step).min(u64::from(ncuts) - 1) as u32;
+                    let idx = ((v.saturating_sub(lo)) / step).min(u64::from(ncuts) - 1) as u32;
                     id = self.children[(base + idx) as usize];
                 }
                 FlatNode::MultiCut { dstart, dend, base } => {
                     let mut idx = 0u32;
                     for cd in &self.cut_dims[dstart as usize..dend as usize] {
                         let v = packet.values[cd.dim as usize];
-                        let i = ((v.saturating_sub(cd.lo)) / cd.step)
-                            .min(u64::from(cd.ncuts) - 1)
+                        let i = ((v.saturating_sub(cd.lo)) / cd.step).min(u64::from(cd.ncuts) - 1)
                             as u32;
                         idx = idx * cd.ncuts + i;
                     }
@@ -229,10 +217,9 @@ impl FlatTree {
                 FlatNode::DenseCut { dim, bstart, bend, base } => {
                     let v = packet.values[dim as usize];
                     let bounds = &self.bounds[bstart as usize..bend as usize];
-                    let idx = bounds
-                        .partition_point(|&b| b <= v)
-                        .saturating_sub(1)
-                        .min(bounds.len() - 2) as u32;
+                    let idx =
+                        bounds.partition_point(|&b| b <= v).saturating_sub(1).min(bounds.len() - 2)
+                            as u32;
                     id = self.children[(base + idx) as usize];
                 }
                 FlatNode::Split { dim, threshold, left, right } => {
@@ -273,8 +260,7 @@ mod tests {
 
     #[test]
     fn compiled_cut_tree_agrees() {
-        let rules =
-            generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 150).with_seed(90));
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 150).with_seed(90));
         let mut tree = DecisionTree::new(&rules);
         let kids = tree.cut_node(tree.root(), Dim::SrcIp, 8);
         for k in kids {
@@ -287,8 +273,7 @@ mod tests {
 
     #[test]
     fn compiled_mixed_kinds_agree() {
-        let rules =
-            generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 150).with_seed(92));
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 150).with_seed(92));
         let mut tree = DecisionTree::new(&rules);
         let all = tree.node(tree.root()).rules.clone();
         let (a, b) = all.split_at(all.len() / 2);
@@ -310,8 +295,7 @@ mod tests {
 
     #[test]
     fn compiled_tree_drops_deleted_rules() {
-        let rules =
-            generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 80).with_seed(93));
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 80).with_seed(93));
         let mut tree = DecisionTree::new(&rules);
         tree.cut_node(tree.root(), Dim::DstIp, 8);
         let top = tree.rules().iter().map(|r| r.priority).max().unwrap();
@@ -327,8 +311,7 @@ mod tests {
 
     #[test]
     fn compiled_tree_roundtrips_through_serde() {
-        let rules =
-            generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 100).with_seed(95));
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 100).with_seed(95));
         let mut tree = DecisionTree::new(&rules);
         tree.cut_node(tree.root(), Dim::SrcIp, 16);
         let flat = FlatTree::compile(&tree);
@@ -342,8 +325,7 @@ mod tests {
 
     #[test]
     fn resident_bytes_is_positive_and_scales() {
-        let rules =
-            generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 60).with_seed(97));
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 60).with_seed(97));
         let mut small_tree = DecisionTree::new(&rules);
         let small = FlatTree::compile(&small_tree).resident_bytes();
         small_tree.cut_node(small_tree.root(), Dim::SrcIp, 32);

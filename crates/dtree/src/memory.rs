@@ -36,12 +36,7 @@ impl Default for MemoryModel {
         // 16-byte header; 4-byte child pointers; 8-byte leaf entries
         // (rule pointer + priority cache); 36-byte rules
         // (4+4+2+2+1 bytes x2 bounds, padded, + priority).
-        MemoryModel {
-            node_header: 16,
-            child_ptr: 4,
-            leaf_rule_ref: 8,
-            rule_table_entry: 36,
-        }
+        MemoryModel { node_header: 16, child_ptr: 4, leaf_rule_ref: 8, rule_table_entry: 36 }
     }
 }
 
@@ -63,11 +58,8 @@ impl MemoryModel {
 
     /// Total bytes of a tree: all nodes plus the shared rule table.
     pub fn tree_bytes(&self, tree: &DecisionTree) -> usize {
-        let nodes: usize = tree
-            .nodes()
-            .iter()
-            .map(|n| self.node_bytes(&n.kind, n.rules.len()))
-            .sum();
+        let nodes: usize =
+            tree.nodes().iter().map(|n| self.node_bytes(&n.kind, n.rules.len())).sum();
         nodes + self.rule_table_entry * tree.num_active_rules()
     }
 

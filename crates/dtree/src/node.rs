@@ -109,7 +109,12 @@ pub struct Node {
 
 impl Node {
     /// A fresh leaf.
-    pub fn leaf(space: NodeSpace, rules: Vec<RuleId>, depth: usize, parent: Option<NodeId>) -> Self {
+    pub fn leaf(
+        space: NodeSpace,
+        rules: Vec<RuleId>,
+        depth: usize,
+        parent: Option<NodeId>,
+    ) -> Self {
         Node { space, rules, kind: NodeKind::Leaf, depth, parent }
     }
 

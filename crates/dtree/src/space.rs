@@ -37,10 +37,7 @@ impl NodeSpace {
     /// True when the packet lies inside the box.
     #[inline]
     pub fn contains(&self, packet: &Packet) -> bool {
-        self.ranges
-            .iter()
-            .zip(packet.values.iter())
-            .all(|(r, &v)| r.contains(v))
+        self.ranges.iter().zip(packet.values.iter()).all(|(r, &v)| r.contains(v))
     }
 
     /// True when the rule's hypercube overlaps the box in every dimension.
@@ -53,19 +50,13 @@ impl NodeSpace {
     /// whole box (used for redundancy pruning: such a rule matches every
     /// packet that reaches the node).
     pub fn covered_by_rule(&self, rule: &Rule) -> bool {
-        self.ranges
-            .iter()
-            .zip(rule.ranges.iter())
-            .all(|(s, r)| r.contains_range(s))
+        self.ranges.iter().zip(rule.ranges.iter()).all(|(s, r)| r.contains_range(s))
     }
 
     /// Number of distinct values covered (product of range lengths).
     /// Saturates at `u128::MAX`; useful for sanity checks only.
     pub fn volume(&self) -> u128 {
-        self.ranges
-            .iter()
-            .map(|r| r.len() as u128)
-            .product()
+        self.ranges.iter().map(|r| r.len() as u128).product()
     }
 
     /// Cut along `dim` into `ncuts` equal sub-boxes (HiCuts-style).
@@ -115,9 +106,8 @@ impl NodeSpace {
     ) -> Option<NodeSpace> {
         let mut bounds: Option<[DimRange; NUM_DIMS]> = None;
         for rule in rules {
-            let clipped: [DimRange; NUM_DIMS] = std::array::from_fn(|i| {
-                rule.ranges[i].intersect(&self.ranges[i])
-            });
+            let clipped: [DimRange; NUM_DIMS] =
+                std::array::from_fn(|i| rule.ranges[i].intersect(&self.ranges[i]));
             bounds = Some(match bounds {
                 None => clipped,
                 Some(b) => std::array::from_fn(|i| DimRange {

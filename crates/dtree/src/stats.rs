@@ -47,14 +47,7 @@ pub fn subtree_time(tree: &DecisionTree, id: NodeId) -> usize {
         NodeKind::Partition { children } => {
             1 + children.iter().map(|&c| subtree_time(tree, c)).sum::<usize>()
         }
-        other => {
-            1 + other
-                .children()
-                .iter()
-                .map(|&c| subtree_time(tree, c))
-                .max()
-                .unwrap_or(0)
-        }
+        other => 1 + other.children().iter().map(|&c| subtree_time(tree, c)).max().unwrap_or(0),
     }
 }
 
@@ -63,12 +56,7 @@ pub fn subtree_time(tree: &DecisionTree, id: NodeId) -> usize {
 pub fn subtree_bytes(tree: &DecisionTree, id: NodeId, model: &MemoryModel) -> usize {
     let node = tree.node(id);
     let own = model.node_bytes(&node.kind, node.rules.len());
-    own + node
-        .kind
-        .children()
-        .iter()
-        .map(|&c| subtree_bytes(tree, c, model))
-        .sum::<usize>()
+    own + node.kind.children().iter().map(|&c| subtree_bytes(tree, c, model)).sum::<usize>()
 }
 
 /// Average lookup cost (nodes visited) over a packet trace — the
@@ -192,10 +180,7 @@ mod tests {
         t.cut_node(t.root(), Dim::Proto, 2);
         let model = MemoryModel::default();
         let s = TreeStats::compute(&t);
-        assert_eq!(
-            s.bytes,
-            subtree_bytes(&t, t.root(), &model) + 3 * model.rule_table_entry
-        );
+        assert_eq!(s.bytes, subtree_bytes(&t, t.root(), &model) + 3 * model.rule_table_entry);
         assert_eq!(s.bytes, model.tree_bytes(&t));
     }
 
@@ -214,9 +199,8 @@ mod tests {
         let mut t = DecisionTree::new(&rules());
         let kids = t.cut_node(t.root(), Dim::DstPort, 4);
         t.cut_node(kids[0], Dim::Proto, 2);
-        let trace: Vec<classbench::Packet> = (0..64)
-            .map(|i| classbench::Packet::new(0, 0, 0, i * 1024, (i % 256) as u64))
-            .collect();
+        let trace: Vec<classbench::Packet> =
+            (0..64).map(|i| classbench::Packet::new(0, 0, 0, i * 1024, i % 256)).collect();
         let avg = average_lookup_cost(&t, &trace);
         let worst = TreeStats::compute(&t).time as f64;
         assert!(avg >= 1.0);

@@ -31,12 +31,7 @@ impl DecisionTree {
         let rules: Vec<Rule> = rules.rules().to_vec();
         let n = rules.len();
         let root = Node::leaf(NodeSpace::full(), (0..n).collect(), 0, None);
-        DecisionTree {
-            active: vec![true; n],
-            rules,
-            nodes: vec![root],
-            root: 0,
-        }
+        DecisionTree { active: vec![true; n], rules, nodes: vec![root], root: 0 }
     }
 
     /// The root node id.
@@ -91,9 +86,7 @@ impl DecisionTree {
     pub fn linear_classify(&self, packet: &Packet) -> Option<RuleId> {
         let mut best: Option<RuleId> = None;
         for (id, rule) in self.rules.iter().enumerate() {
-            if self.active[id]
-                && rule.matches(packet)
-                && best.is_none_or(|b| self.precedes(id, b))
+            if self.active[id] && rule.matches(packet) && best.is_none_or(|b| self.precedes(id, b))
             {
                 best = Some(id);
             }
@@ -155,21 +148,15 @@ impl DecisionTree {
                     return best;
                 }
                 NodeKind::Cut { dim, ncuts, children } => {
-                    let idx = Self::cut_child_index(
-                        node.space.range(*dim),
-                        *ncuts,
-                        packet.value(*dim),
-                    );
+                    let idx =
+                        Self::cut_child_index(node.space.range(*dim), *ncuts, packet.value(*dim));
                     id = children[idx];
                 }
                 NodeKind::MultiCut { dims, children } => {
                     let mut idx = 0usize;
                     for &(dim, ncuts) in dims {
-                        let i = Self::cut_child_index(
-                            node.space.range(dim),
-                            ncuts,
-                            packet.value(dim),
-                        );
+                        let i =
+                            Self::cut_child_index(node.space.range(dim), ncuts, packet.value(dim));
                         idx = idx * ncuts + i;
                     }
                     id = children[idx];
@@ -183,11 +170,7 @@ impl DecisionTree {
                     id = children[idx];
                 }
                 NodeKind::Split { dim, threshold, children } => {
-                    id = if packet.value(*dim) < *threshold {
-                        children[0]
-                    } else {
-                        children[1]
-                    };
+                    id = if packet.value(*dim) < *threshold { children[0] } else { children[1] };
                 }
             }
         }
@@ -217,21 +200,15 @@ impl DecisionTree {
                     return;
                 }
                 NodeKind::Cut { dim, ncuts, children } => {
-                    let idx = Self::cut_child_index(
-                        node.space.range(*dim),
-                        *ncuts,
-                        packet.value(*dim),
-                    );
+                    let idx =
+                        Self::cut_child_index(node.space.range(*dim), *ncuts, packet.value(*dim));
                     id = children[idx];
                 }
                 NodeKind::MultiCut { dims, children } => {
                     let mut idx = 0usize;
                     for &(dim, ncuts) in dims {
-                        let i = Self::cut_child_index(
-                            node.space.range(dim),
-                            ncuts,
-                            packet.value(dim),
-                        );
+                        let i =
+                            Self::cut_child_index(node.space.range(dim), ncuts, packet.value(dim));
                         idx = idx * ncuts + i;
                     }
                     id = children[idx];
@@ -245,11 +222,7 @@ impl DecisionTree {
                     id = children[idx];
                 }
                 NodeKind::Split { dim, threshold, children } => {
-                    id = if packet.value(*dim) < *threshold {
-                        children[0]
-                    } else {
-                        children[1]
-                    };
+                    id = if packet.value(*dim) < *threshold { children[0] } else { children[1] };
                 }
             }
         }
@@ -267,21 +240,15 @@ impl DecisionTree {
                         .find(|&r| self.active[r] && self.rules[r].matches(packet));
                 }
                 NodeKind::Cut { dim, ncuts, children } => {
-                    let idx = Self::cut_child_index(
-                        node.space.range(*dim),
-                        *ncuts,
-                        packet.value(*dim),
-                    );
+                    let idx =
+                        Self::cut_child_index(node.space.range(*dim), *ncuts, packet.value(*dim));
                     id = children[idx];
                 }
                 NodeKind::MultiCut { dims, children } => {
                     let mut idx = 0usize;
                     for &(dim, ncuts) in dims {
-                        let i = Self::cut_child_index(
-                            node.space.range(dim),
-                            ncuts,
-                            packet.value(dim),
-                        );
+                        let i =
+                            Self::cut_child_index(node.space.range(dim), ncuts, packet.value(dim));
                         idx = idx * ncuts + i;
                     }
                     id = children[idx];
@@ -298,11 +265,7 @@ impl DecisionTree {
                     id = children[idx];
                 }
                 NodeKind::Split { dim, threshold, children } => {
-                    id = if packet.value(*dim) < *threshold {
-                        children[0]
-                    } else {
-                        children[1]
-                    };
+                    id = if packet.value(*dim) < *threshold { children[0] } else { children[1] };
                 }
                 NodeKind::Partition { children } => {
                     // All partitions must be consulted; highest precedence wins.
@@ -382,7 +345,8 @@ impl DecisionTree {
             })
             .collect();
         self.nodes[id].rules = parent_rules;
-        self.nodes[id].kind = NodeKind::MultiCut { dims: dims.to_vec(), children: children.clone() };
+        self.nodes[id].kind =
+            NodeKind::MultiCut { dims: dims.to_vec(), children: children.clone() };
         children
     }
 
@@ -462,10 +426,7 @@ impl DecisionTree {
             .map(|mut subset| {
                 // Keep precedence order within each partition.
                 subset.sort_by(|&a, &b| {
-                    self.rules[b]
-                        .priority
-                        .cmp(&self.rules[a].priority)
-                        .then(a.cmp(&b))
+                    self.rules[b].priority.cmp(&self.rules[a].priority).then(a.cmp(&b))
                 });
                 self.push_child(id, space, subset)
             })
@@ -480,9 +441,10 @@ impl DecisionTree {
     /// dropped. Returns how many rules were removed.
     pub fn truncate_covered(&mut self, id: NodeId) -> usize {
         let node = &self.nodes[id];
-        let cover = node.rules.iter().position(|&r| {
-            self.active[r] && node.space.covered_by_rule(&self.rules[r])
-        });
+        let cover = node
+            .rules
+            .iter()
+            .position(|&r| self.active[r] && node.space.covered_by_rule(&self.rules[r]));
         match cover {
             Some(pos) if pos + 1 < node.rules.len() => {
                 let removed = node.rules.len() - pos - 1;
@@ -583,16 +545,13 @@ impl DecisionTree {
     /// avoid infinite recursion when every rule spans the whole node.
     pub fn cut_makes_progress(&self, id: NodeId, dim: Dim, ncuts: usize) -> bool {
         let node = &self.nodes[id];
-        node.space
-            .cut(dim, ncuts)
-            .iter()
-            .any(|s| {
-                node.rules
-                    .iter()
-                    .filter(|&&r| self.active[r] && s.intersects_rule(&self.rules[r]))
-                    .count()
-                    < node.rules.len()
-            })
+        node.space.cut(dim, ncuts).iter().any(|s| {
+            node.rules
+                .iter()
+                .filter(|&&r| self.active[r] && s.intersects_rule(&self.rules[r]))
+                .count()
+                < node.rules.len()
+        })
     }
 }
 
@@ -820,9 +779,9 @@ mod tests {
         let mut t = DecisionTree::new(&rs);
         let kids = t.cut_node(t.root(), Dim::DstPort, 2);
         let trace = vec![
-            Packet::new(0, 0, 0, 100, 6),    // low half
-            Packet::new(0, 0, 0, 200, 17),   // low half
-            Packet::new(0, 0, 0, 60000, 6),  // high half
+            Packet::new(0, 0, 0, 100, 6),   // low half
+            Packet::new(0, 0, 0, 200, 17),  // low half
+            Packet::new(0, 0, 0, 60000, 6), // high half
         ];
         let counts = t.node_visit_counts(&trace);
         assert_eq!(counts[t.root()], 3);

@@ -88,11 +88,11 @@ impl DecisionTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::validate::assert_tree_valid;
     use classbench::{
         generate_rules, generate_trace, ClassifierFamily, Dim, DimRange, GeneratorConfig,
         TraceConfig,
     };
-    use crate::validate::assert_tree_valid;
 
     fn built_tree() -> DecisionTree {
         let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 120).with_seed(4));
@@ -200,29 +200,14 @@ mod tests {
         let all = t.node(t.root()).rules.clone();
         let (a, b) = all.split_at(all.len() / 3);
         t.partition_node(t.root(), vec![a.to_vec(), b.to_vec()]);
-        let before: Vec<usize> = t
-            .node(t.root())
-            .kind
-            .children()
-            .iter()
-            .map(|&c| t.node(c).rules.len())
-            .collect();
+        let before: Vec<usize> =
+            t.node(t.root()).kind.children().iter().map(|&c| t.node(c).rules.len()).collect();
         let hi = t.rules().iter().map(|r| r.priority).max().unwrap() + 1;
         insert_rule(&mut t, new_rule(hi));
-        let after: Vec<usize> = t
-            .node(t.root())
-            .kind
-            .children()
-            .iter()
-            .map(|&c| t.node(c).rules.len())
-            .collect();
+        let after: Vec<usize> =
+            t.node(t.root()).kind.children().iter().map(|&c| t.node(c).rules.len()).collect();
         // The smaller partition received the rule.
-        let min_idx = before
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &n)| n)
-            .unwrap()
-            .0;
+        let min_idx = before.iter().enumerate().min_by_key(|&(_, &n)| n).unwrap().0;
         assert_eq!(after[min_idx], before[min_idx] + 1);
         assert_tree_valid(&t, 300, 5);
     }

@@ -56,8 +56,7 @@ pub fn validate_tree(tree: &DecisionTree, random_probes: usize, seed: u64) -> Ve
         }
     };
 
-    let spans: [u64; NUM_DIMS] =
-        std::array::from_fn(|i| classbench::Dim::from_index(i).span());
+    let spans: [u64; NUM_DIMS] = std::array::from_fn(|i| classbench::Dim::from_index(i).span());
 
     for (id, rule) in tree.rules().iter().enumerate() {
         if !tree.is_active(id) {
@@ -66,6 +65,9 @@ pub fn validate_tree(tree: &DecisionTree, random_probes: usize, seed: u64) -> Ve
         check(rule.low_corner(), &mut violations);
         check(sample_packet_in_rule(&mut rng, rule), &mut violations);
         // Boundary probes: one unit inside/outside each range bound.
+        // (Indexing three parallel arrays by dimension; an iterator
+        // chain would obscure that.)
+        #[allow(clippy::needless_range_loop)]
         for d in 0..NUM_DIMS {
             let r = &rule.ranges[d];
             let mut base = rule.low_corner();
@@ -102,11 +104,7 @@ pub fn assert_tree_valid(tree: &DecisionTree, random_probes: usize, seed: u64) {
     assert!(
         violations.is_empty(),
         "tree lookup disagrees with linear scan:\n{}",
-        violations
-            .iter()
-            .map(|v| format!("  {v}"))
-            .collect::<Vec<_>>()
-            .join("\n")
+        violations.iter().map(|v| format!("  {v}")).collect::<Vec<_>>().join("\n")
     );
 }
 
@@ -145,9 +143,8 @@ mod tests {
         let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 120).with_seed(5));
         let mut t = DecisionTree::new(&rs);
         let all: Vec<usize> = t.node(t.root()).rules.clone();
-        let (big, small): (Vec<_>, Vec<_>) = all
-            .iter()
-            .partition(|&&r| t.rule(r).largeness(Dim::SrcIp) > 0.5);
+        let (big, small): (Vec<_>, Vec<_>) =
+            all.iter().partition(|&&r| t.rule(r).largeness(Dim::SrcIp) > 0.5);
         if !big.is_empty() && !small.is_empty() {
             let kids = t.partition_node(t.root(), vec![big, small]);
             for k in kids {
@@ -165,11 +162,7 @@ mod tests {
         let mut t = DecisionTree::new(&rs);
         let kids = t.cut_node(t.root(), Dim::SrcIp, 4);
         // Corrupt: steal all rules from one child that had rules.
-        let victim = kids
-            .iter()
-            .copied()
-            .max_by_key(|&k| t.node(k).rules.len())
-            .unwrap();
+        let victim = kids.iter().copied().max_by_key(|&k| t.node(k).rules.len()).unwrap();
         // Test-only surgery: rebuild the tree from serialised parts with
         // one leaf's rule list emptied.
         let broken = t.clone();

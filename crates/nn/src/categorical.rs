@@ -27,11 +27,8 @@ impl MaskedCategorical {
     pub fn new(logits: &[f32], mask: &[bool]) -> Self {
         assert_eq!(logits.len(), mask.len());
         assert!(mask.iter().any(|&m| m), "no valid action");
-        let masked: Vec<f32> = logits
-            .iter()
-            .zip(mask.iter())
-            .map(|(&l, &m)| if m { l } else { MASKED })
-            .collect();
+        let masked: Vec<f32> =
+            logits.iter().zip(mask.iter()).map(|(&l, &m)| if m { l } else { MASKED }).collect();
         let max = masked.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exp: Vec<f32> = masked.iter().map(|&l| (l - max).exp()).collect();
         let sum: f32 = exp.iter().sum();

@@ -96,8 +96,7 @@ impl Linear {
 
     /// Sum of squared gradient entries (for global-norm clipping).
     pub fn grad_sq_norm(&self) -> f32 {
-        self.gw.data.iter().map(|g| g * g).sum::<f32>()
-            + self.gb.iter().map(|g| g * g).sum::<f32>()
+        self.gw.data.iter().map(|g| g * g).sum::<f32>() + self.gb.iter().map(|g| g * g).sum::<f32>()
     }
 
     /// Apply one Adam update from the accumulated gradients.
@@ -208,13 +207,9 @@ mod tests {
         let x = Matrix::xavier(16, 4, 1.0, &mut rng);
         let y = layer.forward(&x);
         let want = x.matmul_nt(&target);
-        let mse: f32 = y
-            .data
-            .iter()
-            .zip(want.data.iter())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f32>()
-            / y.data.len() as f32;
+        let mse: f32 =
+            y.data.iter().zip(want.data.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
+                / y.data.len() as f32;
         assert!(mse < 1e-3, "mse {mse}");
     }
 }

@@ -34,9 +34,7 @@ impl Matrix {
     /// gain so initial policies are near-uniform.
     pub fn xavier(rows: usize, cols: usize, gain: f32, rng: &mut impl Rng) -> Self {
         let limit = gain * (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols)
-            .map(|_| rng.gen_range(-limit..=limit))
-            .collect();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..=limit)).collect();
         Matrix { rows, cols, data }
     }
 
@@ -143,12 +141,7 @@ impl Matrix {
         Matrix {
             rows: dy.rows,
             cols: dy.cols,
-            data: dy
-                .data
-                .iter()
-                .zip(y.data.iter())
-                .map(|(&d, &yv)| d * (1.0 - yv * yv))
-                .collect(),
+            data: dy.data.iter().zip(y.data.iter()).map(|(&d, &yv)| d * (1.0 - yv * yv)).collect(),
         }
     }
 

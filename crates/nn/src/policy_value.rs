@@ -101,11 +101,7 @@ impl PolicyValueNet {
     /// `(dim_logits, act_logits, value)`.
     pub fn forward_one(&self, obs: &[f32]) -> (Vec<f32>, Vec<f32>, f32) {
         let cache = self.forward(Matrix::from_rows(&[obs]));
-        (
-            cache.dim_logits.row(0).to_vec(),
-            cache.act_logits.row(0).to_vec(),
-            cache.values.get(0, 0),
-        )
+        (cache.dim_logits.row(0).to_vec(), cache.act_logits.row(0).to_vec(), cache.values.get(0, 0))
     }
 
     /// Backward pass: accumulate gradients given the loss gradients at
@@ -127,13 +123,7 @@ impl PolicyValueNet {
     }
 
     fn layers_mut(&mut self) -> [&mut Linear; 5] {
-        [
-            &mut self.l1,
-            &mut self.l2,
-            &mut self.dim_head,
-            &mut self.act_head,
-            &mut self.value_head,
-        ]
+        [&mut self.l1, &mut self.l2, &mut self.dim_head, &mut self.act_head, &mut self.value_head]
     }
 
     /// Reset accumulated gradients.
@@ -153,12 +143,7 @@ impl PolicyValueNet {
     /// Clip gradients to a maximum global L2 norm; returns the
     /// pre-clipping norm.
     pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
-        let norm = self
-            .layers_mut()
-            .iter()
-            .map(|l| l.grad_sq_norm())
-            .sum::<f32>()
-            .sqrt();
+        let norm = self.layers_mut().iter().map(|l| l.grad_sq_norm()).sum::<f32>().sqrt();
         if norm > max_norm && norm > 0.0 {
             let s = max_norm / norm;
             self.scale_grad(s);
@@ -260,7 +245,7 @@ mod tests {
             let w = json[layer]["w"]["data"].as_array().unwrap();
             let idx = w.len() / 2;
             let orig = w[idx].as_f64().unwrap() as f32;
-            let mut probe = |delta: f32| -> f32 {
+            let probe = |delta: f32| -> f32 {
                 let mut j = json.clone();
                 j[layer]["w"]["data"][idx] = serde_json::json!(orig + delta);
                 let n: PolicyValueNet = serde_json::from_value(j).unwrap();
@@ -340,7 +325,7 @@ mod tests {
                 let ctx = if xs.get(r, 0) > 0.5 { 0 } else { 1 };
                 let reward = if a == ctx { 1.0 } else { 0.0 };
                 let adv = reward - 0.5; // fixed baseline
-                // Gradient ascent on adv * log p(a): negate for descent.
+                                        // Gradient ascent on adv * log p(a): negate for descent.
                 for (i, g) in dist.dlogp_dlogits(a).iter().enumerate() {
                     d_dim.set(r, i, -adv * g);
                 }

@@ -111,10 +111,8 @@ impl Ppo {
                 for (r, &i) in chunk.iter().enumerate() {
                     let s = &batch.samples[i];
                     let adv = advantages[i];
-                    let dim_dist =
-                        MaskedCategorical::new(cache.dim_logits.row(r), &s.dim_mask);
-                    let act_dist =
-                        MaskedCategorical::new(cache.act_logits.row(r), &s.act_mask);
+                    let dim_dist = MaskedCategorical::new(cache.dim_logits.row(r), &s.dim_mask);
+                    let act_dist = MaskedCategorical::new(cache.act_logits.row(r), &s.act_mask);
                     let logp_new =
                         dim_dist.log_prob(s.dim_action) + act_dist.log_prob(s.act_action);
                     let ratio = (logp_new - s.log_prob).exp();
@@ -150,8 +148,7 @@ impl Ppo {
                     // Clipped value loss (PPO2 style):
                     // L = 0.5 * max((v-R)^2, (v_clip-R)^2).
                     let v_new = cache.values.get(r, 0);
-                    let v_clip =
-                        s.value + (v_new - s.value).clamp(-cfg.vf_clip, cfg.vf_clip);
+                    let v_clip = s.value + (v_new - s.value).clamp(-cfg.vf_clip, cfg.vf_clip);
                     let e_un = v_new - s.reward;
                     let e_cl = v_clip - s.reward;
                     let (loss_v, dv) = if e_un * e_un >= e_cl * e_cl {
@@ -341,10 +338,7 @@ mod tests {
             episodes: 2,
             mean_episode_return: 0.0,
         };
-        let mut ppo = Ppo::new(
-            PpoConfig { minibatch: 2, sgd_iters: 3, ..Default::default() },
-            4,
-        );
+        let mut ppo = Ppo::new(PpoConfig { minibatch: 2, sgd_iters: 3, ..Default::default() }, 4);
         let stats = ppo.update(&mut net, &batch);
         assert!(stats.epochs >= 1);
         // The masked action still has zero probability under the mask.

@@ -110,10 +110,7 @@ impl QLearner {
                 net.clip_grad_norm(cfg.max_grad_norm);
                 net.adam_step(&cfg.adam);
             }
-            stats = QStats {
-                td_error: (sq_err / counted.max(1) as f64) as f32,
-                epochs: epoch + 1,
-            };
+            stats = QStats { td_error: (sq_err / counted.max(1) as f64) as f32, epochs: epoch + 1 };
         }
         stats
     }

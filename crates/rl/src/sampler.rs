@@ -4,8 +4,9 @@
 //! and one SGD update follows.
 //!
 //! The work is CPU-bound tree construction, so plain scoped threads
-//! (crossbeam) are the right concurrency primitive here — an async
-//! runtime would add overhead without benefit for compute-bound loops.
+//! (`std::thread::scope`) are the right concurrency primitive here — an
+//! async runtime would add overhead without benefit for compute-bound
+//! loops.
 
 use crate::rollout::{RolloutBatch, Sample};
 use nn::PolicyValueNet;
@@ -39,12 +40,12 @@ pub fn collect_parallel<E: RolloutEnv>(
     let batches: Vec<Mutex<RolloutBatch>> =
         (0..workers).map(|_| Mutex::new(RolloutBatch::default())).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for w in 0..workers {
             let mut worker_env = env.clone();
             let batches = &batches;
             let collected = &collected;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut round = 0u64;
                 while collected.load(Ordering::Relaxed) < min_samples {
                     let ep_seed = seed
@@ -62,8 +63,8 @@ pub fn collect_parallel<E: RolloutEnv>(
                 }
             });
         }
-    })
-    .expect("rollout worker panicked");
+        // Worker panics propagate when the scope joins.
+    });
 
     let mut out = RolloutBatch::default();
     for b in batches {

@@ -11,8 +11,8 @@
 //! ```
 
 use classbench::{
-    generate_rules, generate_trace, parse_rules, write_rules, ClassifierFamily,
-    GeneratorConfig, TraceConfig,
+    generate_rules, generate_trace, parse_rules, write_rules, ClassifierFamily, GeneratorConfig,
+    TraceConfig,
 };
 use neurocuts::{NeuroCutsConfig, Trainer};
 

@@ -33,8 +33,7 @@ fn main() {
     let mut added = Vec::new();
     for i in 0..20u64 {
         let mut r = Rule::default_rule(top + 1 + i as i32);
-        r.ranges[Dim::SrcIp.index()] =
-            DimRange::from_prefix(0xc0a80000 + (i << 8), 24, 32); // 192.168.i.0/24
+        r.ranges[Dim::SrcIp.index()] = DimRange::from_prefix(0xc0a80000 + (i << 8), 24, 32); // 192.168.i.0/24
         r.ranges[Dim::DstPort.index()] = DimRange::exact(443);
         added.push(insert_rule(&mut tree, r));
         log.inserted += 1;

@@ -1,0 +1,190 @@
+//! Shim for `criterion`: the group/bencher API surface this
+//! workspace's benches use, over a simple adaptive wall-clock loop.
+//! No statistics, plots, or baselines — one mean-time line per bench,
+//! so `cargo bench` runs and reports something useful offline.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration time budget for one bench measurement.
+const TARGET_MEASURE_TIME: Duration = Duration::from_millis(300);
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, 20, None, f);
+        self
+    }
+}
+
+/// Throughput annotation: reported as elements (or bytes) per second.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_bench(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then an adaptive number of timed
+    /// iterations (capped by the group's `sample_size`).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed();
+        let iters = if once.is_zero() {
+            self.sample_size
+        } else {
+            (TARGET_MEASURE_TIME.as_nanos() / once.as_nanos().max(1))
+                .clamp(1, self.sample_size as u128) as usize
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.mean = Some(start.elapsed() / iters as u32);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher { sample_size, mean: None };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => {
+            let rate = throughput
+                .map(|t| {
+                    let (count, unit) = match t {
+                        Throughput::Elements(n) => (n, "elem"),
+                        Throughput::Bytes(n) => (n, "B"),
+                    };
+                    let per_sec = count as f64 / mean.as_secs_f64();
+                    format!("  ({per_sec:.3e} {unit}/s)")
+                })
+                .unwrap_or_default();
+            println!("{label:<50} time: {:>12}{rate}", format_duration(mean));
+        }
+        None => println!("{label:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_harness_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(100));
+        let input = vec![1u64; 100];
+        group.bench_with_input(BenchmarkId::new("sum", 100), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

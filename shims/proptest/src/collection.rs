@@ -1,0 +1,52 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng as _;
+
+/// Anything usable as the size argument of [`vec`]: an exact length, a
+/// half-open range, or an inclusive range.
+pub trait IntoSizeRange {
+    /// Inclusive minimum, exclusive maximum.
+    fn size_bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn size_bounds(self) -> (usize, usize) {
+        (self, self + 1)
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn size_bounds(self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn size_bounds(self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+/// Generate `Vec`s whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.size_bounds();
+    assert!(min < max, "empty vec size range");
+    VecStrategy { element, min, max }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.min..self.max);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}

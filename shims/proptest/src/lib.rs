@@ -1,0 +1,145 @@
+//! Shim for `proptest`: the subset this workspace uses, implemented as
+//! a deterministic seeded random-case runner.
+//!
+//! * Strategies: ranges, tuples, [`strategy::Just`], `prop_map`,
+//!   [`prop_oneof!`], [`collection::vec`].
+//! * Runner: [`proptest!`] expands each test into a plain `#[test]`
+//!   that draws `ProptestConfig::cases` inputs from a ChaCha8 stream
+//!   seeded by the test's module path and name — fully deterministic
+//!   across runs and machines, no persistence files.
+//! * `prop_assert!`/`prop_assert_eq!` panic like their `assert!`
+//!   cousins (no shrinking, so there is no failure value to minimise).
+
+pub mod collection;
+pub mod strategy;
+
+/// Runner RNG type drawn from for every strategy.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Per-test configuration (only `cases` is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Smoke-scale default (real proptest uses 256): keeps the full
+    /// workspace suite in the minutes range while still exercising the
+    /// properties. Raise per-block with `with_cases` where it matters.
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic RNG for a named test: FNV-1a over the name, fed to
+/// ChaCha8 as the seed.
+pub fn new_test_rng(name: &str) -> TestRng {
+    use rand::SeedableRng;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The test-block macro: an optional `#![proptest_config(..)]` followed
+/// by `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::new_test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);
+                    )*
+                    let _ = __case;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Panic-on-failure assertion (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u64, u64)> {
+        prop_oneof![Just((1u64, 2u64)), (10..20u64, 30..40u64), (0..5u64).prop_map(|v| (v, v + 1)),]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3..17u64, y in -2.0f32..2.0, n in 1usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn oneof_and_collections(pair in arb_pair(),
+                                 v in crate::collection::vec(0..100u32, 2..10))
+        {
+            prop_assert!(pair.0 < pair.1 || (10..20).contains(&pair.0));
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runner_instances() {
+        let s = (0..1000u64, 0..1000u64);
+        let mut a = crate::new_test_rng("fixed");
+        let mut b = crate::new_test_rng("fixed");
+        for _ in 0..100 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Value-generation strategies.
+
+use crate::TestRng;
+use rand::Rng as _;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value from `rng`.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, map: f }
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.strategy.new_value(rng))
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// A type-erased strategy arm.
+type ArmFn<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Uniform choice between heterogeneous strategies with a common value
+/// type — the engine behind [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    arms: Vec<ArmFn<T>>,
+}
+
+impl<T> Union<T> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    pub fn or<S>(mut self, strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        self.arms.push(Box::new(move |rng| strategy.new_value(rng)));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        self.arms[rng.gen_range(0..self.arms.len())](rng)
+    }
+}
+
+/// Uniformly choose one of the argument strategies each case. All arms
+/// must share a value type (weights are not supported by this shim).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let __union = $crate::strategy::Union::new();
+        $( let __union = __union.or($arm); )+
+        __union
+    }};
+}

@@ -1,0 +1,43 @@
+//! Shim for `serde`: instead of the visitor/format-generic design,
+//! [`Serialize`] renders directly into a JSON [`Value`] tree and
+//! [`Deserialize`] reads one back. `serde_json` (the sibling shim) adds
+//! the text format on top. The derive macros (re-exported from
+//! `serde_derive`) produce the same external shapes real serde would:
+//! field-name objects for structs, externally-tagged enums, bare
+//! strings for unit variants.
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Serialisation error (also covers JSON syntax errors in serde_json).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` as a [`Value`] tree.
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}

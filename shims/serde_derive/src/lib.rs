@@ -1,0 +1,393 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the serde shim. Parses the item from raw token trees (no syn/quote
+//! in this offline environment) and emits impls of the shim's
+//! `serialize_value` / `deserialize_value` traits with serde's external
+//! data shapes: structs as field-name objects, unit enum variants as
+//! bare strings, data variants externally tagged.
+//!
+//! Supported items: non-generic structs (named, tuple, unit) and enums
+//! whose variants are unit, tuple, or struct-like. Generic items
+//! produce a `compile_error!` — nothing in this workspace derives on a
+//! generic type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match which {
+            Trait::Serialize => gen_serialize(&item),
+            Trait::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("derive shim generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+type Iter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(iter: &mut Iter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip tokens up to (and including) the next top-level `,`, tracking
+/// `<...>` nesting so commas inside generic arguments don't terminate.
+/// Returns false when the iterator is exhausted instead.
+fn skip_past_comma(iter: &mut Iter) -> bool {
+    let mut angle: i32 = 0;
+    for tok in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter: Iter = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field, got {other:?}")),
+                }
+                if !skip_past_comma(&mut iter) {
+                    return Ok(names);
+                }
+            }
+            None => return Ok(names),
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter: Iter = stream.into_iter().peekable();
+    if iter.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    while skip_past_comma(&mut iter) {
+        if iter.peek().is_some() {
+            count += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut iter: Iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return Ok(variants),
+            Some(other) => return Err(format!("unexpected token in enum: {other}")),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Fields::Named(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_past_comma(&mut iter);
+        variants.push((name, fields));
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter: Iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind_kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => {
+            let s = id.to_string();
+            if s != "struct" && s != "enum" {
+                return Err(format!("cannot derive for `{s}` items"));
+            }
+            s
+        }
+        Some(other) => return Err(format!("unexpected token {other}")),
+        None => return Err("empty derive input".into()),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("serde shim derive does not support generics on `{name}`"));
+        }
+    }
+    let kind = if kind_kw == "struct" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::Struct(Fields::Unit),
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        }
+    };
+    Ok(Item { name, kind })
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let mut s = String::from("let mut __map = ::serde::Map::new();\n");
+            for f in fields {
+                s += &format!(
+                    "__map.insert({f:?}, ::serde::Serialize::serialize_value(&self.{f}));\n"
+                );
+            }
+            s += "::serde::Value::Object(__map)";
+            s
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::serialize_value(&self.0)".into(),
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".into(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        arms +=
+                            &format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n");
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms += &format!(
+                            "{name}::{v}({}) => {{ let mut __map = ::serde::Map::new(); \
+                             __map.insert({v:?}, {inner}); ::serde::Value::Object(__map) }}\n",
+                            binds.join(", ")
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                        for f in fs {
+                            inner += &format!(
+                                "__inner.insert({f:?}, ::serde::Serialize::serialize_value({f}));\n"
+                            );
+                        }
+                        arms += &format!(
+                            "{name}::{v} {{ {binds} }} => {{ {inner} \
+                             let mut __map = ::serde::Map::new(); \
+                             __map.insert({v:?}, ::serde::Value::Object(__inner)); \
+                             ::serde::Value::Object(__map) }}\n"
+                        );
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn de_named_fields(path: &str, fields: &[String], obj: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value({obj}.get({f:?})\
+                 .ok_or_else(|| ::serde::Error::custom(\"{path}: missing field `{f}`\"))?)?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            format!(
+                "let __obj = __value.as_object()\
+                 .ok_or_else(|| ::serde::Error::custom(\"{name}: expected object\"))?;\n\
+                 Ok({})",
+                de_named_fields(name, fields, "__obj")
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_value(__value)?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __value.as_array()\
+                 .ok_or_else(|| ::serde::Error::custom(\"{name}: expected array\"))?;\n\
+                 if __arr.len() != {n} {{\n\
+                 return Err(::serde::Error::custom(\"{name}: wrong tuple length\"));\n}}\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Unit) => format!("Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms += &format!("{v:?} => Ok({name}::{v}),\n");
+                    }
+                    Fields::Tuple(1) => {
+                        data_arms += &format!(
+                            "{v:?} => Ok({name}::{v}(\
+                             ::serde::Deserialize::deserialize_value(__inner)?)),\n"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&__arr[{i}])?")
+                            })
+                            .collect();
+                        data_arms += &format!(
+                            "{v:?} => {{\n\
+                             let __arr = __inner.as_array()\
+                             .ok_or_else(|| ::serde::Error::custom(\"{name}::{v}: expected array\"))?;\n\
+                             if __arr.len() != {n} {{\n\
+                             return Err(::serde::Error::custom(\"{name}::{v}: wrong tuple length\"));\n}}\n\
+                             Ok({name}::{v}({}))\n}}\n",
+                            elems.join(", ")
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        data_arms += &format!(
+                            "{v:?} => {{\n\
+                             let __obj = __inner.as_object()\
+                             .ok_or_else(|| ::serde::Error::custom(\"{name}::{v}: expected object\"))?;\n\
+                             Ok({})\n}}\n",
+                            de_named_fields(&format!("{name}::{v}"), fs, "__obj")
+                        );
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __value.as_str() {{\n\
+                 return match __s {{\n{unit_arms}\
+                 __other => Err(::serde::Error::custom(\
+                 format!(\"{name}: unknown variant `{{__other}}`\"))),\n}};\n}}\n\
+                 let __obj = __value.as_object()\
+                 .ok_or_else(|| ::serde::Error::custom(\"{name}: expected string or object\"))?;\n\
+                 if __obj.len() != 1 {{\n\
+                 return Err(::serde::Error::custom(\"{name}: expected single-key object\"));\n}}\n\
+                 let (__tag, __inner) = __obj.iter().next().unwrap();\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => Err(::serde::Error::custom(\
+                 format!(\"{name}: unknown variant `{{__other}}`\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         #[allow(unused_imports)] use ::std::result::Result::{{Ok, Err}};\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,30 @@
+//! Shared helpers for the workspace-level integration suites (each
+//! suite pulls in what it needs; the rest is `dead_code` per-binary).
+#![allow(dead_code)]
+
+use classbench::RuleSet;
+use dtree::{DecisionTree, TreeStats};
+use neurocuts::Trainer;
+
+/// Every baseline tree builder, by harness name (the bench harness's
+/// `BASELINE_NAMES` plus HyperSplit, which the figures exclude).
+pub const ALL_BASELINES: [&str; 5] = ["HiCuts", "HyperCuts", "HyperSplit", "EffiCuts", "CutSplit"];
+
+/// Build one baseline by name on `rules` with its default config.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn build(name: &str, rules: &RuleSet) -> DecisionTree {
+    nc_bench::build_baseline(name, rules)
+}
+
+/// Best completed training tree, or the greedy tree when the tiny smoke
+/// budget never completed a rollout (untrained policies are heavy-
+/// tailed; the bench harness uses the same fallback).
+pub fn best_or_greedy(trainer: &mut Trainer) -> (DecisionTree, TreeStats) {
+    let report = trainer.train();
+    match report.best {
+        Some(b) => (b.tree, b.stats),
+        None => trainer.greedy_tree(),
+    }
+}

@@ -2,41 +2,12 @@
 //! classify every probe identically to the linear-scan ground truth on
 //! every family — the "perfect accuracy by construction" premise (§3.2).
 
-use classbench::{
-    generate_rules, generate_trace, ClassifierFamily, GeneratorConfig, TraceConfig,
-};
+use classbench::{generate_rules, generate_trace, ClassifierFamily, GeneratorConfig, TraceConfig};
 use dtree::validate::assert_tree_valid;
 use dtree::TreeStats;
-use nc_bench_testutil::*;
 
-/// Minimal local copy of the harness helpers (integration tests of the
-/// umbrella package cannot depend on the bench crate without a cycle).
-mod nc_bench_testutil {
-    use classbench::RuleSet;
-    use dtree::DecisionTree;
-
-    pub const ALL_BASELINES: [&str; 5] =
-        ["HiCuts", "HyperCuts", "HyperSplit", "EffiCuts", "CutSplit"];
-
-    pub fn build(name: &str, rules: &RuleSet) -> DecisionTree {
-        match name {
-            "HiCuts" => baselines::build_hicuts(rules, &baselines::HiCutsConfig::default()),
-            "HyperCuts" => {
-                baselines::build_hypercuts(rules, &baselines::HyperCutsConfig::default())
-            }
-            "HyperSplit" => {
-                baselines::build_hypersplit(rules, &baselines::HyperSplitConfig::default())
-            }
-            "EffiCuts" => {
-                baselines::build_efficuts(rules, &baselines::EffiCutsConfig::default())
-            }
-            "CutSplit" => {
-                baselines::build_cutsplit(rules, &baselines::CutSplitConfig::default())
-            }
-            other => panic!("unknown baseline {other}"),
-        }
-    }
-}
+mod common;
+use common::{build, ALL_BASELINES};
 
 #[test]
 fn every_algorithm_matches_ground_truth_on_every_family() {

@@ -4,23 +4,15 @@
 
 use baselines::{build_hicuts, HiCutsConfig};
 use classbench::{
-    generate_rules, generate_trace, parse_rules, write_rules, ClassifierFamily,
-    GeneratorConfig, TraceConfig,
+    generate_rules, generate_trace, parse_rules, write_rules, ClassifierFamily, GeneratorConfig,
+    TraceConfig,
 };
 use dtree::validate::assert_tree_valid;
-use dtree::{DecisionTree, TreeStats};
+use dtree::TreeStats;
 use neurocuts::{NeuroCutsConfig, PartitionMode, Trainer};
 
-/// Best completed training tree, or the greedy tree when the tiny smoke
-/// budget never completed a rollout (untrained policies are heavy-
-/// tailed; the bench harness uses the same fallback).
-fn best_or_greedy(trainer: &mut Trainer) -> (DecisionTree, TreeStats) {
-    let report = trainer.train();
-    match report.best {
-        Some(b) => (b.tree, b.stats),
-        None => trainer.greedy_tree(),
-    }
-}
+mod common;
+use common::best_or_greedy;
 
 #[test]
 fn generate_train_classify_pipeline() {
@@ -51,8 +43,7 @@ fn trained_policy_transfers_within_same_rules() {
     // Checkpoint a policy, restore it into a fresh trainer, and verify
     // the greedy trees coincide — the deployment story for retraining
     // on classifier updates.
-    let rules =
-        generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 90).with_seed(103));
+    let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 90).with_seed(103));
     let mut a = Trainer::new(rules.clone(), NeuroCutsConfig::smoke_test());
     let _ = a.step();
     let ckpt = a.save_policy();
@@ -68,8 +59,7 @@ fn trained_policy_transfers_within_same_rules() {
 #[test]
 fn all_partition_modes_end_to_end() {
     for mode in [PartitionMode::None, PartitionMode::Simple, PartitionMode::EffiCuts] {
-        let rules =
-            generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 80).with_seed(105));
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 80).with_seed(105));
         let cfg = NeuroCutsConfig::smoke_test().with_partition_mode(mode);
         let mut trainer = Trainer::new(rules.clone(), cfg);
         let (tree, stats) = best_or_greedy(&mut trainer);
@@ -92,8 +82,7 @@ fn space_objective_trains_smaller_trees_than_it_reports() {
         .expect("at least one of ten seeds completes a tree");
     // c = 0 with log scaling: objective is log(bytes).
     let expect = (best.stats.bytes as f64
-        - (dtree::MemoryModel::default().rule_table_entry * best.tree.num_active_rules())
-            as f64)
+        - (dtree::MemoryModel::default().rule_table_entry * best.tree.num_active_rules()) as f64)
         .max(1.0)
         .ln();
     assert!((best.objective - expect).abs() < 1e-6);
@@ -103,15 +92,11 @@ fn space_objective_trains_smaller_trees_than_it_reports() {
 fn stats_are_consistent_across_the_stack() {
     // TreeStats (dtree), subtree_metrics (neurocuts::reward) and the
     // harness memory model must agree about the same tree.
-    let rules =
-        generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 150).with_seed(108));
+    let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 150).with_seed(108));
     let tree = build_hicuts(&rules, &HiCutsConfig::default());
     let stats = TreeStats::compute(&tree);
     let model = dtree::MemoryModel::default();
     let (time, bytes) = neurocuts::reward::subtree_metrics(&tree, &model);
     assert_eq!(stats.time, time[tree.root()]);
-    assert_eq!(
-        stats.bytes,
-        bytes[tree.root()] + model.rule_table_entry * tree.num_active_rules()
-    );
+    assert_eq!(stats.bytes, bytes[tree.root()] + model.rule_table_entry * tree.num_active_rules());
 }

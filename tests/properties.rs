@@ -1,12 +1,13 @@
 //! Workspace-level property tests: randomised rule sets, packets, and
 //! builder choices must never break the classification invariant.
 
-use baselines::{build_cutsplit, build_efficuts, build_hicuts, build_hypersplit};
-use baselines::{CutSplitConfig, EffiCutsConfig, HiCutsConfig, HyperSplitConfig};
 use classbench::{
     generate_rules, ClassifierFamily, Dim, DimRange, GeneratorConfig, Packet, Rule, RuleSet,
 };
 use proptest::prelude::*;
+
+mod common;
+use common::build;
 
 fn arb_rule(priority: i32) -> impl Strategy<Value = Rule> {
     // Each dimension: either a wildcard, an exact value, or a range.
@@ -20,13 +21,7 @@ fn arb_rule(priority: i32) -> impl Strategy<Value = Rule> {
             }),
         ]
     };
-    (
-        dim_range(1 << 32),
-        dim_range(1 << 32),
-        dim_range(1 << 16),
-        dim_range(1 << 16),
-        dim_range(256),
-    )
+    (dim_range(1 << 32), dim_range(1 << 32), dim_range(1 << 16), dim_range(1 << 16), dim_range(256))
         .prop_map(move |(s, d, sp, dp, pr)| {
             Rule::from_fields(
                 DimRange::new(s.0, s.1),
@@ -59,7 +54,7 @@ proptest! {
         rules in arb_ruleset(40),
         packets in proptest::collection::vec(arb_packet(), 30))
     {
-        let tree = build_hicuts(&rules, &HiCutsConfig::default());
+        let tree = build("HiCuts", &rules);
         for p in &packets {
             prop_assert_eq!(tree.classify(p), rules.classify(p), "at {}", p);
         }
@@ -70,7 +65,7 @@ proptest! {
         rules in arb_ruleset(40),
         packets in proptest::collection::vec(arb_packet(), 30))
     {
-        let tree = build_hypersplit(&rules, &HyperSplitConfig::default());
+        let tree = build("HyperSplit", &rules);
         for p in &packets {
             prop_assert_eq!(tree.classify(p), rules.classify(p), "at {}", p);
         }
@@ -81,7 +76,7 @@ proptest! {
         rules in arb_ruleset(40),
         packets in proptest::collection::vec(arb_packet(), 30))
     {
-        let tree = build_efficuts(&rules, &EffiCutsConfig::default());
+        let tree = build("EffiCuts", &rules);
         for p in &packets {
             prop_assert_eq!(tree.classify(p), rules.classify(p), "at {}", p);
         }
@@ -92,7 +87,7 @@ proptest! {
         rules in arb_ruleset(40),
         packets in proptest::collection::vec(arb_packet(), 30))
     {
-        let tree = build_cutsplit(&rules, &CutSplitConfig::default());
+        let tree = build("CutSplit", &rules);
         for p in &packets {
             prop_assert_eq!(tree.classify(p), rules.classify(p), "at {}", p);
         }
@@ -106,7 +101,7 @@ proptest! {
     {
         let rules = generate_rules(
             &GeneratorConfig::new(ClassifierFamily::Acl, 60).with_seed(seed));
-        let mut tree = build_hicuts(&rules, &HiCutsConfig::default());
+        let mut tree = build("HiCuts", &rules);
         let id = dtree::updates::insert_rule(&mut tree, extra);
         for p in &packets {
             prop_assert_eq!(tree.classify(p), tree.linear_classify(p), "after insert at {}", p);

@@ -7,17 +7,16 @@ use classbench::{
 use dtree::average_lookup_cost;
 use neurocuts::{NeuroCutsConfig, Trainer};
 
+mod common;
+use common::{best_or_greedy, build};
+
 #[test]
 fn traffic_aware_training_runs_and_validates() {
     let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 80).with_seed(400));
     let trace = generate_trace(&rules, &TraceConfig::new(500).with_seed(401));
     let mut trainer =
         Trainer::new(rules.clone(), NeuroCutsConfig::smoke_test()).set_traffic(trace.clone());
-    let report = trainer.train();
-    let (tree, _) = match report.best {
-        Some(b) => (b.tree, b.stats),
-        None => trainer.greedy_tree(),
-    };
+    let (tree, _) = best_or_greedy(&mut trainer);
     // Exactness is independent of the objective.
     for p in &trace {
         assert_eq!(tree.classify(p), rules.classify(p));
@@ -33,7 +32,7 @@ fn average_cost_reacts_to_traffic_concentration() {
     // Build one fixed tree; a trace hitting only shallow paths must
     // yield a lower average cost than one hitting deep paths.
     let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 120).with_seed(402));
-    let tree = baselines::build_hicuts(&rules, &baselines::HiCutsConfig::default());
+    let tree = build("HiCuts", &rules);
     // Find a shallow and a deep packet by probing.
     let probe = generate_trace(&rules, &TraceConfig::new(2000).with_seed(403));
     let mut costs: Vec<(usize, Packet)> =
