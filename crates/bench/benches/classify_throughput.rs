@@ -38,6 +38,26 @@ fn classify_throughput(c: &mut Criterion) {
                 hits
             })
         });
+        // The batched wavefront lookup over the same compiled tree.
+        let mut out = vec![None; trace.len()];
+        group.bench_with_input(BenchmarkId::new("flat-batch", name), &flat, |b, flat| {
+            b.iter(|| {
+                flat.classify_batch(black_box(&trace), &mut out);
+                out.iter().filter(|r| r.is_some()).count()
+            })
+        });
+        // The sharded engine at the hardware's parallelism.
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        group.bench_with_input(
+            BenchmarkId::new(format!("engine{threads}t"), name),
+            &flat,
+            |b, flat| {
+                b.iter(|| {
+                    dtree::classify_sharded(flat, black_box(&trace), &mut out, threads);
+                    out.iter().filter(|r| r.is_some()).count()
+                })
+            },
+        );
     }
 
     // The linear-scan ground truth as the reference point.

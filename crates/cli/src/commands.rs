@@ -1,11 +1,11 @@
-//! The five CLI subcommands.
+//! The six CLI subcommands.
 
 use crate::args::Args;
 use classbench::{
     generate_rules, generate_trace, parse_rules, write_rules, ClassifierFamily, GeneratorConfig,
     RuleSet, TraceConfig,
 };
-use dtree::{DecisionTree, TreeStats};
+use dtree::{run_engine, DecisionTree, EngineConfig, FlatTree, TreeStats};
 use neurocuts::{NeuroCutsConfig, PartitionMode, Trainer};
 
 /// Top-level usage text.
@@ -24,6 +24,10 @@ subcommands:
   classify --tree TREE.json --rules FILE [--trace N] [--seed S]
       replay a synthetic trace through a saved tree and verify it
       against the linear-scan ground truth
+  serve-bench --tree TREE.json --rules FILE [--trace N] [--seed S]
+              [--threads T] [--passes P]
+      compile the tree to its serving form and measure scalar,
+      batched, and sharded multi-core lookup throughput
   stats    --tree TREE.json
       print a saved tree's statistics";
 
@@ -157,6 +161,56 @@ pub fn classify(argv: &[String]) -> Result<(), String> {
         return Err(format!("{mismatches} mismatches against the linear scan"));
     }
     println!("tree verified against the linear-scan ground truth");
+    Ok(())
+}
+
+/// `neurocuts serve-bench`.
+pub fn serve_bench(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let tree = read_tree(args.required("tree")?)?;
+    let rules = read_rules(args.required("rules")?)?;
+    let n: usize = args.parse_or("trace", 100_000)?;
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let threads: usize =
+        args.parse_or("threads", std::thread::available_parallelism().map_or(1, |t| t.get()))?;
+    let passes: usize = args.parse_or("passes", 20)?;
+    let trace = generate_trace(&rules, &TraceConfig::new(n).with_seed(seed));
+
+    let flat = FlatTree::compile(&tree);
+    eprintln!(
+        "compiled: {} nodes, {} rules, {} resident bytes",
+        flat.num_nodes(),
+        flat.num_rules(),
+        flat.resident_bytes()
+    );
+
+    // Correctness first: the compiled tree must agree with the source
+    // tree before its throughput means anything.
+    let mut expect = vec![None; trace.len()];
+    flat.classify_batch(&trace, &mut expect);
+    for (p, &want) in trace.iter().zip(&expect) {
+        if flat.classify(p) != want || tree.classify(p) != want {
+            return Err(format!("serving paths disagree at {p}"));
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let mut hits = 0usize;
+    for _ in 0..passes {
+        hits = trace.iter().filter(|p| flat.classify(p).is_some()).count();
+    }
+    let scalar = (trace.len() * passes) as f64 / start.elapsed().as_secs_f64();
+    println!("scalar      1t  {:>10.0} pkts/s  ({hits}/{} matched)", scalar, trace.len());
+
+    let (_, batch) = run_engine(&flat, &trace, EngineConfig::new(1).with_passes(passes));
+    println!("flat-batch  1t  {:>10.0} pkts/s", batch.packets_per_sec);
+
+    let (out, engine) = run_engine(&flat, &trace, EngineConfig::new(threads).with_passes(passes));
+    println!("engine     {:>2}t  {:>10.0} pkts/s", engine.threads, engine.packets_per_sec);
+    if out != expect {
+        return Err("engine results diverged from the batched path".into());
+    }
+    println!("all serving paths verified bit-identical");
     Ok(())
 }
 

@@ -6,6 +6,7 @@
 //!                    --partition simple --out tree.json
 //! neurocuts build    --rules rules.txt --algo hicuts --out tree.json
 //! neurocuts classify --tree tree.json --rules rules.txt --trace 10000
+//! neurocuts serve-bench --tree tree.json --rules rules.txt --threads 8
 //! neurocuts stats    --tree tree.json
 //! ```
 //!
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         "train" => commands::train(rest),
         "build" => commands::build(rest),
         "classify" => commands::classify(rest),
+        "serve-bench" => commands::serve_bench(rest),
         "stats" => commands::stats(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -1,0 +1,192 @@
+//! A sharded, multi-core serving engine over a compiled [`FlatTree`].
+//!
+//! The paper's end product classifies packets on the datapath; this
+//! module is the deployment harness around [`FlatTree`]: a trace is
+//! sharded into contiguous chunks, one per worker, and each worker
+//! drives the batched wavefront lookup ([`FlatTree::classify_batch`])
+//! over its shard. The tree is shared read-only (`&FlatTree` — no
+//! locks, no cloning), workers are scoped threads, and results land in
+//! disjoint sub-slices of the caller's output buffer, so the combined
+//! output is **bit-identical** to running scalar
+//! [`FlatTree::classify`] over the whole trace in order.
+//!
+//! [`run_engine`] wraps the sharded lookup in a timing loop and
+//! reports aggregate packets/sec — the serving-throughput number the
+//! benchmarks and the `serve-bench` CLI subcommand record.
+
+use crate::flat::FlatTree;
+use crate::node::RuleId;
+use classbench::Packet;
+
+/// How a serving run is sharded and measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads the trace is sharded across (min 1).
+    pub threads: usize,
+    /// Times the whole trace is classified; the report aggregates all
+    /// passes. More passes smooth out scheduler noise on short traces.
+    pub passes: usize,
+}
+
+impl EngineConfig {
+    /// `threads` workers, one timing pass.
+    pub fn new(threads: usize) -> Self {
+        EngineConfig { threads: threads.max(1), passes: 1 }
+    }
+
+    /// Set the number of timing passes (min 1).
+    pub fn with_passes(mut self, passes: usize) -> Self {
+        self.passes = passes.max(1);
+        self
+    }
+}
+
+/// Aggregate result of a timed [`run_engine`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total packets classified across all passes.
+    pub packets: usize,
+    /// Wall-clock seconds for all passes.
+    pub seconds: f64,
+    /// Aggregate throughput: `packets / seconds`.
+    pub packets_per_sec: f64,
+}
+
+/// Classify `trace` into `out` using `threads` workers over the shared
+/// tree. Shards are contiguous chunks, so `out[i]` is exactly what
+/// `tree.classify(&trace[i])` returns regardless of the thread count.
+///
+/// # Panics
+/// Panics if `trace` and `out` have different lengths.
+pub fn classify_sharded(
+    tree: &FlatTree,
+    trace: &[Packet],
+    out: &mut [Option<RuleId>],
+    threads: usize,
+) {
+    assert_eq!(trace.len(), out.len(), "output slice must match the trace");
+    let threads = threads.max(1);
+    if threads == 1 || trace.len() < 2 {
+        tree.classify_batch(trace, out);
+        return;
+    }
+    // Ceiling division so every packet lands in one of <= `threads`
+    // contiguous shards (the last shard may be short).
+    let shard = trace.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (pkts, results) in trace.chunks(shard).zip(out.chunks_mut(shard)) {
+            scope.spawn(move || tree.classify_batch(pkts, results));
+        }
+    });
+}
+
+/// Time a sharded serving run over `cfg.passes` passes and report the
+/// aggregate packets/sec. Returns the classification results (which
+/// are identical on every pass, and identical to scalar
+/// [`FlatTree::classify`]) alongside the report.
+///
+/// Workers are spawned **once** and loop their passes internally, so
+/// the measurement amortises thread start-up the way a long-lived
+/// serving process would, instead of paying it once per pass.
+pub fn run_engine(
+    tree: &FlatTree,
+    trace: &[Packet],
+    cfg: EngineConfig,
+) -> (Vec<Option<RuleId>>, EngineReport) {
+    let threads = cfg.threads.max(1);
+    let mut out = vec![None; trace.len()];
+    let start = std::time::Instant::now();
+    if threads == 1 || trace.len() < 2 {
+        for _ in 0..cfg.passes {
+            tree.classify_batch(trace, &mut out);
+        }
+    } else {
+        let shard = trace.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (pkts, results) in trace.chunks(shard).zip(out.chunks_mut(shard)) {
+                scope.spawn(move || {
+                    for _ in 0..cfg.passes {
+                        tree.classify_batch(pkts, results);
+                    }
+                });
+            }
+        });
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let packets = trace.len() * cfg.passes;
+    let report = EngineReport {
+        threads,
+        packets,
+        seconds,
+        packets_per_sec: if seconds > 0.0 { packets as f64 / seconds } else { 0.0 },
+    };
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DecisionTree;
+    use classbench::{
+        generate_rules, generate_trace, ClassifierFamily, Dim, GeneratorConfig, TraceConfig,
+    };
+
+    fn compiled_tree() -> (FlatTree, classbench::RuleSet) {
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 200).with_seed(7));
+        let mut tree = DecisionTree::new(&rules);
+        let kids = tree.cut_node(tree.root(), Dim::SrcIp, 8);
+        for k in kids {
+            if !tree.is_terminal(k, 8) {
+                tree.cut_node(k, Dim::DstPort, 4);
+            }
+        }
+        (FlatTree::compile(&tree), rules)
+    }
+
+    #[test]
+    fn sharded_results_match_scalar_for_any_thread_count() {
+        let (flat, rules) = compiled_tree();
+        let trace = generate_trace(&rules, &TraceConfig::new(333).with_seed(8));
+        let expect: Vec<_> = trace.iter().map(|p| flat.classify(p)).collect();
+        for threads in [1, 2, 3, 4, 8, 64, 1000] {
+            let mut out = vec![None; trace.len()];
+            classify_sharded(&flat, &trace, &mut out, threads);
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_handles_degenerate_traces() {
+        let (flat, rules) = compiled_tree();
+        for len in [0usize, 1, 2] {
+            let trace = generate_trace(&rules, &TraceConfig::new(len).with_seed(9));
+            let mut out = vec![None; len];
+            classify_sharded(&flat, &trace, &mut out, 4);
+            for (p, got) in trace.iter().zip(&out) {
+                assert_eq!(*got, flat.classify(p));
+            }
+        }
+    }
+
+    #[test]
+    fn run_engine_reports_all_passes() {
+        let (flat, rules) = compiled_tree();
+        let trace = generate_trace(&rules, &TraceConfig::new(100).with_seed(10));
+        let (out, report) = run_engine(&flat, &trace, EngineConfig::new(2).with_passes(3));
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.packets, 300);
+        assert!(report.seconds >= 0.0);
+        assert!(report.packets_per_sec > 0.0);
+        let expect: Vec<_> = trace.iter().map(|p| flat.classify(p)).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn config_clamps_to_sane_minimums() {
+        let cfg = EngineConfig::new(0).with_passes(0);
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.passes, 1);
+    }
+}

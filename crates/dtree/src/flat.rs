@@ -4,19 +4,75 @@
 //! in place) but pays for that flexibility at lookup time: nodes hold
 //! `Vec`s, child spaces are recomputed from ranges, and matching walks
 //! enum variants with embedded allocations. [`FlatTree`] is the
-//! deployment artifact: all node parameters are precomputed into flat,
-//! contiguous pools (children, leaf rule references, cut strides), so a
-//! lookup is pure index arithmetic over dense arrays. Compilation also
-//! drops deleted rules and rebinds rule references.
+//! deployment artifact, rebuilt for throughput:
+//!
+//! * **Breadth-first node order.** Compiled nodes are renumbered
+//!   breadth-first from the root, so the hot upper levels of the tree —
+//!   shared by every lookup — pack into a handful of consecutive cache
+//!   lines instead of being scattered in arena creation order.
+//! * **Structure-of-arrays rule store.** Rule bounds live in
+//!   per-dimension `lo`/`hi` arrays in precedence (rank) order, plus a
+//!   cache-packed per-leaf scan copy. A leaf scan touches only the
+//!   bounds it actually compares, in prefetch order, instead of
+//!   dragging whole cloned `Rule` structs through the cache.
+//! * **Division-free cut indexing.** Equal-size cuts precompute a
+//!   Granlund–Montgomery/Lemire style reciprocal at compile time, so
+//!   the per-level child-index computation is a multiply-and-shift
+//!   rather than a hardware `u64` divide.
+//! * **Batched lookup.** [`FlatTree::classify_batch`] traverses many
+//!   packets as an interleaved wavefront: a level-synchronous frontier
+//!   advances every in-flight packet one node per round, so
+//!   independent node fetches overlap in the memory pipeline instead
+//!   of serialising per packet.
 //!
 //! `FlatTree::classify` returns the **same rule ids** as the source
 //! tree, so results remain comparable with the [`classbench::RuleSet`]
-//! ground truth.
+//! ground truth. Packets are assumed valid ([`Packet::is_valid`]):
+//! each field lies inside its dimension's span, which the reciprocal
+//! cut indexing relies on (all dividends and divisors fit in 32 bits).
 
 use crate::node::{NodeKind, RuleId};
 use crate::tree::DecisionTree;
-use classbench::{Packet, Rule};
+use classbench::{Packet, NUM_DIMS};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Sentinel table rank for "no rule matched" in the batched core
+/// (ranks are dense from 0, so `u32::MAX` can never be a real rank).
+const NO_RANK: u32 = u32::MAX;
+
+/// Width of one `leaf_bounds` entry in `u32` words: 8 lower bounds
+/// then 8 inclusive upper bounds. The five real dimensions are padded
+/// to a power-of-two lane count with always-true lanes (`lo = 0`,
+/// `hi = u32::MAX`) so the per-rule match test is two straight-line
+/// 8-wide compare loops the compiler can vectorise.
+const LEAF_ENTRY: usize = 16;
+
+/// Lanes per bound half of a [`LEAF_ENTRY`] (real dims + padding).
+const LEAF_LANES: usize = LEAF_ENTRY / 2;
+
+/// Precompute the reciprocal for division-free `x / step`, exact for
+/// all `x < 2^32` and `1 < step < 2^32` (Granlund–Montgomery round-up
+/// method with a 64-bit fraction). `step == 1` uses the sentinel `0`:
+/// the quotient is `x` itself.
+fn step_magic(step: u64) -> u64 {
+    debug_assert!(0 < step && step < 1 << 32);
+    if step == 1 {
+        0
+    } else {
+        u64::MAX / step + 1
+    }
+}
+
+/// `x / step` via the precomputed `magic` (see [`step_magic`]).
+#[inline(always)]
+fn div_by_step(x: u64, magic: u64) -> u64 {
+    if magic == 0 {
+        x
+    } else {
+        ((x as u128 * magic as u128) >> 64) as u64
+    }
+}
 
 /// One compiled node. Parameters index into the [`FlatTree`] pools.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -24,8 +80,9 @@ enum FlatNode {
     /// `leaf_rules[start..end]` scanned in precedence order.
     Leaf { start: u32, end: u32 },
     /// Equal-size cut: child index is `min((v - lo) / step, ncuts-1)`;
-    /// children are `children[base..base+ncuts]`.
-    Cut { dim: u8, lo: u64, step: u64, ncuts: u32, base: u32 },
+    /// children are `children[base..base+ncuts]`. `magic` is the
+    /// precomputed reciprocal of `step`.
+    Cut { dim: u8, lo: u64, magic: u64, ncuts: u32, base: u32 },
     /// Simultaneous cuts: dims are `cut_dims[dstart..dend]`, children
     /// row-major at `base`.
     MultiCut { dstart: u32, dend: u32, base: u32 },
@@ -43,43 +100,97 @@ enum FlatNode {
 struct FlatCutDim {
     dim: u8,
     lo: u64,
-    step: u64,
+    /// Reciprocal of the cut step (see [`step_magic`]).
+    magic: u64,
     ncuts: u32,
+}
+
+/// Outcome of advancing one lookup by one node.
+enum Step {
+    /// Continue at this node.
+    Descend(u32),
+    /// Lookup finished with this winning table rank (if any).
+    Done(Option<u32>),
 }
 
 /// A compiled decision tree (see module docs).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlatTree {
+    /// Compiled nodes in breadth-first order; the root is node 0.
     nodes: Vec<FlatNode>,
     children: Vec<u32>,
     leaf_rules: Vec<u32>,
     bounds: Vec<u64>,
     cut_dims: Vec<FlatCutDim>,
-    /// `(rule, original id)` pairs; `leaf_rules` indexes this table.
-    rules: Vec<(Rule, RuleId)>,
-    /// Precedence rank per table entry (lower rank wins).
-    ranks: Vec<u32>,
+    /// SoA rule store, dimension-major: the lower bound of rule `rank`
+    /// in dimension `d` is `rule_lo[d * num_rules + rank]`. Ranks are
+    /// precedence order (rank 0 wins every tie), so `leaf_rules` and
+    /// the scan below never consult priorities.
+    rule_lo: Vec<u64>,
+    /// Exclusive upper bounds, same layout as `rule_lo`.
+    rule_hi: Vec<u64>,
+    /// Cache-packed scan copy of the rule bounds: entry `j` of
+    /// `leaf_rules` owns `leaf_bounds[16j..16j+16]` — eight lower
+    /// bounds then eight **inclusive** upper bounds (five real
+    /// dimensions plus always-true padding lanes; see [`LEAF_ENTRY`]).
+    /// A leaf scan walks these sequentially — one 64-byte line per
+    /// rule in prefetch order — instead of gathering from five
+    /// rank-indexed arrays. `u32` is lossless here: every dimension's
+    /// values fit in 32 bits, and a degenerate empty range is encoded
+    /// as the unsatisfiable lane `[1, 0]` rather than wrapping.
+    leaf_bounds: Vec<u32>,
+    /// `rank ->` original rule id in the source tree's arena.
+    orig_ids: Vec<u32>,
     root: u32,
 }
 
 impl FlatTree {
     /// Compile a built tree. Deleted rules are dropped; node ids are
-    /// renumbered; lookup behaviour is preserved exactly.
+    /// renumbered breadth-first; lookup behaviour is preserved exactly.
     pub fn compile(tree: &DecisionTree) -> FlatTree {
         // Active rules in precedence order; remember original ids.
         let mut order: Vec<RuleId> =
             (0..tree.rules().len()).filter(|&r| tree.is_active(r)).collect();
         order.sort_by(|&a, &b| tree.rule(b).priority.cmp(&tree.rule(a).priority).then(a.cmp(&b)));
         let mut table_index = vec![u32::MAX; tree.rules().len()];
-        let rules: Vec<(Rule, RuleId)> = order
-            .iter()
-            .enumerate()
-            .map(|(i, &r)| {
-                table_index[r] = i as u32;
-                (tree.rule(r).clone(), r)
-            })
-            .collect();
-        let ranks: Vec<u32> = (0..rules.len() as u32).collect();
+        let n = order.len();
+        let mut rule_lo = vec![0u64; NUM_DIMS * n];
+        let mut rule_hi = vec![0u64; NUM_DIMS * n];
+        let mut orig_ids = Vec::with_capacity(n);
+        for (rank, &r) in order.iter().enumerate() {
+            table_index[r] = rank as u32;
+            orig_ids.push(r as u32);
+            let rule = tree.rule(r);
+            for d in 0..NUM_DIMS {
+                rule_lo[d * n + rank] = rule.ranges[d].lo;
+                rule_hi[d * n + rank] = rule.ranges[d].hi;
+            }
+        }
+
+        // Breadth-first renumbering: hot upper levels become the first
+        // entries of `nodes` (and their pool slices the first entries
+        // of `children`/`leaf_rules`), packing them into shared cache
+        // lines. Every arena node is reachable from the root, but any
+        // stragglers are appended so the node count is preserved.
+        let mut bfs: Vec<usize> = Vec::with_capacity(tree.num_nodes());
+        let mut new_id = vec![u32::MAX; tree.num_nodes()];
+        let mut queue = VecDeque::from([tree.root()]);
+        new_id[tree.root()] = 0;
+        while let Some(old) = queue.pop_front() {
+            bfs.push(old);
+            for &c in tree.node(old).kind.children() {
+                if new_id[c] == u32::MAX {
+                    new_id[c] = (bfs.len() + queue.len()) as u32;
+                    queue.push_back(c);
+                }
+            }
+        }
+        for (old, nid) in new_id.iter_mut().enumerate() {
+            if *nid == u32::MAX {
+                *nid = bfs.len() as u32;
+                bfs.push(old);
+            }
+        }
 
         let mut flat = FlatTree {
             nodes: Vec::with_capacity(tree.num_nodes()),
@@ -87,29 +198,51 @@ impl FlatTree {
             leaf_rules: Vec::new(),
             bounds: Vec::new(),
             cut_dims: Vec::new(),
-            rules,
-            ranks,
+            rule_lo,
+            rule_hi,
+            leaf_bounds: Vec::new(),
+            orig_ids,
             root: 0,
         };
 
-        // Node ids are preserved 1:1 (the arena already contains every
-        // node), so children can be emitted directly.
-        for node in tree.nodes() {
+        for &old in &bfs {
+            let node = tree.node(old);
             let compiled = match &node.kind {
                 NodeKind::Leaf => {
                     let start = flat.leaf_rules.len() as u32;
-                    flat.leaf_rules.extend(
-                        node.rules.iter().filter(|&&r| tree.is_active(r)).map(|&r| table_index[r]),
-                    );
+                    for &r in node.rules.iter().filter(|&&r| tree.is_active(r)) {
+                        flat.leaf_rules.push(table_index[r]);
+                        let ranges = &tree.rule(r).ranges;
+                        // Padding lanes are always-true; a degenerate
+                        // empty range (lo >= hi, matches nothing) gets
+                        // the unsatisfiable lane [1, 0] so the rule
+                        // never wins, exactly like `Rule::matches`.
+                        let lane_bounds = |lane: usize| -> (u32, u32) {
+                            match ranges.get(lane) {
+                                None => (0, u32::MAX),
+                                Some(rg) if rg.is_empty() => (1, 0),
+                                Some(rg) => {
+                                    debug_assert!(rg.hi <= 1 << 32);
+                                    (rg.lo as u32, (rg.hi - 1) as u32)
+                                }
+                            }
+                        };
+                        for lane in 0..LEAF_LANES {
+                            flat.leaf_bounds.push(lane_bounds(lane).0);
+                        }
+                        for lane in 0..LEAF_LANES {
+                            flat.leaf_bounds.push(lane_bounds(lane).1);
+                        }
+                    }
                     FlatNode::Leaf { start, end: flat.leaf_rules.len() as u32 }
                 }
                 NodeKind::Cut { dim, ncuts, children } => {
                     let range = node.space.range(*dim);
-                    let base = flat.push_children(children);
+                    let base = flat.push_children(children, &new_id);
                     FlatNode::Cut {
                         dim: dim.index() as u8,
                         lo: range.lo,
-                        step: (range.len() / *ncuts as u64).max(1),
+                        magic: step_magic((range.len() / *ncuts as u64).max(1)),
                         ncuts: *ncuts as u32,
                         base,
                     }
@@ -121,17 +254,17 @@ impl FlatTree {
                         flat.cut_dims.push(FlatCutDim {
                             dim: dim.index() as u8,
                             lo: range.lo,
-                            step: (range.len() / ncuts as u64).max(1),
+                            magic: step_magic((range.len() / ncuts as u64).max(1)),
                             ncuts: ncuts as u32,
                         });
                     }
-                    let base = flat.push_children(children);
+                    let base = flat.push_children(children, &new_id);
                     FlatNode::MultiCut { dstart, dend: flat.cut_dims.len() as u32, base }
                 }
                 NodeKind::DenseCut { dim, bounds, children } => {
                     let bstart = flat.bounds.len() as u32;
                     flat.bounds.extend_from_slice(bounds);
-                    let base = flat.push_children(children);
+                    let base = flat.push_children(children, &new_id);
                     FlatNode::DenseCut {
                         dim: dim.index() as u8,
                         bstart,
@@ -142,23 +275,31 @@ impl FlatTree {
                 NodeKind::Split { dim, threshold, children } => FlatNode::Split {
                     dim: dim.index() as u8,
                     threshold: *threshold,
-                    left: children[0] as u32,
-                    right: children[1] as u32,
+                    left: new_id[children[0]],
+                    right: new_id[children[1]],
                 },
                 NodeKind::Partition { children } => {
-                    let start = flat.push_children(children);
+                    let start = flat.push_children(children, &new_id);
                     FlatNode::Partition { start, end: start + children.len() as u32 }
                 }
             };
             flat.nodes.push(compiled);
         }
-        flat.root = tree.root() as u32;
+
+        // A deployment artifact should hold no slack capacity (and
+        // `resident_bytes` reports capacity, not length).
+        flat.nodes.shrink_to_fit();
+        flat.children.shrink_to_fit();
+        flat.leaf_rules.shrink_to_fit();
+        flat.leaf_bounds.shrink_to_fit();
+        flat.bounds.shrink_to_fit();
+        flat.cut_dims.shrink_to_fit();
         flat
     }
 
-    fn push_children(&mut self, children: &[usize]) -> u32 {
+    fn push_children(&mut self, children: &[usize], new_id: &[u32]) -> u32 {
         let base = self.children.len() as u32;
-        self.children.extend(children.iter().map(|&c| c as u32));
+        self.children.extend(children.iter().map(|&c| new_id[c]));
         base
     }
 
@@ -169,75 +310,236 @@ impl FlatTree {
 
     /// Number of active rules in the compiled table.
     pub fn num_rules(&self) -> usize {
-        self.rules.len()
+        self.orig_ids.len()
     }
 
-    /// Approximate resident size in bytes of the compiled structure.
+    /// Resident heap + inline size of the compiled structure, in bytes.
+    ///
+    /// Counted exactly: the `FlatTree` struct itself plus the *capacity*
+    /// (not just the length) of every backing array — nodes, child and
+    /// leaf-rule pools, dense-cut boundaries, multicut axes, the SoA
+    /// rule store (`lo`/`hi` per dimension plus the rank-to-id map),
+    /// and the cache-packed leaf scan copy of the bounds. Nothing in
+    /// the structure owns further heap (rule bounds are inlined into
+    /// the arrays), so this is the full footprint.
     pub fn resident_bytes(&self) -> usize {
-        self.nodes.len() * std::mem::size_of::<FlatNode>()
-            + self.children.len() * 4
-            + self.leaf_rules.len() * 4
-            + self.bounds.len() * 8
-            + self.cut_dims.len() * std::mem::size_of::<FlatCutDim>()
-            + self.rules.len() * (std::mem::size_of::<Rule>() + 8)
-            + self.ranks.len() * 4
+        fn heap<T>(v: &Vec<T>) -> usize {
+            v.capacity() * std::mem::size_of::<T>()
+        }
+        std::mem::size_of::<Self>()
+            + heap(&self.nodes)
+            + heap(&self.children)
+            + heap(&self.leaf_rules)
+            + heap(&self.bounds)
+            + heap(&self.cut_dims)
+            + heap(&self.rule_lo)
+            + heap(&self.rule_hi)
+            + heap(&self.leaf_bounds)
+            + heap(&self.orig_ids)
+    }
+
+    /// Scan `leaf_rules[start..end]` (ascending rank = precedence
+    /// order) for the first rule containing the packet.
+    ///
+    /// Bounds come from the cache-packed `leaf_bounds` copy, and the
+    /// dimension test is evaluated branch-free (`&`, not `&&`) over
+    /// the padded 8-lane halves: whether one dimension matches is
+    /// data-dependent and would mispredict, while the one per-rule
+    /// "matched?" branch is almost always false until the winner. The
+    /// fixed-width lane loops vectorise, and `chunks_exact` keeps the
+    /// compares free of per-element bounds checks.
+    #[inline]
+    fn leaf_scan(&self, start: u32, end: u32, packet: &Packet) -> Option<u32> {
+        let mut pv = [0u32; LEAF_LANES];
+        for (lane, &v) in pv.iter_mut().zip(&packet.values) {
+            *lane = v as u32;
+        }
+        let (s, e) = (start as usize, end as usize);
+        let entries = self.leaf_bounds[s * LEAF_ENTRY..e * LEAF_ENTRY]
+            .chunks_exact(LEAF_ENTRY)
+            .zip(&self.leaf_rules[s..e]);
+        for (b, &rank) in entries {
+            let (los, his) = b.split_at(LEAF_LANES);
+            let mut matched = true;
+            for lane in 0..LEAF_LANES {
+                matched &= pv[lane] >= los[lane];
+            }
+            for lane in 0..LEAF_LANES {
+                matched &= pv[lane] <= his[lane];
+            }
+            if matched {
+                return Some(rank);
+            }
+        }
+        None
+    }
+
+    /// Advance a lookup at `id` by one node.
+    #[inline]
+    fn step(&self, id: u32, packet: &Packet) -> Step {
+        match self.nodes[id as usize] {
+            FlatNode::Leaf { start, end } => Step::Done(self.leaf_scan(start, end, packet)),
+            FlatNode::Cut { dim, lo, magic, ncuts, base } => {
+                let v = packet.values[dim as usize];
+                let idx = div_by_step(v.saturating_sub(lo), magic).min(u64::from(ncuts) - 1) as u32;
+                Step::Descend(self.children[(base + idx) as usize])
+            }
+            FlatNode::MultiCut { dstart, dend, base } => {
+                let mut idx = 0u32;
+                for cd in &self.cut_dims[dstart as usize..dend as usize] {
+                    let v = packet.values[cd.dim as usize];
+                    let i = div_by_step(v.saturating_sub(cd.lo), cd.magic)
+                        .min(u64::from(cd.ncuts) - 1) as u32;
+                    idx = idx * cd.ncuts + i;
+                }
+                Step::Descend(self.children[(base + idx) as usize])
+            }
+            FlatNode::DenseCut { dim, bstart, bend, base } => {
+                let v = packet.values[dim as usize];
+                let bounds = &self.bounds[bstart as usize..bend as usize];
+                let idx =
+                    bounds.partition_point(|&b| b <= v).saturating_sub(1).min(bounds.len() - 2)
+                        as u32;
+                Step::Descend(self.children[(base + idx) as usize])
+            }
+            FlatNode::Split { dim, threshold, left, right } => {
+                Step::Descend(if packet.values[dim as usize] < threshold { left } else { right })
+            }
+            FlatNode::Partition { start, end } => {
+                let mut best: Option<u32> = None;
+                for &c in &self.children[start as usize..end as usize] {
+                    if let Some(ti) = self.classify_from(c, packet) {
+                        // Table order *is* precedence order.
+                        if best.is_none_or(|b| ti < b) {
+                            best = Some(ti);
+                        }
+                    }
+                }
+                Step::Done(best)
+            }
+        }
     }
 
     /// Classify a packet: the **original** rule id of the highest-
     /// precedence match, identical to the source tree's `classify`.
     pub fn classify(&self, packet: &Packet) -> Option<RuleId> {
-        self.classify_from(self.root, packet).map(|ti| self.rules[ti as usize].1)
+        self.classify_from(self.root, packet).map(|rank| self.orig_ids[rank as usize] as RuleId)
     }
 
-    /// Returns the winning *table* index (rank order), or `None`.
+    /// Returns the winning *table* rank (precedence order), or `None`.
+    ///
+    /// The loop tests the dominant node kinds (equal-size cuts, then
+    /// leaves, then splits) with cheap conditional branches before
+    /// falling back to the full dispatch: a `match` over all six
+    /// variants compiles to an indirect jump whose target is
+    /// data-dependent and mispredicts every level, while "is it a
+    /// Cut?" is predicted almost perfectly on cut-built trees.
     fn classify_from(&self, mut id: u32, packet: &Packet) -> Option<u32> {
         loop {
-            match self.nodes[id as usize] {
-                FlatNode::Leaf { start, end } => {
-                    return self.leaf_rules[start as usize..end as usize]
-                        .iter()
-                        .copied()
-                        .find(|&ti| self.rules[ti as usize].0.matches(packet));
-                }
-                FlatNode::Cut { dim, lo, step, ncuts, base } => {
-                    let v = packet.values[dim as usize];
-                    let idx = ((v.saturating_sub(lo)) / step).min(u64::from(ncuts) - 1) as u32;
-                    id = self.children[(base + idx) as usize];
-                }
-                FlatNode::MultiCut { dstart, dend, base } => {
-                    let mut idx = 0u32;
-                    for cd in &self.cut_dims[dstart as usize..dend as usize] {
-                        let v = packet.values[cd.dim as usize];
-                        let i = ((v.saturating_sub(cd.lo)) / cd.step).min(u64::from(cd.ncuts) - 1)
-                            as u32;
-                        idx = idx * cd.ncuts + i;
+            let node = &self.nodes[id as usize];
+            if let FlatNode::Cut { dim, lo, magic, ncuts, base } = *node {
+                let v = packet.values[dim as usize];
+                let idx = div_by_step(v.saturating_sub(lo), magic).min(u64::from(ncuts) - 1) as u32;
+                id = self.children[(base + idx) as usize];
+                continue;
+            }
+            if let FlatNode::Leaf { start, end } = *node {
+                return self.leaf_scan(start, end, packet);
+            }
+            if let FlatNode::Split { dim, threshold, left, right } = *node {
+                id = if packet.values[dim as usize] < threshold { left } else { right };
+                continue;
+            }
+            match self.step(id, packet) {
+                Step::Descend(next) => id = next,
+                Step::Done(result) => return result,
+            }
+        }
+    }
+
+    /// Classify a batch of packets into `out` (same length), returning
+    /// exactly what per-packet [`FlatTree::classify`] would.
+    ///
+    /// Traversal is an interleaved wavefront (see
+    /// [`Self::classify_batch_ranks`]): all packets advance through
+    /// the tree level by level, which hides node-fetch latency that a
+    /// one-packet-at-a-time loop would serialise behind each packet's
+    /// root-to-leaf dependence chain.
+    ///
+    /// # Panics
+    /// Panics if `packets` and `out` have different lengths.
+    pub fn classify_batch(&self, packets: &[Packet], out: &mut [Option<RuleId>]) {
+        assert_eq!(packets.len(), out.len(), "output slice must match the batch");
+        if let FlatNode::Partition { start, end } = self.nodes[self.root as usize] {
+            // A root partition (EffiCuts / CutSplit separable trees)
+            // would force every packet through the scalar fallback.
+            // Instead, wavefront the whole batch through each subtree
+            // and merge per packet by rank (table order is precedence
+            // order), which is exactly what the scalar path computes.
+            let mut best = vec![NO_RANK; packets.len()];
+            for &c in &self.children[start as usize..end as usize] {
+                self.classify_batch_ranks(c, packets, |pi, rank| {
+                    if let Some(rank) = rank {
+                        best[pi] = best[pi].min(rank);
                     }
-                    id = self.children[(base + idx) as usize];
-                }
-                FlatNode::DenseCut { dim, bstart, bend, base } => {
-                    let v = packet.values[dim as usize];
-                    let bounds = &self.bounds[bstart as usize..bend as usize];
-                    let idx =
-                        bounds.partition_point(|&b| b <= v).saturating_sub(1).min(bounds.len() - 2)
+                });
+            }
+            for (o, &rank) in out.iter_mut().zip(&best) {
+                *o = (rank != NO_RANK).then(|| self.orig_ids[rank as usize] as RuleId);
+            }
+        } else {
+            self.classify_batch_ranks(self.root, packets, |pi, rank| {
+                out[pi] = rank.map(|rank| self.orig_ids[rank as usize] as RuleId);
+            });
+        }
+    }
+
+    /// The wavefront core: classify every packet starting from node
+    /// `from`, reporting each packet's winning table rank (or `None`)
+    /// through `emit` exactly once, in no particular order.
+    ///
+    /// Traversal is level-synchronous: a frontier of `(packet, node)`
+    /// pairs advances every in-flight packet by one node per round.
+    /// Within a round the iterations are fully independent — no
+    /// packet's next node depends on another's — so the CPU can keep
+    /// many node fetches in flight at once instead of serialising on
+    /// one packet's root-to-leaf dependence chain. Finished packets
+    /// (leaf reached, or interior partition resolved via the scalar
+    /// path) simply drop out of the next round's frontier.
+    fn classify_batch_ranks<F: FnMut(usize, Option<u32>)>(
+        &self,
+        from: u32,
+        packets: &[Packet],
+        mut emit: F,
+    ) {
+        let mut frontier: Vec<(u32, u32)> = (0..packets.len() as u32).map(|i| (i, from)).collect();
+        let mut next_round: Vec<(u32, u32)> = Vec::with_capacity(frontier.len());
+        while !frontier.is_empty() {
+            for &(pi, nid) in &frontier {
+                let packet = &packets[pi as usize];
+                // One full dispatch per packet per round. Because a
+                // round holds one tree level, the node kinds it meets
+                // are near-homogeneous and the dispatch branch stays
+                // well predicted — unlike the scalar loop, which
+                // alternates kinds along each root-to-leaf path.
+                match self.nodes[nid as usize] {
+                    FlatNode::Cut { dim, lo, magic, ncuts, base } => {
+                        let v = packet.values[dim as usize];
+                        let idx = div_by_step(v.saturating_sub(lo), magic).min(u64::from(ncuts) - 1)
                             as u32;
-                    id = self.children[(base + idx) as usize];
-                }
-                FlatNode::Split { dim, threshold, left, right } => {
-                    id = if packet.values[dim as usize] < threshold { left } else { right };
-                }
-                FlatNode::Partition { start, end } => {
-                    let mut best: Option<u32> = None;
-                    for &c in &self.children[start as usize..end as usize] {
-                        if let Some(ti) = self.classify_from(c, packet) {
-                            // Table order *is* precedence order.
-                            if best.is_none_or(|b| ti < b) {
-                                best = Some(ti);
-                            }
-                        }
+                        next_round.push((pi, self.children[(base + idx) as usize]));
                     }
-                    return best;
+                    FlatNode::Leaf { start, end } => {
+                        emit(pi as usize, self.leaf_scan(start, end, packet));
+                    }
+                    _ => match self.step(nid, packet) {
+                        Step::Descend(id) => next_round.push((pi, id)),
+                        Step::Done(result) => emit(pi as usize, result),
+                    },
                 }
             }
+            std::mem::swap(&mut frontier, &mut next_round);
+            next_round.clear();
         }
     }
 }
@@ -246,7 +548,7 @@ impl FlatTree {
 mod tests {
     use super::*;
     use classbench::{
-        generate_rules, generate_trace, ClassifierFamily, Dim, GeneratorConfig, TraceConfig,
+        generate_rules, generate_trace, ClassifierFamily, Dim, GeneratorConfig, Rule, TraceConfig,
     };
 
     fn agreement_check(tree: &DecisionTree, rules: &classbench::RuleSet, probes: usize) {
@@ -255,6 +557,12 @@ mod tests {
         let trace = generate_trace(rules, &TraceConfig::new(probes).with_seed(91));
         for p in &trace {
             assert_eq!(flat.classify(p), tree.classify(p), "at {p}");
+        }
+        // The batched path returns bit-identical results.
+        let mut batch = vec![None; trace.len()];
+        flat.classify_batch(&trace, &mut batch);
+        for (p, got) in trace.iter().zip(&batch) {
+            assert_eq!(*got, flat.classify(p), "batch at {p}");
         }
     }
 
@@ -332,5 +640,118 @@ mod tests {
         let bigger = FlatTree::compile(&small_tree).resident_bytes();
         assert!(small > 0);
         assert!(bigger > small);
+    }
+
+    #[test]
+    fn resident_bytes_counts_every_pool_exactly() {
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 40).with_seed(98));
+        let mut tree = DecisionTree::new(&rules);
+        tree.cut_node(tree.root(), Dim::SrcIp, 4);
+        let flat = FlatTree::compile(&tree);
+        let expected = std::mem::size_of::<FlatTree>()
+            + flat.nodes.capacity() * std::mem::size_of::<FlatNode>()
+            + flat.children.capacity() * 4
+            + flat.leaf_rules.capacity() * 4
+            + flat.bounds.capacity() * 8
+            + flat.cut_dims.capacity() * std::mem::size_of::<FlatCutDim>()
+            + flat.rule_lo.capacity() * 8
+            + flat.rule_hi.capacity() * 8
+            + flat.leaf_bounds.capacity() * 4
+            + flat.orig_ids.capacity() * 4;
+        assert_eq!(flat.resident_bytes(), expected);
+        // The SoA store must account for every active rule in every dim,
+        // and the scan copy for every leaf entry in every lane.
+        assert_eq!(flat.rule_lo.len(), NUM_DIMS * flat.num_rules());
+        assert_eq!(flat.rule_hi.len(), NUM_DIMS * flat.num_rules());
+        assert_eq!(flat.leaf_bounds.len(), LEAF_ENTRY * flat.leaf_rules.len());
+    }
+
+    #[test]
+    fn nodes_are_breadth_first_ordered() {
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 120).with_seed(99));
+        let mut tree = DecisionTree::new(&rules);
+        let kids = tree.cut_node(tree.root(), Dim::SrcIp, 4);
+        for k in kids {
+            if !tree.is_terminal(k, 4) {
+                tree.cut_node(k, Dim::DstIp, 4);
+            }
+        }
+        let flat = FlatTree::compile(&tree);
+        assert_eq!(flat.root, 0);
+        // In BFS order every parent precedes its children, and the
+        // direct children of the root are the very next nodes.
+        match flat.nodes[0] {
+            FlatNode::Cut { base, ncuts, .. } => {
+                let first: Vec<u32> =
+                    flat.children[base as usize..(base + ncuts) as usize].to_vec();
+                assert_eq!(first, (1..=ncuts).collect::<Vec<u32>>());
+            }
+            ref other => panic!("root should be the cut node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reciprocal_division_matches_hardware_division() {
+        // Deterministic sweep over awkward steps and 32-bit dividends.
+        let steps = [1u64, 2, 3, 5, 7, 10, 255, 256, 1 << 16, (1 << 16) + 1, 0x8000_0000 - 1];
+        let xs = [0u64, 1, 2, 1023, 65_535, 1 << 20, u32::MAX as u64 - 1, u32::MAX as u64];
+        for &s in &steps {
+            let magic = step_magic(s);
+            for &x in &xs {
+                assert_eq!(div_by_step(x, magic), x / s, "x={x} step={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_handles_empty_and_odd_sizes() {
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 90).with_seed(89));
+        let mut tree = DecisionTree::new(&rules);
+        tree.cut_node(tree.root(), Dim::DstIp, 8);
+        let flat = FlatTree::compile(&tree);
+        for len in [0usize, 1, 2, 15, 16, 19, 100] {
+            let trace = generate_trace(&rules, &TraceConfig::new(len).with_seed(len as u64));
+            let mut out = vec![None; len];
+            flat.classify_batch(&trace, &mut out);
+            for (p, got) in trace.iter().zip(&out) {
+                assert_eq!(*got, flat.classify(p), "len={len} at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_rule_never_matches_on_any_path() {
+        use classbench::{DimRange, RuleSet};
+        // A degenerate rule (empty SrcPort range) is legal in the rule
+        // arena and lands in the root leaf; no packet may ever match
+        // it, on the scalar or the batched path, in debug or release.
+        let mut degenerate = Rule::default_rule(9);
+        degenerate.ranges[Dim::SrcPort.index()] = DimRange::new(0, 0);
+        let rules = RuleSet::new(vec![degenerate, Rule::default_rule(1)]);
+        let tree = DecisionTree::new(&rules);
+        let flat = FlatTree::compile(&tree);
+        let probes = [
+            Packet::new(0, 0, 0, 0, 0),
+            Packet::new(1, 2, 3, 4, 6),
+            Packet::new(u64::from(u32::MAX), 0, 65535, 65535, 255),
+        ];
+        let mut batch = vec![None; probes.len()];
+        flat.classify_batch(&probes, &mut batch);
+        for (p, &batched) in probes.iter().zip(&batch) {
+            assert_eq!(tree.classify(p), Some(1), "at {p}");
+            assert_eq!(flat.classify(p), Some(1), "at {p}");
+            assert_eq!(batched, Some(1), "at {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice must match")]
+    fn batch_rejects_mismatched_output() {
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 10).with_seed(1));
+        let tree = DecisionTree::new(&rules);
+        let flat = FlatTree::compile(&tree);
+        let trace = generate_trace(&rules, &TraceConfig::new(4).with_seed(1));
+        let mut out = vec![None; 3];
+        flat.classify_batch(&trace, &mut out);
     }
 }

@@ -16,12 +16,15 @@
 //! * lookup ([`DecisionTree::classify`]), worst-case classification
 //!   time and memory accounting per the paper's Eqs. 1–4
 //!   ([`stats`], [`memory`]);
+//! * the serving path: a compiled [`FlatTree`] with batched wavefront
+//!   lookup and a sharded multi-core engine ([`engine`]);
 //! * a correctness validator ([`validate`]) asserting tree lookup ≡
 //!   priority-ordered linear scan;
 //! * per-level visualisation data for Figures 5 and 6 ([`viz`]);
 //! * incremental rule insertion/deletion (§4 "Handling classifier
 //!   updates", [`updates`]).
 
+pub mod engine;
 pub mod flat;
 pub mod memory;
 pub mod node;
@@ -32,6 +35,7 @@ pub mod updates;
 pub mod validate;
 pub mod viz;
 
+pub use engine::{classify_sharded, run_engine, EngineConfig, EngineReport};
 pub use flat::FlatTree;
 pub use memory::MemoryModel;
 pub use node::{Node, NodeId, NodeKind, RuleId};

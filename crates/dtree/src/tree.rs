@@ -16,12 +16,49 @@ use serde::{Deserialize, Serialize};
 ///
 /// Match precedence is *higher priority wins, ties broken by lower rule
 /// id* — identical to the linear-scan ground truth.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DecisionTree {
     rules: Vec<Rule>,
     active: Vec<bool>,
+    /// Maintained count of `true` entries in `active`, so
+    /// [`Self::num_active_rules`] is O(1) in reward/stats loops.
+    num_active: usize,
     nodes: Vec<Node>,
     root: NodeId,
+}
+
+/// Hand-written so the JSON deployment format stays exactly the four
+/// fields it has always been: `num_active` is derived state, never
+/// serialised — trees saved by earlier versions load unchanged, and a
+/// loaded file cannot smuggle in a count that disagrees with `active`.
+impl Serialize for DecisionTree {
+    fn serialize_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("rules", self.rules.serialize_value());
+        map.insert("active", self.active.serialize_value());
+        map.insert("nodes", self.nodes.serialize_value());
+        map.insert("root", self.root.serialize_value());
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for DecisionTree {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("DecisionTree: expected object"))?;
+        let field = |name: &str| {
+            obj.get(name).ok_or_else(|| {
+                serde::Error::custom(format!("DecisionTree: missing field `{name}`"))
+            })
+        };
+        let rules: Vec<Rule> = Deserialize::deserialize_value(field("rules")?)?;
+        let active: Vec<bool> = Deserialize::deserialize_value(field("active")?)?;
+        let nodes: Vec<Node> = Deserialize::deserialize_value(field("nodes")?)?;
+        let root: NodeId = Deserialize::deserialize_value(field("root")?)?;
+        let num_active = active.iter().filter(|&&a| a).count();
+        Ok(DecisionTree { rules, active, num_active, nodes, root })
+    }
 }
 
 impl DecisionTree {
@@ -31,7 +68,7 @@ impl DecisionTree {
         let rules: Vec<Rule> = rules.rules().to_vec();
         let n = rules.len();
         let root = Node::leaf(NodeSpace::full(), (0..n).collect(), 0, None);
-        DecisionTree { active: vec![true; n], rules, nodes: vec![root], root: 0 }
+        DecisionTree { active: vec![true; n], num_active: n, rules, nodes: vec![root], root: 0 }
     }
 
     /// The root node id.
@@ -64,9 +101,11 @@ impl DecisionTree {
         self.active[id]
     }
 
-    /// Number of non-deleted rules.
+    /// Number of non-deleted rules. O(1): the count is maintained by
+    /// rule insertion and deletion rather than scanned on demand.
     pub fn num_active_rules(&self) -> usize {
-        self.active.iter().filter(|&&a| a).count()
+        debug_assert_eq!(self.num_active, self.active.iter().filter(|&&a| a).count());
+        self.num_active
     }
 
     /// Total number of nodes.
@@ -283,12 +322,24 @@ impl DecisionTree {
         }
     }
 
-    fn assign_rules(&self, parent_rules: &[RuleId], space: &NodeSpace) -> Vec<RuleId> {
-        parent_rules
-            .iter()
-            .copied()
-            .filter(|&r| self.active[r] && space.intersects_rule(&self.rules[r]))
-            .collect()
+    /// Filter `parent_rules` down to those intersecting `space`, into
+    /// the reused `scratch` buffer. Expansion operations call this once
+    /// per candidate child with one scratch per *step*, so child
+    /// evaluation does not allocate; the surviving child then copies
+    /// the scratch into a single exactly-sized `Vec` it owns.
+    fn assign_rules_into(
+        &self,
+        parent_rules: &[RuleId],
+        space: &NodeSpace,
+        scratch: &mut Vec<RuleId>,
+    ) {
+        scratch.clear();
+        scratch.extend(
+            parent_rules
+                .iter()
+                .copied()
+                .filter(|&r| self.active[r] && space.intersects_rule(&self.rules[r])),
+        );
     }
 
     fn push_child(&mut self, parent: NodeId, space: NodeSpace, rules: Vec<RuleId>) -> NodeId {
@@ -308,10 +359,12 @@ impl DecisionTree {
         assert!(ncuts >= 2, "a cut needs at least 2 pieces");
         let spaces = self.nodes[id].space.cut(dim, ncuts);
         let parent_rules = std::mem::take(&mut self.nodes[id].rules);
+        let mut scratch = Vec::with_capacity(parent_rules.len());
         let children: Vec<NodeId> = spaces
             .into_iter()
             .map(|s| {
-                let rules = self.assign_rules(&parent_rules, &s);
+                self.assign_rules_into(&parent_rules, &s, &mut scratch);
+                let rules = scratch.as_slice().to_vec();
                 self.push_child(id, s, rules)
             })
             .collect();
@@ -337,10 +390,12 @@ impl DecisionTree {
         }
         let spaces = self.nodes[id].space.multi_cut(dims);
         let parent_rules = std::mem::take(&mut self.nodes[id].rules);
+        let mut scratch = Vec::with_capacity(parent_rules.len());
         let children: Vec<NodeId> = spaces
             .into_iter()
             .map(|s| {
-                let rules = self.assign_rules(&parent_rules, &s);
+                self.assign_rules_into(&parent_rules, &s, &mut scratch);
+                let rules = scratch.as_slice().to_vec();
                 self.push_child(id, s, rules)
             })
             .collect();
@@ -365,12 +420,14 @@ impl DecisionTree {
         assert_eq!(bounds[0], range.lo, "bounds must start at the node range");
         assert_eq!(*bounds.last().unwrap(), range.hi, "bounds must end at the node range");
         let parent_rules = std::mem::take(&mut self.nodes[id].rules);
+        let mut scratch = Vec::with_capacity(parent_rules.len());
         let children: Vec<NodeId> = bounds
             .windows(2)
             .map(|w| {
                 let mut space = self.nodes[id].space;
                 space.ranges[dim.index()] = classbench::DimRange::new(w[0], w[1]);
-                let rules = self.assign_rules(&parent_rules, &space);
+                self.assign_rules_into(&parent_rules, &space, &mut scratch);
+                let rules = scratch.as_slice().to_vec();
                 self.push_child(id, space, rules)
             })
             .collect();
@@ -394,8 +451,11 @@ impl DecisionTree {
         );
         let (ls, rs) = self.nodes[id].space.split(dim, threshold);
         let parent_rules = std::mem::take(&mut self.nodes[id].rules);
-        let left_rules = self.assign_rules(&parent_rules, &ls);
-        let right_rules = self.assign_rules(&parent_rules, &rs);
+        let mut scratch = Vec::with_capacity(parent_rules.len());
+        self.assign_rules_into(&parent_rules, &ls, &mut scratch);
+        let left_rules = scratch.as_slice().to_vec();
+        self.assign_rules_into(&parent_rules, &rs, &mut scratch);
+        let right_rules = scratch.as_slice().to_vec();
         let left = self.push_child(id, ls, left_rules);
         let right = self.push_child(id, rs, right_rules);
         self.nodes[id].rules = parent_rules;
@@ -459,6 +519,7 @@ impl DecisionTree {
         let id = self.rules.len();
         self.rules.push(rule);
         self.active.push(true);
+        self.num_active += 1;
         id
     }
 
@@ -481,6 +542,9 @@ impl DecisionTree {
 
     /// Mark a rule deleted.
     pub(crate) fn deactivate_rule(&mut self, id: RuleId) {
+        if self.active[id] {
+            self.num_active -= 1;
+        }
         self.active[id] = false;
     }
 
