@@ -1,11 +1,14 @@
-//! The six CLI subcommands.
+//! The seven CLI subcommands.
 
 use crate::args::Args;
 use classbench::{
     generate_rules, generate_trace, parse_rules, write_rules, ClassifierFamily, GeneratorConfig,
     RuleSet, TraceConfig,
 };
-use dtree::{run_engine, DecisionTree, EngineConfig, FlatTree, TreeStats};
+use dtree::{
+    find_rebuild_divergence, run_engine, run_live_engine, serve_during, ChurnSchedule,
+    ClassifierHandle, DecisionTree, EngineConfig, FlatTree, RebuildPolicy, TreeStats,
+};
 use neurocuts::{NeuroCutsConfig, PartitionMode, Trainer};
 
 /// Top-level usage text.
@@ -28,6 +31,11 @@ subcommands:
               [--threads T] [--passes P]
       compile the tree to its serving form and measure scalar,
       batched, and sharded multi-core lookup throughput
+  update-bench --tree TREE.json --rules FILE [--updates N] [--trace N]
+               [--threads T] [--churn C] [--seed S]
+      replay an insert/delete churn schedule through the live
+      ClassifierHandle while engine readers serve concurrently;
+      reports updates/sec applied and Mpps sustained during churn
   stats    --tree TREE.json
       print a saved tree's statistics";
 
@@ -185,11 +193,13 @@ pub fn serve_bench(argv: &[String]) -> Result<(), String> {
     );
 
     // Correctness first: the compiled tree must agree with the source
-    // tree before its throughput means anything.
+    // tree before its throughput means anything. The checked lookup
+    // also proves the snapshot is not stale (generation match).
     let mut expect = vec![None; trace.len()];
-    flat.classify_batch(&trace, &mut expect);
+    flat.classify_batch_checked(&tree, &trace, &mut expect).map_err(|e| e.to_string())?;
     for (p, &want) in trace.iter().zip(&expect) {
-        if flat.classify(p) != want || tree.classify(p) != want {
+        let scalar = flat.classify_checked(&tree, p).map_err(|e| e.to_string())?;
+        if scalar != want || tree.classify(p) != want {
             return Err(format!("serving paths disagree at {p}"));
         }
     }
@@ -211,6 +221,84 @@ pub fn serve_bench(argv: &[String]) -> Result<(), String> {
         return Err("engine results diverged from the batched path".into());
     }
     println!("all serving paths verified bit-identical");
+    Ok(())
+}
+
+/// `neurocuts update-bench`: live classifier updates under traffic.
+///
+/// Builds a [`ClassifierHandle`] around the saved tree, spawns reader
+/// threads that serve a synthetic trace through epoch-swapped
+/// snapshots, and replays a seeded insert/delete schedule against the
+/// handle. Afterwards the final snapshot is verified bit-identical to
+/// a from-scratch recompile of the updated tree.
+pub fn update_bench(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let tree = read_tree(args.required("tree")?)?;
+    let rules = read_rules(args.required("rules")?)?;
+    let updates: usize = args.parse_or("updates", 1000)?;
+    let n: usize = args.parse_or("trace", 50_000)?;
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let threads: usize =
+        args.parse_or("threads", std::thread::available_parallelism().map_or(1, |t| t.get()))?;
+    let max_churn: f64 = args.parse_or("churn", 0.10)?;
+    if !max_churn.is_finite() || max_churn <= 0.0 {
+        return Err("--churn must be a positive fraction".into());
+    }
+    let trace = generate_trace(&rules, &TraceConfig::new(n).with_seed(seed));
+
+    let policy = RebuildPolicy { max_churn, min_updates: 8 };
+    let handle = ClassifierHandle::new(tree, policy);
+    eprintln!(
+        "live handle: {} rules, epoch {}, rebuild at {:.0}% churn",
+        handle.stats().active_rules,
+        handle.epoch(),
+        max_churn * 100.0
+    );
+
+    let live: Vec<usize> =
+        (0..rules.len()).filter(|&id| handle.with_tree(|t| t.is_active(id))).collect();
+    let mut schedule = ChurnSchedule::new(rules.rules().to_vec(), live, seed ^ 0x5eed);
+    let (churn_secs, served) = serve_during(&handle, &trace, threads.max(1), || {
+        let start = std::time::Instant::now();
+        for i in 0..updates {
+            schedule.step(&handle);
+            if (i + 1).is_multiple_of((updates / 10).max(1)) {
+                eprintln!(
+                    "  {:>6}/{updates} updates  epoch {}  rebuilds {}  overlay {}",
+                    i + 1,
+                    handle.epoch(),
+                    handle.stats().rebuilds,
+                    handle.stats().overlay_len
+                );
+            }
+        }
+        start.elapsed().as_secs_f64()
+    });
+
+    let stats = handle.stats();
+    let applied_per_sec = updates as f64 / churn_secs.max(1e-9);
+    let sustained_mpps = served as f64 / churn_secs.max(1e-9) / 1e6;
+    println!("updates applied   {updates} ({applied_per_sec:>10.0} updates/s)");
+    println!("rebuilds          {} (epoch {})", stats.rebuilds, stats.epoch);
+    println!("sustained serving {threads} readers  {sustained_mpps:>8.2} Mpps during churn");
+
+    // Correctness gate: the final snapshot must equal a full recompile.
+    if let Some(p) = find_rebuild_divergence(&handle, &trace) {
+        return Err(format!("snapshot diverged from full rebuild at {p}"));
+    }
+    println!("final snapshot verified bit-identical to a full rebuild");
+
+    // And the live engine agrees too.
+    let mut got = vec![None; trace.len()];
+    handle.snapshot().classify_batch(&trace, &mut got);
+    let (out, report) = run_live_engine(&handle, &trace, EngineConfig::new(threads));
+    if out != got {
+        return Err("live engine diverged from the snapshot".into());
+    }
+    println!(
+        "live engine       {:>2}t  {:>10.0} pkts/s (epoch {}..{})",
+        report.threads, report.packets_per_sec, report.min_epoch, report.max_epoch
+    );
     Ok(())
 }
 

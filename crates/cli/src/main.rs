@@ -7,6 +7,7 @@
 //! neurocuts build    --rules rules.txt --algo hicuts --out tree.json
 //! neurocuts classify --tree tree.json --rules rules.txt --trace 10000
 //! neurocuts serve-bench --tree tree.json --rules rules.txt --threads 8
+//! neurocuts update-bench --tree tree.json --rules rules.txt --updates 1000
 //! neurocuts stats    --tree tree.json
 //! ```
 //!
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         "build" => commands::build(rest),
         "classify" => commands::classify(rest),
         "serve-bench" => commands::serve_bench(rest),
+        "update-bench" => commands::update_bench(rest),
         "stats" => commands::stats(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

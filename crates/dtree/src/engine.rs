@@ -16,6 +16,7 @@
 
 use crate::flat::FlatTree;
 use crate::node::RuleId;
+use crate::serve::ClassifierHandle;
 use classbench::Packet;
 
 /// How a serving run is sharded and measured.
@@ -125,9 +126,119 @@ pub fn run_engine(
     (out, report)
 }
 
+/// Aggregate result of a timed [`run_live_engine`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveEngineReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total packets classified across all passes.
+    pub packets: usize,
+    /// Wall-clock seconds for all passes.
+    pub seconds: f64,
+    /// Aggregate throughput: `packets / seconds`.
+    pub packets_per_sec: f64,
+    /// Lowest snapshot epoch any worker served from.
+    pub min_epoch: u64,
+    /// Highest snapshot epoch any worker served from.
+    pub max_epoch: u64,
+}
+
+/// Classify `trace` into `out` using `threads` workers reading
+/// **through the handle**: each worker fetches the current snapshot
+/// once and serves its shard from it. With no concurrent updates this
+/// is bit-identical to [`classify_sharded`] over the handle's compiled
+/// tree; under concurrent updates every worker serves a *consistent*
+/// snapshot (never a torn one), though different shards may observe
+/// different epochs.
+///
+/// # Panics
+/// Panics if `trace` and `out` have different lengths.
+pub fn classify_sharded_live(
+    handle: &ClassifierHandle,
+    trace: &[Packet],
+    out: &mut [Option<RuleId>],
+    threads: usize,
+) {
+    assert_eq!(trace.len(), out.len(), "output slice must match the trace");
+    let threads = threads.max(1);
+    if threads == 1 || trace.len() < 2 {
+        handle.snapshot().classify_batch(trace, out);
+        return;
+    }
+    let shard = trace.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (pkts, results) in trace.chunks(shard).zip(out.chunks_mut(shard)) {
+            scope.spawn(move || handle.snapshot().classify_batch(pkts, results));
+        }
+    });
+}
+
+/// Time a live serving run: like [`run_engine`], but workers read
+/// through the handle and **re-fetch the snapshot between passes**
+/// whenever the handle's epoch counter says a newer one exists (one
+/// atomic load per pass — the epoch scheme's whole point). Updates
+/// applied concurrently by other threads therefore land in the
+/// serving path without stopping it; the report records the epoch
+/// range the workers actually served from.
+pub fn run_live_engine(
+    handle: &ClassifierHandle,
+    trace: &[Packet],
+    cfg: EngineConfig,
+) -> (Vec<Option<RuleId>>, LiveEngineReport) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let threads = cfg.threads.max(1);
+    let mut out = vec![None; trace.len()];
+    let min_epoch = AtomicU64::new(u64::MAX);
+    let max_epoch = AtomicU64::new(0);
+    let observe = |e: u64| {
+        min_epoch.fetch_min(e, Ordering::Relaxed);
+        max_epoch.fetch_max(e, Ordering::Relaxed);
+    };
+    let start = std::time::Instant::now();
+    if threads == 1 || trace.len() < 2 {
+        let mut snap = handle.snapshot();
+        for _ in 0..cfg.passes {
+            if snap.epoch() != handle.epoch() {
+                snap = handle.snapshot();
+            }
+            observe(snap.epoch());
+            snap.classify_batch(trace, &mut out);
+        }
+    } else {
+        let shard = trace.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (pkts, results) in trace.chunks(shard).zip(out.chunks_mut(shard)) {
+                let observe = &observe;
+                scope.spawn(move || {
+                    let mut snap = handle.snapshot();
+                    for _ in 0..cfg.passes {
+                        if snap.epoch() != handle.epoch() {
+                            snap = handle.snapshot();
+                        }
+                        observe(snap.epoch());
+                        snap.classify_batch(pkts, results);
+                    }
+                });
+            }
+        });
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let packets = trace.len() * cfg.passes;
+    let report = LiveEngineReport {
+        threads,
+        packets,
+        seconds,
+        packets_per_sec: if seconds > 0.0 { packets as f64 / seconds } else { 0.0 },
+        min_epoch: min_epoch.load(Ordering::Relaxed),
+        max_epoch: max_epoch.load(Ordering::Relaxed),
+    };
+    (out, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::serve::RebuildPolicy;
     use crate::tree::DecisionTree;
     use classbench::{
         generate_rules, generate_trace, ClassifierFamily, Dim, GeneratorConfig, TraceConfig,
@@ -188,5 +299,83 @@ mod tests {
         let cfg = EngineConfig::new(0).with_passes(0);
         assert_eq!(cfg.threads, 1);
         assert_eq!(cfg.passes, 1);
+    }
+
+    fn live_handle() -> (ClassifierHandle, classbench::RuleSet) {
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 150).with_seed(50));
+        let mut tree = DecisionTree::new(&rules);
+        for k in tree.cut_node(tree.root(), Dim::SrcIp, 8) {
+            if !tree.is_terminal(k, 8) {
+                tree.cut_node(k, Dim::DstPort, 4);
+            }
+        }
+        (ClassifierHandle::new(tree, RebuildPolicy::default_policy()), rules)
+    }
+
+    #[test]
+    fn live_sharded_matches_static_engine_when_idle() {
+        let (handle, rules) = live_handle();
+        let trace = generate_trace(&rules, &TraceConfig::new(257).with_seed(51));
+        let flat = handle.with_tree(FlatTree::compile);
+        let expect: Vec<_> = trace.iter().map(|p| flat.classify(p)).collect();
+        for threads in [1, 2, 5] {
+            let mut out = vec![None; trace.len()];
+            classify_sharded_live(&handle, &trace, &mut out, threads);
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn live_engine_picks_up_published_updates() {
+        let (handle, rules) = live_handle();
+        let trace = generate_trace(&rules, &TraceConfig::new(120).with_seed(52));
+        // Serve a pass, apply updates, serve again through the same
+        // handle: the second run must see the post-update snapshot.
+        let (before, r1) = run_live_engine(&handle, &trace, EngineConfig::new(2).with_passes(2));
+        assert_eq!(r1.min_epoch, 0);
+        let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
+        let id = handle.insert(classbench::Rule::default_rule(top + 1));
+        let (after, r2) = run_live_engine(&handle, &trace, EngineConfig::new(2).with_passes(2));
+        assert!(r2.min_epoch >= 1, "workers must serve the new epoch");
+        assert!(after.iter().all(|&m| m == Some(id)), "shadowing insert must win everywhere");
+        assert_ne!(before, after);
+        // And the results equal a from-scratch rebuild of the tree.
+        let rebuilt = handle.with_tree(FlatTree::compile);
+        let want: Vec<_> = trace.iter().map(|p| rebuilt.classify(p)).collect();
+        assert_eq!(after, want);
+    }
+
+    #[test]
+    fn live_engine_survives_concurrent_churn() {
+        let (handle, rules) = live_handle();
+        let trace = generate_trace(&rules, &TraceConfig::new(400).with_seed(53));
+        let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
+        std::thread::scope(|scope| {
+            let h = &handle;
+            let t = &trace;
+            let reader = scope.spawn(move || {
+                let mut total = 0usize;
+                for _ in 0..20 {
+                    let (out, rep) = run_live_engine(h, t, EngineConfig::new(2));
+                    total += out.len();
+                    assert!(rep.max_epoch >= rep.min_epoch);
+                }
+                total
+            });
+            let mut inserted = Vec::new();
+            for i in 0..30 {
+                inserted.push(h.insert(classbench::Rule::default_rule(top + 1 + i)));
+                if i % 3 == 0 {
+                    h.delete(inserted[inserted.len() - 1]).unwrap();
+                }
+            }
+            assert_eq!(reader.join().unwrap(), 20 * trace.len());
+        });
+        // After the dust settles, the handle serves exactly a rebuild.
+        let rebuilt = handle.with_tree(FlatTree::compile);
+        let snap = handle.snapshot();
+        for p in &trace {
+            assert_eq!(snap.classify(p), rebuilt.classify(p), "post-churn at {p}");
+        }
     }
 }

@@ -141,8 +141,42 @@ pub struct FlatTree {
     leaf_bounds: Vec<u32>,
     /// `rank ->` original rule id in the source tree's arena.
     orig_ids: Vec<u32>,
+    /// `rank ->` rule priority. Table order already encodes precedence,
+    /// so lookups never read this; it exists for the live-update layer
+    /// ([`crate::serve`]), which must merge compiled matches against
+    /// not-yet-compiled overlay inserts by (priority, id) precedence.
+    rule_prio: Vec<i32>,
+    /// Ranks retired in place by [`Self::patch_delete`] since compile.
+    retired: u32,
+    /// [`DecisionTree::generation`] of the source tree at compile time
+    /// (advanced again by each applied patch). A snapshot whose
+    /// generation disagrees with its tree is **stale**: the tree has
+    /// mutated since, and lookups may return wrong matches.
+    generation: u64,
     root: u32,
 }
+
+/// A compiled snapshot no longer matches its source tree: the tree has
+/// seen updates the snapshot was never told about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleTreeError {
+    /// Generation the snapshot was compiled from / patched up to.
+    pub compiled: u64,
+    /// The tree's current generation.
+    pub current: u64,
+}
+
+impl std::fmt::Display for StaleTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stale FlatTree: compiled at tree generation {}, tree is now at {}",
+            self.compiled, self.current
+        )
+    }
+}
+
+impl std::error::Error for StaleTreeError {}
 
 impl FlatTree {
     /// Compile a built tree. Deleted rules are dropped; node ids are
@@ -157,9 +191,11 @@ impl FlatTree {
         let mut rule_lo = vec![0u64; NUM_DIMS * n];
         let mut rule_hi = vec![0u64; NUM_DIMS * n];
         let mut orig_ids = Vec::with_capacity(n);
+        let mut rule_prio = Vec::with_capacity(n);
         for (rank, &r) in order.iter().enumerate() {
             table_index[r] = rank as u32;
             orig_ids.push(r as u32);
+            rule_prio.push(tree.rule(r).priority);
             let rule = tree.rule(r);
             for d in 0..NUM_DIMS {
                 rule_lo[d * n + rank] = rule.ranges[d].lo;
@@ -202,6 +238,9 @@ impl FlatTree {
             rule_hi,
             leaf_bounds: Vec::new(),
             orig_ids,
+            rule_prio,
+            retired: 0,
+            generation: tree.generation(),
             root: 0,
         };
 
@@ -294,6 +333,7 @@ impl FlatTree {
         flat.leaf_bounds.shrink_to_fit();
         flat.bounds.shrink_to_fit();
         flat.cut_dims.shrink_to_fit();
+        flat.rule_prio.shrink_to_fit();
         flat
     }
 
@@ -308,9 +348,101 @@ impl FlatTree {
         self.nodes.len()
     }
 
-    /// Number of active rules in the compiled table.
+    /// Number of active rules in the compiled table (compiled entries
+    /// minus ranks retired in place by [`Self::patch_delete`]).
     pub fn num_rules(&self) -> usize {
-        self.orig_ids.len()
+        self.orig_ids.len() - self.retired as usize
+    }
+
+    /// The tree generation this snapshot was compiled from (or patched
+    /// up to). See [`DecisionTree::generation`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True when `tree` has mutated since this snapshot was compiled /
+    /// patched: lookups against it may silently return wrong matches.
+    pub fn is_stale(&self, tree: &DecisionTree) -> bool {
+        self.generation != tree.generation()
+    }
+
+    /// Error unless this snapshot still reflects `tree` exactly.
+    pub fn check_fresh(&self, tree: &DecisionTree) -> Result<(), StaleTreeError> {
+        if self.is_stale(tree) {
+            Err(StaleTreeError { compiled: self.generation, current: tree.generation() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// [`Self::classify`], but refusing to serve from a stale snapshot:
+    /// errors when `tree` has mutated since this snapshot was compiled.
+    pub fn classify_checked(
+        &self,
+        tree: &DecisionTree,
+        packet: &Packet,
+    ) -> Result<Option<RuleId>, StaleTreeError> {
+        self.check_fresh(tree)?;
+        Ok(self.classify(packet))
+    }
+
+    /// [`Self::classify_batch`], but refusing to serve from a stale
+    /// snapshot (see [`Self::classify_checked`]).
+    ///
+    /// # Panics
+    /// Panics if `packets` and `out` have different lengths.
+    pub fn classify_batch_checked(
+        &self,
+        tree: &DecisionTree,
+        packets: &[Packet],
+        out: &mut [Option<RuleId>],
+    ) -> Result<(), StaleTreeError> {
+        self.check_fresh(tree)?;
+        self.classify_batch(packets, out);
+        Ok(())
+    }
+
+    /// Retire one rule **in place**: stamp every leaf-scan entry of the
+    /// rule's rank with the unsatisfiable bounds lane `[1, 0]`, so the
+    /// scan skips it and the runner-up in each touched leaf wins —
+    /// exactly what a recompile without the rule would produce. This is
+    /// the cheap below-threshold delete path of the live-update layer:
+    /// no node renumbering, no pool rebuilds, no rank shifts. (The
+    /// scans here — rank lookup over `orig_ids`, entry sweep over
+    /// `leaf_rules` — are linear but cache-sequential over `u32`
+    /// arrays; in the live handle the cost of a patched delete is
+    /// dominated by the copy-on-write clone of the snapshot, not by
+    /// the patch.)
+    ///
+    /// `generation` is the tree generation the patched snapshot will
+    /// claim to serve ([`Self::is_stale`] compares against it), so it
+    /// is the **caller's freshness assertion**: pass the tree's current
+    /// generation only when this patch makes the snapshot reflect the
+    /// tree exactly (no other unapplied mutations, e.g. pending overlay
+    /// inserts); pass `self.generation()` to leave the stamp — and the
+    /// staleness verdict — unchanged. A patch that finds nothing to
+    /// retire never touches the stamp.
+    ///
+    /// Returns the number of leaf entries stamped (0 when the id is not
+    /// in the compiled table — e.g. it was inserted after compile). The
+    /// caller must not retire the same id twice (the tree-side delete
+    /// already errors on double deletes).
+    pub fn patch_delete(&mut self, id: RuleId, generation: u64) -> usize {
+        let Some(rank) = self.orig_ids.iter().position(|&o| o as usize == id) else {
+            return 0;
+        };
+        self.generation = generation;
+        let rank = rank as u32;
+        let mut stamped = 0usize;
+        for j in 0..self.leaf_rules.len() {
+            if self.leaf_rules[j] == rank {
+                self.leaf_bounds[j * LEAF_ENTRY] = 1;
+                self.leaf_bounds[j * LEAF_ENTRY + LEAF_LANES] = 0;
+                stamped += 1;
+            }
+        }
+        self.retired += 1;
+        stamped
     }
 
     /// Resident heap + inline size of the compiled structure, in bytes.
@@ -319,7 +451,8 @@ impl FlatTree {
     /// (not just the length) of every backing array — nodes, child and
     /// leaf-rule pools, dense-cut boundaries, multicut axes, the SoA
     /// rule store (`lo`/`hi` per dimension plus the rank-to-id map),
-    /// and the cache-packed leaf scan copy of the bounds. Nothing in
+    /// the rank-priority table, and the cache-packed leaf scan copy of
+    /// the bounds. Nothing in
     /// the structure owns further heap (rule bounds are inlined into
     /// the arrays), so this is the full footprint.
     pub fn resident_bytes(&self) -> usize {
@@ -336,6 +469,7 @@ impl FlatTree {
             + heap(&self.rule_hi)
             + heap(&self.leaf_bounds)
             + heap(&self.orig_ids)
+            + heap(&self.rule_prio)
     }
 
     /// Scan `leaf_rules[start..end]` (ascending rank = precedence
@@ -423,7 +557,24 @@ impl FlatTree {
     /// Classify a packet: the **original** rule id of the highest-
     /// precedence match, identical to the source tree's `classify`.
     pub fn classify(&self, packet: &Packet) -> Option<RuleId> {
-        self.classify_from(self.root, packet).map(|rank| self.orig_ids[rank as usize] as RuleId)
+        self.classify_rank(packet).map(|rank| self.rank_to_id(rank))
+    }
+
+    /// Classify a packet to its winning **table rank** (ranks are dense
+    /// precedence order: rank 0 wins every comparison). The live-update
+    /// layer merges ranks against overlay inserts by priority.
+    pub fn classify_rank(&self, packet: &Packet) -> Option<u32> {
+        self.classify_from(self.root, packet)
+    }
+
+    /// The original arena rule id behind a table rank.
+    pub fn rank_to_id(&self, rank: u32) -> RuleId {
+        self.orig_ids[rank as usize] as RuleId
+    }
+
+    /// The priority of the rule at a table rank.
+    pub fn rank_priority(&self, rank: u32) -> i32 {
+        self.rule_prio[rank as usize]
     }
 
     /// Returns the winning *table* rank (precedence order), or `None`.
@@ -470,6 +621,21 @@ impl FlatTree {
     /// Panics if `packets` and `out` have different lengths.
     pub fn classify_batch(&self, packets: &[Packet], out: &mut [Option<RuleId>]) {
         assert_eq!(packets.len(), out.len(), "output slice must match the batch");
+        self.classify_batch_with(packets, |pi, rank| {
+            out[pi] = rank.map(|rank| self.orig_ids[rank as usize] as RuleId);
+        });
+    }
+
+    /// The batched wavefront lookup, reporting winning **table ranks**:
+    /// `emit(packet_index, rank)` is called exactly once per packet, in
+    /// no particular order. [`Self::classify_batch`] is this plus the
+    /// rank-to-id mapping; the live-update layer consumes the ranks
+    /// directly to merge against its overlay by precedence.
+    pub fn classify_batch_with<F: FnMut(usize, Option<u32>)>(
+        &self,
+        packets: &[Packet],
+        mut emit: F,
+    ) {
         if let FlatNode::Partition { start, end } = self.nodes[self.root as usize] {
             // A root partition (EffiCuts / CutSplit separable trees)
             // would force every packet through the scalar fallback.
@@ -484,13 +650,11 @@ impl FlatTree {
                     }
                 });
             }
-            for (o, &rank) in out.iter_mut().zip(&best) {
-                *o = (rank != NO_RANK).then(|| self.orig_ids[rank as usize] as RuleId);
+            for (pi, &rank) in best.iter().enumerate() {
+                emit(pi, (rank != NO_RANK).then_some(rank));
             }
         } else {
-            self.classify_batch_ranks(self.root, packets, |pi, rank| {
-                out[pi] = rank.map(|rank| self.orig_ids[rank as usize] as RuleId);
-            });
+            self.classify_batch_ranks(self.root, packets, emit);
         }
     }
 
@@ -608,7 +772,7 @@ mod tests {
         tree.cut_node(tree.root(), Dim::DstIp, 8);
         let top = tree.rules().iter().map(|r| r.priority).max().unwrap();
         let id = crate::updates::insert_rule(&mut tree, Rule::default_rule(top + 1));
-        crate::updates::delete_rule(&mut tree, id);
+        crate::updates::delete_rule(&mut tree, id).unwrap();
         let flat = FlatTree::compile(&tree);
         assert_eq!(flat.num_rules(), tree.num_active_rules());
         let trace = generate_trace(&rules, &TraceConfig::new(300).with_seed(94));
@@ -657,7 +821,8 @@ mod tests {
             + flat.rule_lo.capacity() * 8
             + flat.rule_hi.capacity() * 8
             + flat.leaf_bounds.capacity() * 4
-            + flat.orig_ids.capacity() * 4;
+            + flat.orig_ids.capacity() * 4
+            + flat.rule_prio.capacity() * 4;
         assert_eq!(flat.resident_bytes(), expected);
         // The SoA store must account for every active rule in every dim,
         // and the scan copy for every leaf entry in every lane.
@@ -742,6 +907,72 @@ mod tests {
             assert_eq!(flat.classify(p), Some(1), "at {p}");
             assert_eq!(batched, Some(1), "at {p}");
         }
+    }
+
+    #[test]
+    fn stale_snapshot_is_detected_and_refused() {
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 60).with_seed(88));
+        let mut tree = DecisionTree::new(&rules);
+        tree.cut_node(tree.root(), Dim::SrcIp, 4);
+        let flat = FlatTree::compile(&tree);
+        assert_eq!(flat.generation(), tree.generation());
+        assert!(!flat.is_stale(&tree));
+        let p = Packet::new(1, 2, 3, 4, 6);
+        assert_eq!(flat.classify_checked(&tree, &p).unwrap(), tree.classify(&p));
+
+        // Any tree mutation makes the deployed snapshot stale, and the
+        // checked lookups turn the silent wrong answer into an error.
+        let top = tree.rules().iter().map(|r| r.priority).max().unwrap();
+        crate::updates::insert_rule(&mut tree, Rule::default_rule(top + 1));
+        assert!(flat.is_stale(&tree));
+        let err = flat.classify_checked(&tree, &p).unwrap_err();
+        assert_eq!(err.compiled, flat.generation());
+        assert_eq!(err.current, tree.generation());
+        let mut out = vec![None; 1];
+        assert!(flat.classify_batch_checked(&tree, &[p], &mut out).is_err());
+
+        // Recompiling restores freshness.
+        let fresh = FlatTree::compile(&tree);
+        assert!(!fresh.is_stale(&tree));
+        assert_eq!(fresh.classify_checked(&tree, &p).unwrap(), tree.classify(&p));
+    }
+
+    #[test]
+    fn patch_delete_matches_full_recompile() {
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 120).with_seed(87));
+        let mut tree = DecisionTree::new(&rules);
+        for k in tree.cut_node(tree.root(), Dim::SrcIp, 8) {
+            if !tree.is_terminal(k, 8) {
+                tree.cut_node(k, Dim::DstPort, 4);
+            }
+        }
+        let mut flat = FlatTree::compile(&tree);
+        let before = flat.num_rules();
+        // Delete a few arena rules in the tree and patch them out of the
+        // compiled snapshot in place.
+        for victim in [0usize, 11, 63] {
+            crate::updates::delete_rule(&mut tree, victim).unwrap();
+            flat.patch_delete(victim, tree.generation());
+        }
+        assert!(!flat.is_stale(&tree));
+        assert_eq!(flat.num_rules(), before - 3);
+        assert_eq!(flat.num_rules(), tree.num_active_rules());
+        // The patched snapshot serves exactly what a recompile would.
+        let recompiled = FlatTree::compile(&tree);
+        let trace = generate_trace(&rules, &TraceConfig::new(400).with_seed(86));
+        let mut patched_out = vec![None; trace.len()];
+        flat.classify_batch(&trace, &mut patched_out);
+        for (i, p) in trace.iter().enumerate() {
+            assert_eq!(flat.classify(p), recompiled.classify(p), "at {p}");
+            assert_eq!(flat.classify(p), tree.classify(p), "vs tree at {p}");
+            assert_eq!(patched_out[i], flat.classify(p), "batch at {p}");
+        }
+        // Patching an id that was never compiled (inserted after
+        // compile) is a no-op on the leaf entries.
+        let top = tree.rules().iter().map(|r| r.priority).max().unwrap();
+        let id = crate::updates::insert_rule(&mut tree, Rule::default_rule(top + 1));
+        crate::updates::delete_rule(&mut tree, id).unwrap();
+        assert_eq!(flat.patch_delete(id, tree.generation()), 0);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   ([`stats`], [`memory`]);
 //! * the serving path: a compiled [`FlatTree`] with batched wavefront
 //!   lookup and a sharded multi-core engine ([`engine`]);
+//! * live serving under updates: an epoch-swapped
+//!   [`serve::ClassifierHandle`] that applies §4 incremental updates
+//!   and publishes fresh snapshots without pausing readers ([`serve`]);
 //! * a correctness validator ([`validate`]) asserting tree lookup ≡
 //!   priority-ordered linear scan;
 //! * per-level visualisation data for Figures 5 and 6 ([`viz`]);
@@ -28,6 +31,8 @@ pub mod engine;
 pub mod flat;
 pub mod memory;
 pub mod node;
+pub mod replay;
+pub mod serve;
 pub mod space;
 pub mod stats;
 pub mod tree;
@@ -35,12 +40,18 @@ pub mod updates;
 pub mod validate;
 pub mod viz;
 
-pub use engine::{classify_sharded, run_engine, EngineConfig, EngineReport};
-pub use flat::FlatTree;
+pub use engine::{
+    classify_sharded, classify_sharded_live, run_engine, run_live_engine, EngineConfig,
+    EngineReport, LiveEngineReport,
+};
+pub use flat::{FlatTree, StaleTreeError};
 pub use memory::MemoryModel;
 pub use node::{Node, NodeId, NodeKind, RuleId};
+pub use replay::{find_rebuild_divergence, serve_during, ChurnSchedule};
+pub use serve::{ClassifierHandle, RebuildPolicy, Snapshot, UpdateStats};
 pub use space::NodeSpace;
 pub use stats::{average_lookup_cost, TreeStats};
 pub use tree::DecisionTree;
+pub use updates::{UpdateError, UpdateLog};
 pub use validate::validate_tree;
 pub use viz::LevelProfile;

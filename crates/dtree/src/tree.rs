@@ -25,12 +25,19 @@ pub struct DecisionTree {
     num_active: usize,
     nodes: Vec<Node>,
     root: NodeId,
+    /// Bumped on every structural or rule mutation (expansions,
+    /// truncation, rule insertion/deletion). A compiled [`crate::FlatTree`]
+    /// records the generation it was built from, so a snapshot that no
+    /// longer reflects this tree is detectable ([`crate::FlatTree::is_stale`])
+    /// instead of silently serving stale matches.
+    generation: u64,
 }
 
 /// Hand-written so the JSON deployment format stays exactly the four
-/// fields it has always been: `num_active` is derived state, never
-/// serialised — trees saved by earlier versions load unchanged, and a
-/// loaded file cannot smuggle in a count that disagrees with `active`.
+/// fields it has always been: `num_active` and `generation` are derived
+/// state, never serialised — trees saved by earlier versions load
+/// unchanged, a loaded file cannot smuggle in a count that disagrees
+/// with `active`, and a freshly loaded tree starts at generation 0.
 impl Serialize for DecisionTree {
     fn serialize_value(&self) -> serde::Value {
         let mut map = serde::Map::new();
@@ -57,7 +64,7 @@ impl Deserialize for DecisionTree {
         let nodes: Vec<Node> = Deserialize::deserialize_value(field("nodes")?)?;
         let root: NodeId = Deserialize::deserialize_value(field("root")?)?;
         let num_active = active.iter().filter(|&&a| a).count();
-        Ok(DecisionTree { rules, active, num_active, nodes, root })
+        Ok(DecisionTree { rules, active, num_active, nodes, root, generation: 0 })
     }
 }
 
@@ -68,7 +75,27 @@ impl DecisionTree {
         let rules: Vec<Rule> = rules.rules().to_vec();
         let n = rules.len();
         let root = Node::leaf(NodeSpace::full(), (0..n).collect(), 0, None);
-        DecisionTree { active: vec![true; n], num_active: n, rules, nodes: vec![root], root: 0 }
+        DecisionTree {
+            active: vec![true; n],
+            num_active: n,
+            rules,
+            nodes: vec![root],
+            root: 0,
+            generation: 0,
+        }
+    }
+
+    /// Monotonic mutation counter: any expansion, truncation, or rule
+    /// update advances it. Compare with [`crate::FlatTree::generation`]
+    /// to detect stale compiled snapshots.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Record a mutation (see [`Self::generation`]).
+    #[inline]
+    fn bump_generation(&mut self) {
+        self.generation += 1;
     }
 
     /// The root node id.
@@ -370,6 +397,7 @@ impl DecisionTree {
             .collect();
         self.nodes[id].rules = parent_rules;
         self.nodes[id].kind = NodeKind::Cut { dim, ncuts, children: children.clone() };
+        self.bump_generation();
         children
     }
 
@@ -402,6 +430,7 @@ impl DecisionTree {
         self.nodes[id].rules = parent_rules;
         self.nodes[id].kind =
             NodeKind::MultiCut { dims: dims.to_vec(), children: children.clone() };
+        self.bump_generation();
         children
     }
 
@@ -433,6 +462,7 @@ impl DecisionTree {
             .collect();
         self.nodes[id].rules = parent_rules;
         self.nodes[id].kind = NodeKind::DenseCut { dim, bounds, children: children.clone() };
+        self.bump_generation();
         children
     }
 
@@ -460,6 +490,7 @@ impl DecisionTree {
         let right = self.push_child(id, rs, right_rules);
         self.nodes[id].rules = parent_rules;
         self.nodes[id].kind = NodeKind::Split { dim, threshold, children: [left, right] };
+        self.bump_generation();
         (left, right)
     }
 
@@ -492,6 +523,7 @@ impl DecisionTree {
             })
             .collect();
         self.nodes[id].kind = NodeKind::Partition { children: children.clone() };
+        self.bump_generation();
         children
     }
 
@@ -509,6 +541,7 @@ impl DecisionTree {
             Some(pos) if pos + 1 < node.rules.len() => {
                 let removed = node.rules.len() - pos - 1;
                 self.nodes[id].rules.truncate(pos + 1);
+                self.bump_generation();
                 removed
             }
             _ => 0,
@@ -520,6 +553,7 @@ impl DecisionTree {
         self.rules.push(rule);
         self.active.push(true);
         self.num_active += 1;
+        self.bump_generation();
         id
     }
 
@@ -532,12 +566,14 @@ impl DecisionTree {
             .position(|&r| self.precedes(id, r))
             .unwrap_or(self.nodes[node].rules.len());
         self.nodes[node].rules.insert(pos, id);
+        self.bump_generation();
     }
 
     /// Remove `id` from a leaf's rule list if present.
     pub(crate) fn leaf_remove(&mut self, node: NodeId, id: RuleId) {
         debug_assert!(self.nodes[node].is_leaf());
         self.nodes[node].rules.retain(|&r| r != id);
+        self.bump_generation();
     }
 
     /// Mark a rule deleted.
@@ -546,6 +582,7 @@ impl DecisionTree {
             self.num_active -= 1;
         }
         self.active[id] = false;
+        self.bump_generation();
     }
 
     /// Serialise the full tree (rule arena + nodes) to JSON — the

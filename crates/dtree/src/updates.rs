@@ -12,6 +12,26 @@ use crate::tree::DecisionTree;
 use classbench::Rule;
 use serde::{Deserialize, Serialize};
 
+/// Why an update could not be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The rule id is outside the tree's arena.
+    UnknownRule(RuleId),
+    /// The rule was already deleted by an earlier update.
+    InactiveRule(RuleId),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::UnknownRule(id) => write!(f, "rule {id} does not exist in the arena"),
+            UpdateError::InactiveRule(id) => write!(f, "rule {id} is not active"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
 /// Running counters of in-place updates applied to a tree.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UpdateLog {
@@ -22,11 +42,16 @@ pub struct UpdateLog {
 }
 
 impl UpdateLog {
+    /// Total updates applied since the last rebuild.
+    pub fn total(&self) -> usize {
+        self.inserted + self.deleted
+    }
+
     /// Fraction of the current active rules that changed; the rebuild
     /// policy in the paper retrains "when enough small updates
     /// accumulate".
     pub fn churn(&self, active_rules: usize) -> f64 {
-        (self.inserted + self.deleted) as f64 / active_rules.max(1) as f64
+        self.total() as f64 / active_rules.max(1) as f64
     }
 }
 
@@ -66,16 +91,39 @@ pub fn insert_rule(tree: &mut DecisionTree, rule: Rule) -> RuleId {
 
 /// Delete a rule: mark it inactive and remove it from every leaf list.
 ///
-/// # Panics
-/// Panics if `id` is out of range or already deleted.
-pub fn delete_rule(tree: &mut DecisionTree, id: RuleId) {
-    assert!(tree.is_active(id), "rule {id} is not active");
+/// The deletion routes down the tree exactly like [`insert_rule`]:
+/// only subtrees whose space intersects the rule are visited, so the
+/// cost is O(depth × touched leaves) rather than a scan of the whole
+/// node arena. Partition children share their parent's space and any
+/// of them may hold the rule, so all are descended.
+///
+/// Errors (instead of panicking) on an out-of-range or already-deleted
+/// id, so callers driving live update streams can surface bad updates
+/// without crashing the serving process.
+pub fn delete_rule(tree: &mut DecisionTree, id: RuleId) -> Result<(), UpdateError> {
+    if id >= tree.rules().len() {
+        return Err(UpdateError::UnknownRule(id));
+    }
+    if !tree.is_active(id) {
+        return Err(UpdateError::InactiveRule(id));
+    }
     tree.deactivate_rule(id);
-    for nid in 0..tree.num_nodes() {
+    let mut stack: Vec<NodeId> = vec![tree.root()];
+    while let Some(nid) = stack.pop() {
+        if !tree.node(nid).space.intersects_rule(tree.rule(id)) {
+            continue;
+        }
         if tree.node(nid).is_leaf() {
             tree.leaf_remove(nid, id);
+        } else {
+            // Every non-leaf kind descends all children: partition
+            // children share the parent's space (the rule may sit in
+            // any of them), and cut/split children that don't
+            // intersect the rule are pruned by the check above.
+            stack.extend(tree.node(nid).kind.children().iter().copied());
         }
     }
+    Ok(())
 }
 
 impl DecisionTree {
@@ -144,19 +192,64 @@ mod tests {
         let id = insert_rule(&mut t, new_rule(hi_prio));
         let p = classbench::Packet::new(0x0a000001, 0, 0, 8080, 6);
         assert_eq!(t.classify(&p), Some(id));
-        delete_rule(&mut t, id);
+        delete_rule(&mut t, id).unwrap();
         assert_ne!(t.classify(&p), Some(id));
         assert!(!t.is_active(id));
         assert_tree_valid(&t, 300, 3);
     }
 
     #[test]
-    #[should_panic(expected = "not active")]
-    fn double_delete_panics() {
+    fn double_delete_and_bad_ids_error() {
         let mut t = built_tree();
         let id = insert_rule(&mut t, new_rule(999));
-        delete_rule(&mut t, id);
-        delete_rule(&mut t, id);
+        assert_eq!(delete_rule(&mut t, id), Ok(()));
+        assert_eq!(delete_rule(&mut t, id), Err(UpdateError::InactiveRule(id)));
+        let out_of_range = t.rules().len();
+        assert_eq!(delete_rule(&mut t, out_of_range), Err(UpdateError::UnknownRule(out_of_range)));
+        // The failed deletes changed nothing.
+        assert_tree_valid(&t, 200, 77);
+    }
+
+    #[test]
+    fn delete_reaches_rules_in_every_partition_child() {
+        // Distribute the original rules across two partition children,
+        // then delete rules from both sides: the routed delete must
+        // descend every partition child (they share the parent space),
+        // not just the smallest one.
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 80).with_seed(41));
+        let mut t = DecisionTree::new(&rs);
+        let all = t.node(t.root()).rules.clone();
+        let (a, b) = all.split_at(all.len() / 2);
+        let parts = t.partition_node(t.root(), vec![a.to_vec(), b.to_vec()]);
+        for p in parts {
+            if !t.is_terminal(p, 8) {
+                t.cut_node(p, Dim::SrcIp, 4);
+            }
+        }
+        for &victim in [a[0], a[a.len() - 1], b[0], b[b.len() - 1]].iter() {
+            delete_rule(&mut t, victim).unwrap();
+            assert!(!t.is_active(victim));
+            // No leaf may still list the victim.
+            for nid in t.leaf_ids().collect::<Vec<_>>() {
+                assert!(!t.node(nid).rules.contains(&victim), "leaf {nid} kept rule {victim}");
+            }
+        }
+        assert_tree_valid(&t, 300, 42);
+    }
+
+    #[test]
+    fn generation_advances_on_every_update() {
+        let mut t = built_tree();
+        let g0 = t.generation();
+        let id = insert_rule(&mut t, new_rule(55));
+        let g1 = t.generation();
+        assert!(g1 > g0, "insert must advance the generation");
+        delete_rule(&mut t, id).unwrap();
+        assert!(t.generation() > g1, "delete must advance the generation");
+        // A failed delete is a no-op and leaves the generation alone.
+        let g2 = t.generation();
+        assert!(delete_rule(&mut t, id).is_err());
+        assert_eq!(t.generation(), g2);
     }
 
     #[test]
@@ -179,7 +272,7 @@ mod tests {
             log.inserted += 1;
         }
         for &id in inserted.iter().step_by(2) {
-            delete_rule(&mut t, id);
+            delete_rule(&mut t, id).unwrap();
             log.deleted += 1;
         }
         assert_eq!(log.inserted, 30);

@@ -150,10 +150,10 @@ fn deleted_rules_are_invisible_to_every_path() {
     // original rules outright.
     let top = tree.rules().iter().map(|r| r.priority).max().unwrap();
     let id = updates::insert_rule(&mut tree, Rule::default_rule(top + 1));
-    updates::delete_rule(&mut tree, id);
+    updates::delete_rule(&mut tree, id).unwrap();
     for victim in [0usize, 7, 42] {
         if tree.is_active(victim) {
-            updates::delete_rule(&mut tree, victim);
+            updates::delete_rule(&mut tree, victim).unwrap();
         }
     }
     let flat = FlatTree::compile(&tree);

@@ -46,7 +46,7 @@ fn main() {
 
     // Devices decommissioned: delete half the new rules.
     for &id in added.iter().step_by(2) {
-        delete_rule(&mut tree, id);
+        delete_rule(&mut tree, id).expect("rule is active");
         log.deleted += 1;
     }
     println!("deleted {} rules in place", log.deleted);

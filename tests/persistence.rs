@@ -41,7 +41,7 @@ fn updated_tree_roundtrips_with_inactive_rules() {
     let mut tree = build("HiCuts", &rules);
     let top = tree.rules().iter().map(|r| r.priority).max().unwrap();
     let id = dtree::updates::insert_rule(&mut tree, classbench::Rule::default_rule(top + 1));
-    dtree::updates::delete_rule(&mut tree, id);
+    dtree::updates::delete_rule(&mut tree, id).unwrap();
     let restored = DecisionTree::from_json(&tree.to_json()).unwrap();
     assert!(!restored.is_active(id));
     let trace = generate_trace(&rules, &TraceConfig::new(200).with_seed(305));

@@ -106,7 +106,7 @@ proptest! {
         for p in &packets {
             prop_assert_eq!(tree.classify(p), tree.linear_classify(p), "after insert at {}", p);
         }
-        dtree::updates::delete_rule(&mut tree, id);
+        dtree::updates::delete_rule(&mut tree, id).unwrap();
         for p in &packets {
             prop_assert_eq!(tree.classify(p), rules.classify(p), "after delete at {}", p);
         }
