@@ -19,6 +19,8 @@
 //! the paper's methodology (§5), and every builder's output is checked
 //! against the linear-scan ground truth in tests.
 
+#![warn(missing_docs)]
+
 pub mod common;
 pub mod cutsplit;
 pub mod efficuts;

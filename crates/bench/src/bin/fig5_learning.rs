@@ -40,7 +40,7 @@ fn main() {
         harness_config().with_coeff(1.0).with_partition_mode(PartitionMode::Simple).with_seed(5);
     cfg.patience = 0; // run the full budget so snapshots are comparable
     let iters_budget = (cfg.max_timesteps / cfg.timesteps_per_batch).max(2);
-    let mut trainer = Trainer::new(rules.clone(), cfg);
+    let mut trainer = Trainer::new(rules.clone(), cfg).expect("trainable rule set");
 
     // Snapshot 0: a tree from the randomly initialised policy.
     let (tree0, stats0) = trainer.greedy_tree();
@@ -48,7 +48,7 @@ fn main() {
 
     // Train halfway, snapshot, then finish.
     for _ in 0..iters_budget / 2 {
-        let s = trainer.step();
+        let s = trainer.step().expect("training makes progress");
         println!(
             "iter {:>2}: mean return {:>10.2}, best objective {:>8.1}",
             s.iteration, s.mean_return, s.best_objective
@@ -58,7 +58,7 @@ fn main() {
     show("\nmid-training (center panel)", &LevelProfile::compute(&tree1), &stats1);
 
     for _ in iters_budget / 2..iters_budget {
-        let s = trainer.step();
+        let s = trainer.step().expect("training makes progress");
         println!(
             "iter {:>2}: mean return {:>10.2}, best objective {:>8.1}",
             s.iteration, s.mean_return, s.best_objective

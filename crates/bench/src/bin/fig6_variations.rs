@@ -21,8 +21,8 @@ fn main() {
 
     let cfg =
         harness_config().with_coeff(1.0).with_partition_mode(PartitionMode::Simple).with_seed(6);
-    let mut trainer = Trainer::new(rules, cfg);
-    let report = trainer.train();
+    let mut trainer = Trainer::new(rules, cfg).expect("trainable rule set");
+    let report = trainer.train().expect("training makes progress");
     println!(
         "trained for {} timesteps, best objective {:.1}\n",
         report.timesteps,

@@ -17,6 +17,8 @@
 //! The paper trained to 10M timesteps per classifier on AWS; shapes
 //! (who wins, by what factor) are what these defaults reproduce.
 
+#![warn(missing_docs)]
+
 use classbench::{generate_rules, ClassifierFamily, GeneratorConfig, RuleSet};
 use dtree::{DecisionTree, TreeStats};
 use neurocuts::{NeuroCutsConfig, Trainer};
@@ -108,9 +110,14 @@ pub struct NeuroCutsResult {
 /// Train NeuroCuts on `rules` under `cfg` and return the best tree
 /// (best completed training rollout, or the greedy tree if better /
 /// the only completed one).
+///
+/// # Panics
+/// Panics on degenerate inputs ([`neurocuts::TrainError`]) — the
+/// figure harness generates its own rule sets, so those are bugs here,
+/// not user error.
 pub fn run_neurocuts(rules: &RuleSet, cfg: NeuroCutsConfig) -> NeuroCutsResult {
-    let mut trainer = Trainer::new(rules.clone(), cfg);
-    let report = trainer.train();
+    let mut trainer = Trainer::new(rules.clone(), cfg).expect("trainable rule set");
+    let report = trainer.train().expect("training makes progress");
     let objective = *trainer.env().objective();
     let score = |s: &TreeStats| objective.value(s.time, s.bytes);
     let (greedy_tree, greedy_stats) = trainer.greedy_tree();

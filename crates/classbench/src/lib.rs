@@ -27,6 +27,8 @@
 //! assert!(rules.rules().last().unwrap().is_default());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dim;
 pub mod generator;
 pub mod packet;

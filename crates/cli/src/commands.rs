@@ -19,8 +19,14 @@ subcommands:
   generate --family acl|fw|ipc --size N [--seed S] [--out FILE]
       synthesise a ClassBench-style rule set (stdout if no --out)
   train    --rules FILE [--timesteps N] [--c 0..1]
-           [--partition none|simple|efficuts] [--seed S] [--out TREE.json]
-      train a NeuroCuts policy and emit the best tree
+           [--partition none|simple|efficuts] [--seed S] [--envs N]
+           [--workers W] [--threads T] [--serve-trace N] [--out TREE.json]
+      train a NeuroCuts policy (vectorised parallel envs, batched
+      policy inference; --workers defaults to --threads, which
+      defaults to all hardware threads), compile the best tree to its
+      serving form, verify it against the linear-scan ground truth,
+      and report the engine throughput on --threads cores; emits the
+      tree as JSON
   build    --rules FILE --algo hicuts|hypercuts|hypersplit|efficuts|cutsplit
            [--out TREE.json]
       build a hand-tuned baseline tree
@@ -78,7 +84,14 @@ pub fn generate(argv: &[String]) -> Result<(), String> {
     write_out(args.get("out"), &write_rules(&rules))
 }
 
-/// `neurocuts train`.
+/// `neurocuts train`: the full train → compile → serve pipeline.
+///
+/// Trains with the vectorised collector (`--envs` lockstep
+/// environments, `--workers` threads, batched policy inference), then
+/// closes the loop the way a deployment would: the best tree is
+/// compiled to a [`FlatTree`], verified packet-for-packet against the
+/// linear-scan ground truth, and pushed through the PR-2 sharded
+/// serving engine to report end-to-end lookup throughput.
 pub fn train(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     let rules = read_rules(args.required("rules")?)?;
@@ -94,14 +107,24 @@ pub fn train(argv: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown partition mode {other:?}")),
     };
     let seed: u64 = args.parse_or("seed", 0)?;
-    let cfg = NeuroCutsConfig::small(timesteps)
+    let threads: usize =
+        args.parse_or("threads", std::thread::available_parallelism().map_or(1, |t| t.get()))?;
+    let serve_trace: usize = args.parse_or("serve-trace", 20_000)?;
+    let mut cfg = NeuroCutsConfig::small(timesteps)
         .with_coeff(c)
         .with_partition_mode(partition)
         .with_seed(seed);
+    cfg.num_envs = args.parse_or("envs", cfg.num_envs)?;
+    cfg.workers = args.parse_or("workers", threads)?;
 
-    eprintln!("training on {} rules for up to {timesteps} timesteps...", rules.len());
-    let mut trainer = Trainer::new(rules, cfg);
-    let report = trainer.train();
+    eprintln!(
+        "training on {} rules for up to {timesteps} timesteps ({} envs, {} workers)...",
+        rules.len(),
+        cfg.num_envs,
+        cfg.workers
+    );
+    let mut trainer = Trainer::new(rules.clone(), cfg).map_err(|e| e.to_string())?;
+    let report = trainer.train().map_err(|e| e.to_string())?;
     for h in &report.history {
         eprintln!(
             "  iter {:>3}: {:>7} steps  mean return {:>10.2}  best {:>8.1}",
@@ -113,6 +136,33 @@ pub fn train(argv: &[String]) -> Result<(), String> {
         None => trainer.greedy_tree(),
     };
     eprintln!("best tree: {stats}");
+
+    // Compile to the serving form and prove it correct before it is
+    // allowed anywhere near traffic.
+    let flat = FlatTree::compile(&tree);
+    eprintln!(
+        "compiled: {} nodes, {} rules, {} resident bytes",
+        flat.num_nodes(),
+        flat.num_rules(),
+        flat.resident_bytes()
+    );
+    if serve_trace > 0 {
+        let trace = generate_trace(&rules, &TraceConfig::new(serve_trace).with_seed(seed));
+        for p in &trace {
+            let got = flat.classify_checked(&tree, p).map_err(|e| e.to_string())?;
+            if got != rules.classify(p) {
+                return Err(format!("trained tree diverged from the linear scan at {p}"));
+            }
+        }
+        eprintln!("verified {} packets against the linear-scan ground truth", trace.len());
+        let (_, engine) = run_engine(&flat, &trace, EngineConfig::new(threads));
+        eprintln!(
+            "serving engine {:>2}t  {:>10.0} pkts/s ({:.2} Mpps)",
+            engine.threads,
+            engine.packets_per_sec,
+            engine.packets_per_sec / 1e6
+        );
+    }
     write_out(args.get("out"), &tree.to_json())
 }
 

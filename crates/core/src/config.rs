@@ -70,8 +70,14 @@ pub struct NeuroCutsConfig {
     pub ppo: PpoConfig,
     /// Leaf termination threshold (rules per leaf).
     pub binth: usize,
-    /// Parallel rollout workers (Figure 7).
+    /// Worker threads stepping the vectorised collector (Figure 7).
     pub workers: usize,
+    /// Independent environments stepped in lockstep by the vectorised
+    /// collector ([`crate::VecEnv`]); their pending observations form
+    /// one batched policy forward per step. Purely a throughput knob on
+    /// top of `workers` — determinism is per-environment, so results
+    /// depend on `num_envs` (the seed schedule) but never on `workers`.
+    pub num_envs: usize,
     /// Master seed for policy init, sampling, and shuffling.
     pub seed: u64,
     /// Stop early after this many consecutive batches without improving
@@ -106,6 +112,7 @@ impl NeuroCutsConfig {
             ppo: PpoConfig::default(),
             binth: 16,
             workers: 4,
+            num_envs: 16,
             seed: 0,
             patience: 0,
             dense_rewards: true,
@@ -167,6 +174,7 @@ impl NeuroCutsConfig {
         cfg.ppo.minibatch = 128;
         cfg.ppo.sgd_iters = 4;
         cfg.workers = 2;
+        cfg.num_envs = 4;
         cfg
     }
 

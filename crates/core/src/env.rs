@@ -78,6 +78,53 @@ pub struct Episode {
     pub truncated: bool,
 }
 
+/// A decision awaiting the policy: the node, its encoded observation,
+/// and the two validity masks. Produced by
+/// [`NeuroCutsEnv::next_decision`], consumed by
+/// [`NeuroCutsEnv::apply_decision`].
+#[derive(Debug, Clone)]
+pub struct PendingDecision {
+    /// The node the policy must decide on.
+    pub node: NodeId,
+    /// Fixed-width observation encoding of the node.
+    pub obs: Vec<f32>,
+    /// Dimension-head validity mask.
+    pub dim_mask: Vec<bool>,
+    /// Action-head validity mask.
+    pub act_mask: Vec<bool>,
+}
+
+/// One in-flight episode (one tree build), advanced a decision at a
+/// time. This is the re-entrant core of [`NeuroCutsEnv::build_tree`]:
+/// the serial path drives one `EpisodeState` to completion with scalar
+/// policy forwards, while the vectorised collector
+/// (`neurocuts::vecenv`) steps many of them in lockstep against one
+/// *batched* forward per step — same code, same RNG stream, so the two
+/// paths produce bit-identical episodes for the same seed.
+pub struct EpisodeState {
+    tree: DecisionTree,
+    metas: Vec<NodeMeta>,
+    stack: Vec<NodeId>,
+    samples: Vec<Sample>,
+    sample_nodes: Vec<NodeId>,
+    rng: ChaCha8Rng,
+    truncated: bool,
+    greedy: bool,
+    pending: Option<PendingDecision>,
+}
+
+impl EpisodeState {
+    /// The decision currently awaiting the policy (if any).
+    pub fn pending(&self) -> Option<&PendingDecision> {
+        self.pending.as_ref()
+    }
+
+    /// Number of decisions recorded so far.
+    pub fn num_samples(&self) -> usize {
+        self.samples.len()
+    }
+}
+
 /// The NeuroCuts environment. Clones share the rule set and the
 /// best-tree slot, so parallel rollout workers (Figure 7) all improve
 /// one record.
@@ -144,41 +191,71 @@ impl NeuroCutsEnv {
     /// actions (used to extract the final tree); otherwise actions are
     /// sampled (training rollouts, Figure 6 variations).
     pub fn build_tree(&self, net: &PolicyValueNet, seed: u64, greedy: bool) -> Episode {
-        let cfg = &*self.config;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0065_7069); // "epi"
-        let mut tree = DecisionTree::new(&self.rules);
-        let mut metas: Vec<NodeMeta> = vec![NodeMeta::root()];
-        let mut samples: Vec<Sample> = Vec::new();
-        let mut sample_nodes: Vec<NodeId> = Vec::new();
-        let mut stack: Vec<NodeId> = vec![tree.root()];
-        let mut truncated = false;
+        let mut st = self.start_episode(seed, greedy);
+        while self.next_decision(&mut st) {
+            let p = st.pending().expect("pending decision after next_decision");
+            let (dim_logits, act_logits, value) = net.forward_one(&p.obs);
+            self.apply_decision(&mut st, &dim_logits, &act_logits, value);
+        }
+        let ep = self.finish_episode(st);
+        self.record_best(&ep);
+        ep
+    }
 
-        while let Some(id) = stack.pop() {
-            if tree.is_terminal(id, cfg.binth) {
+    /// Begin one episode (one tree build) seeded for reproducible
+    /// action sampling. Drive it with [`NeuroCutsEnv::next_decision`] /
+    /// [`NeuroCutsEnv::apply_decision`] and close it with
+    /// [`NeuroCutsEnv::finish_episode`].
+    pub fn start_episode(&self, seed: u64, greedy: bool) -> EpisodeState {
+        let tree = DecisionTree::new(&self.rules);
+        let root = tree.root();
+        EpisodeState {
+            tree,
+            metas: vec![NodeMeta::root()],
+            stack: vec![root],
+            samples: Vec::new(),
+            sample_nodes: Vec::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x0065_7069), // "epi"
+            truncated: false,
+            greedy,
+            pending: None,
+        }
+    }
+
+    /// Advance the episode to its next decision point, skipping
+    /// terminal/inseparable leaves in DFS order (Algorithm 1's
+    /// `GrowTreeDFS`). Returns `true` with `st.pending()` populated
+    /// when the policy must act, or `false` when the episode is
+    /// complete (tree finished, or rollout/depth truncation §5.1).
+    pub fn next_decision(&self, st: &mut EpisodeState) -> bool {
+        debug_assert!(st.pending.is_none(), "previous decision not applied");
+        let cfg = &*self.config;
+        while let Some(id) = st.stack.pop() {
+            if st.tree.is_terminal(id, cfg.binth) {
                 continue;
             }
-            if tree.node(id).depth >= cfg.max_tree_depth {
-                truncated = true;
+            if st.tree.node(id).depth >= cfg.max_tree_depth {
+                st.truncated = true;
                 continue; // depth truncation: force terminal
             }
             // Rollout truncation (§5.1) bounds training episodes; greedy
             // extraction gets a much larger allowance so the final tree
             // always completes (a trained policy stays far below it).
-            let step_cap = if greedy {
+            let step_cap = if st.greedy {
                 cfg.max_timesteps_per_rollout.max(500_000)
             } else {
                 cfg.max_timesteps_per_rollout
             };
-            if samples.len() >= step_cap {
-                truncated = true;
-                break; // rollout truncation
+            if st.samples.len() >= step_cap {
+                st.truncated = true;
+                return false; // rollout truncation
             }
-            let meta = metas[id].clone();
+            let meta = st.metas[id].clone();
             // Inseparable rules (identical projections in every
             // dimension) can never be split apart by cutting; treat the
             // node as terminal like every cutting heuristic does, or the
             // rollout would grind through the full space grid.
-            if !tree.is_separable(id) {
+            if !st.tree.is_separable(id) {
                 continue;
             }
             // The dimension mask keeps only dimensions whose cuts can
@@ -186,88 +263,116 @@ impl NeuroCutsEnv {
             // dimension replicates every rule into some child for zero
             // gain, which every hand-tuned heuristic also refuses to do.
             let dim_mask: Vec<bool> =
-                classbench::DIMS.iter().map(|&d| tree.dim_separable(id, d)).collect();
+                classbench::DIMS.iter().map(|&d| st.tree.dim_separable(id, d)).collect();
             if !dim_mask.iter().any(|&m| m) {
                 continue; // nothing separable: forced leaf
             }
             let act_mask = self.action_space.act_mask(meta.top || self.config.partition_anywhere);
+            let obs = self.encoder.encode(&st.tree.node(id).space, &meta, &dim_mask, &act_mask);
+            st.pending = Some(PendingDecision { node: id, obs, dim_mask, act_mask });
+            return true;
+        }
+        false
+    }
 
-            let obs = self.encoder.encode(&tree.node(id).space, &meta, &dim_mask, &act_mask);
-            let (dim_logits, act_logits, value) = net.forward_one(&obs);
-            let dim_dist = MaskedCategorical::new(&dim_logits, &dim_mask);
-            let act_dist = MaskedCategorical::new(&act_logits, &act_mask);
-            let (mut dim_action, mut act_action) = if greedy {
-                (dim_dist.argmax(), act_dist.argmax())
-            } else {
-                (dim_dist.sample(rng.gen::<f32>()), act_dist.sample(rng.gen::<f32>()))
-            };
+    /// Apply the policy's output for the pending decision: sample (or
+    /// argmax) both heads from the masked logits, decode and apply the
+    /// action to the tree, and record the 1-step experience.
+    ///
+    /// # Panics
+    /// Panics if no decision is pending.
+    pub fn apply_decision(
+        &self,
+        st: &mut EpisodeState,
+        dim_logits: &[f32],
+        act_logits: &[f32],
+        value: f32,
+    ) {
+        let p = st.pending.take().expect("no pending decision to apply");
+        let id = p.node;
+        let meta = st.metas[id].clone();
+        let dim_dist = MaskedCategorical::new(dim_logits, &p.dim_mask);
+        let act_dist = MaskedCategorical::new(act_logits, &p.act_mask);
+        let (mut dim_action, mut act_action) = if st.greedy {
+            (dim_dist.argmax(), act_dist.argmax())
+        } else {
+            (dim_dist.sample(st.rng.gen::<f32>()), act_dist.sample(st.rng.gen::<f32>()))
+        };
 
-            // Decode and apply, falling back to a binary cut when a
-            // sampled partition is invalid at this node (empty side or
-            // out-of-window threshold). The *applied* action is what we
-            // record, with its own log-probability, so the experience
-            // stays consistent with the behaviour distribution.
-            let children: Vec<NodeId> = loop {
-                match self.action_space.decode(dim_action, act_action) {
-                    Action::Cut { dim, ncuts } => {
-                        let ncuts = ncuts.min(tree.node(id).space.range(dim).len().max(2) as usize);
-                        let kids = tree.cut_node(id, dim, ncuts.max(2));
-                        for &k in &kids {
-                            tree.truncate_covered(k);
-                        }
-                        let child_meta = meta.after_cut();
-                        for _ in &kids {
-                            metas.push(child_meta.clone());
-                        }
-                        break kids;
+        // Decode and apply, falling back to a binary cut when a
+        // sampled partition is invalid at this node (empty side or
+        // out-of-window threshold). The *applied* action is what we
+        // record, with its own log-probability, so the experience
+        // stays consistent with the behaviour distribution.
+        let tree = &mut st.tree;
+        let metas = &mut st.metas;
+        let children: Vec<NodeId> = loop {
+            match self.action_space.decode(dim_action, act_action) {
+                Action::Cut { dim, ncuts } => {
+                    let ncuts = ncuts.min(tree.node(id).space.range(dim).len().max(2) as usize);
+                    let kids = tree.cut_node(id, dim, ncuts.max(2));
+                    for &k in &kids {
+                        tree.truncate_covered(k);
                     }
-                    Action::SimplePartition { dim, level } => {
-                        match plan_simple_partition(&tree, id, &meta, dim, level) {
-                            Some(split) => {
-                                let kids = tree.partition_node(id, vec![split.small, split.large]);
-                                metas.push(split.small_meta);
-                                metas.push(split.large_meta);
-                                break kids;
-                            }
-                            None => {
-                                // Fall back: binary cut on a valid dim.
-                                (dim_action, act_action) = self.fallback_cut(&dim_mask, dim_action);
-                            }
-                        }
+                    let child_meta = meta.after_cut();
+                    for _ in &kids {
+                        metas.push(child_meta.clone());
                     }
-                    Action::EffiCutsPartition => match plan_efficuts_partition(&tree, id, &meta) {
-                        Some((groups, group_metas)) => {
-                            let kids = tree.partition_node(id, groups);
-                            metas.extend(group_metas);
+                    break kids;
+                }
+                Action::SimplePartition { dim, level } => {
+                    match plan_simple_partition(tree, id, &meta, dim, level) {
+                        Some(split) => {
+                            let kids = tree.partition_node(id, vec![split.small, split.large]);
+                            metas.push(split.small_meta);
+                            metas.push(split.large_meta);
                             break kids;
                         }
                         None => {
-                            (dim_action, act_action) = self.fallback_cut(&dim_mask, dim_action);
+                            // Fall back: binary cut on a valid dim.
+                            (dim_action, act_action) = self.fallback_cut(&p.dim_mask, dim_action);
                         }
-                    },
+                    }
                 }
-            };
-            debug_assert_eq!(metas.len(), tree.num_nodes());
+                Action::EffiCutsPartition => match plan_efficuts_partition(tree, id, &meta) {
+                    Some((groups, group_metas)) => {
+                        let kids = tree.partition_node(id, groups);
+                        metas.extend(group_metas);
+                        break kids;
+                    }
+                    None => {
+                        (dim_action, act_action) = self.fallback_cut(&p.dim_mask, dim_action);
+                    }
+                },
+            }
+        };
+        debug_assert_eq!(st.metas.len(), st.tree.num_nodes());
 
-            samples.push(Sample {
-                obs,
-                dim_action,
-                act_action,
-                log_prob: dim_dist.log_prob(dim_action) + act_dist.log_prob(act_action),
-                dim_mask,
-                act_mask,
-                value,
-                reward: 0.0, // filled in below, once subtrees complete
-            });
-            sample_nodes.push(id);
+        st.samples.push(Sample {
+            obs: p.obs,
+            dim_action,
+            act_action,
+            log_prob: dim_dist.log_prob(dim_action) + act_dist.log_prob(act_action),
+            dim_mask: p.dim_mask,
+            act_mask: p.act_mask,
+            value,
+            reward: 0.0, // filled in by finish_episode, once subtrees complete
+        });
+        st.sample_nodes.push(id);
 
-            // DFS order: push children so the first child is processed
-            // next (Algorithm 1's GrowTreeDFS).
-            stack.extend(children.iter().rev());
-        }
+        // DFS order: push children so the first child is processed
+        // next (Algorithm 1's GrowTreeDFS).
+        st.stack.extend(children.iter().rev());
+    }
 
-        // Delayed rewards: one reverse pass computes every subtree's
-        // (Time, Space); each decision is rewarded by its own subtree.
+    /// Close a completed episode: fill in the delayed subtree rewards
+    /// (one reverse pass computes every subtree's Time/Space; each
+    /// decision is rewarded by its own subtree) and return the
+    /// [`Episode`]. Does **not** touch the shared best-tree record —
+    /// callers offer the episode via [`NeuroCutsEnv::record_best`] so
+    /// multi-env collectors can do it in a deterministic order.
+    pub fn finish_episode(&self, st: EpisodeState) -> Episode {
+        let EpisodeState { tree, mut samples, sample_nodes, truncated, .. } = st;
         let (time, bytes) = subtree_metrics(&tree, &self.objective.memory);
         // Traffic-aware extension (§8): replace worst-case depth with
         // the expected lookup cost under the configured trace.
@@ -296,22 +401,25 @@ impl NeuroCutsEnv {
                 s.reward = -objective as f32;
             }
         }
-
-        // Record the best completed tree (truncated builds don't count:
-        // their metrics are lower bounds, not achieved trees).
-        if !truncated {
-            let mut best = self.best.lock();
-            if best.as_ref().is_none_or(|b| objective < b.objective) {
-                *best = Some(BestTree {
-                    objective,
-                    stats: TreeStats::compute(&tree),
-                    profile: LevelProfile::compute(&tree),
-                    tree: tree.clone(),
-                });
-            }
-        }
-
         Episode { tree, samples, objective, truncated }
+    }
+
+    /// Offer a completed episode to the shared best-tree record
+    /// (truncated builds don't count: their metrics are lower bounds,
+    /// not achieved trees).
+    pub fn record_best(&self, ep: &Episode) {
+        if ep.truncated {
+            return;
+        }
+        let mut best = self.best.lock();
+        if best.as_ref().is_none_or(|b| ep.objective < b.objective) {
+            *best = Some(BestTree {
+                objective: ep.objective,
+                stats: TreeStats::compute(&ep.tree),
+                profile: LevelProfile::compute(&ep.tree),
+                tree: ep.tree.clone(),
+            });
+        }
     }
 
     /// A guaranteed-valid fallback action: a binary cut on the sampled

@@ -20,13 +20,19 @@
 //!   partition actions of §4;
 //! * [`reward`] — the recursive time/space reward of Eqs. 1–5 with the
 //!   `c` coefficient and `f ∈ {x, log x}` scaling;
-//! * [`env`] — the branching-decision-process environment of §5
+//! * [`mod@env`] — the branching-decision-process environment of §5
 //!   (DFS tree growth, 1-step decision experiences, rollout and depth
-//!   truncation);
+//!   truncation), exposed both as whole-episode builds
+//!   ([`NeuroCutsEnv::build_tree`]) and as a re-entrant
+//!   [`EpisodeState`] advanced one decision at a time;
+//! * [`vecenv`] — the lockstep vectorised collector ([`VecEnv`]): many
+//!   environments per batched policy forward, scoped worker threads,
+//!   and bit-identical results regardless of the thread count;
 //! * [`trainer`] — the Algorithm-1 training loop on top of [`rl`]'s PPO
 //!   with parallel rollout workers (Figure 7), plus greedy/stochastic
 //!   tree extraction (Figures 5 and 6) and incremental classifier
-//!   updates (§4).
+//!   updates (§4). Degenerate inputs surface as [`TrainError`]s rather
+//!   than panics.
 //!
 //! # Quickstart
 //!
@@ -38,11 +44,13 @@
 //! // A deliberately tiny training budget so the doc-test is fast; see
 //! // `NeuroCutsConfig::paper_default` for the Table 1 settings.
 //! let cfg = NeuroCutsConfig::smoke_test();
-//! let mut trainer = Trainer::new(rules, cfg);
-//! let report = trainer.train();
+//! let mut trainer = Trainer::new(rules, cfg).expect("non-degenerate rule set");
+//! let report = trainer.train().expect("training makes progress");
 //! let best = report.best.expect("training produced at least one tree");
 //! assert!(best.stats.time >= 1);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod actions;
 pub mod config;
@@ -51,10 +59,12 @@ pub mod obs;
 pub mod partitioner;
 pub mod reward;
 pub mod trainer;
+pub mod vecenv;
 
 pub use actions::{Action, ActionSpace};
 pub use config::{NeuroCutsConfig, PartitionMode, RewardScaling};
-pub use env::NeuroCutsEnv;
+pub use env::{EpisodeState, NeuroCutsEnv, PendingDecision};
 pub use obs::ObsEncoder;
 pub use reward::Objective;
-pub use trainer::{BestTree, IterationStats, TrainReport, Trainer};
+pub use trainer::{BestTree, IterationStats, TrainError, TrainReport, Trainer};
+pub use vecenv::VecEnv;

@@ -1,21 +1,63 @@
 //! The NeuroCuts training loop (Algorithm 1 + Figure 7).
 //!
-//! Each iteration: parallel workers generate whole-tree rollouts from
-//! the frozen policy, the experiences are concatenated, and PPO updates
-//! the shared policy/value network. The best completed tree across all
-//! rollouts is tracked continuously; training stops at the timestep
-//! budget or after `patience` iterations without improvement.
+//! Each iteration: the vectorised collector ([`crate::VecEnv`]) steps
+//! `num_envs` lockstep tree-building environments against the frozen
+//! policy — one batched forward per step, `workers` threads — the
+//! completed episodes are concatenated into a multi-env batch, and PPO
+//! updates the shared policy/value network. The best completed tree
+//! across all rollouts is tracked continuously; training stops at the
+//! timestep budget or after `patience` iterations without improvement.
+//! Degenerate inputs surface as [`TrainError`]s instead of panics.
 
 use crate::config::NeuroCutsConfig;
 pub use crate::env::BestTree;
 use crate::env::NeuroCutsEnv;
+use crate::vecenv::VecEnv;
 use classbench::RuleSet;
 use dtree::{DecisionTree, TreeStats};
 use nn::{NetConfig, PolicyValueNet};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rl::{collect_parallel, Ppo, QConfig, QLearner, UpdateStats};
+use rl::{Ppo, QConfig, QLearner, UpdateStats};
 use serde::{Deserialize, Serialize};
+
+/// Why a [`Trainer`] could not be built or make progress. Surfaced as
+/// a `Result` instead of a panic so callers (the CLI, long-running
+/// harnesses) can report the degenerate input and move on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// The rule set has no rules: there is no classifier to learn.
+    EmptyRuleSet,
+    /// Every episode ends before the policy gets a single decision —
+    /// the root is already terminal (≤ `binth` rules, inseparable
+    /// rules, zero rollout budget, ...), so there are no actions to
+    /// optimise.
+    NothingToLearn {
+        /// Rules in the set.
+        rules: usize,
+        /// The leaf threshold that makes the root terminal.
+        binth: usize,
+    },
+    /// A collection round produced zero experiences (every episode
+    /// truncated before its first decision).
+    EmptyBatch,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptyRuleSet => write!(f, "cannot train on an empty rule set"),
+            TrainError::NothingToLearn { rules, binth } => write!(
+                f,
+                "nothing to learn: every episode ends before the first decision \
+                 ({rules} rules, binth {binth})"
+            ),
+            TrainError::EmptyBatch => write!(f, "rollout collection produced an empty batch"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
 
 /// The policy-optimisation algorithm behind a [`Trainer`]: PPO (the
 /// paper's choice) or the Q-learning baseline it rejected (§4).
@@ -55,6 +97,7 @@ pub struct TrainReport {
 /// Trains a NeuroCuts policy for one rule set.
 pub struct Trainer {
     env: NeuroCutsEnv,
+    vec_env: VecEnv,
     net: PolicyValueNet,
     learner: Learner,
     config: NeuroCutsConfig,
@@ -63,9 +106,26 @@ pub struct Trainer {
 }
 
 impl Trainer {
-    /// Set up policy, PPO learner, and environment for `rules`.
-    pub fn new(rules: RuleSet, config: NeuroCutsConfig) -> Self {
+    /// Set up policy, PPO learner, and the vectorised environment for
+    /// `rules`. Rejects inputs the training loop could do nothing
+    /// with: an empty rule set, or one whose root node is already
+    /// terminal (the policy would never get a decision, so every batch
+    /// would be empty).
+    pub fn new(rules: RuleSet, config: NeuroCutsConfig) -> Result<Self, TrainError> {
+        if rules.is_empty() {
+            return Err(TrainError::EmptyRuleSet);
+        }
         let env = NeuroCutsEnv::new(rules, config.clone());
+        // Probe one episode up to its first decision: if none exists
+        // (root terminal under `binth`, inseparable rules, zero rollout
+        // budget), no amount of training can produce experiences.
+        let mut probe = env.start_episode(config.seed, false);
+        if !env.next_decision(&mut probe) {
+            return Err(TrainError::NothingToLearn {
+                rules: env.rules().len(),
+                binth: config.binth,
+            });
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x006e_6574); // "net"
         let net = PolicyValueNet::new(
             NetConfig {
@@ -89,7 +149,15 @@ impl Trainer {
         } else {
             Learner::Ppo(Ppo::new(config.ppo, config.seed))
         };
-        Trainer { env, net, learner, config, timesteps: 0, iterations: 0 }
+        let vec_env = Self::make_collector(&env, &config);
+        Ok(Trainer { env, vec_env, net, learner, config, timesteps: 0, iterations: 0 })
+    }
+
+    /// The vectorised collector every trainer uses: one construction
+    /// site, so plain and traffic-aware trainers can never drift onto
+    /// different episode-seed schedules.
+    fn make_collector(env: &NeuroCutsEnv, config: &NeuroCutsConfig) -> VecEnv {
+        VecEnv::new(env.clone(), config.num_envs.max(1), config.seed.wrapping_add(1))
     }
 
     /// The environment (e.g. to inspect the rule set or best tree).
@@ -100,8 +168,18 @@ impl Trainer {
     /// Optimise for the *expected* classification time under `trace`
     /// instead of the worst case — the traffic-aware objective the
     /// paper's conclusion proposes (§8). Call before training.
+    ///
+    /// # Panics
+    /// Panics if training has already started: the collector is
+    /// rebuilt around the traffic-aware environment with its episode
+    /// seed schedule restarted from zero, so a mid-training switch
+    /// would silently replay already-consumed episode seeds.
     pub fn set_traffic(mut self, trace: Vec<classbench::Packet>) -> Self {
+        assert_eq!(self.iterations, 0, "set_traffic must be called before training starts");
         self.env = self.env.with_traffic(trace);
+        // The collector steps clones of the environment, so it must be
+        // rebuilt around the traffic-aware one.
+        self.vec_env = Self::make_collector(&self.env, &self.config);
         self
     }
 
@@ -110,16 +188,16 @@ impl Trainer {
         &self.net
     }
 
-    /// Run one training iteration (collect one batch, one PPO update).
+    /// Run one training iteration: collect one multi-env batch through
+    /// the vectorised collector (lockstep episodes, batched policy
+    /// inference, `config.workers` threads) and apply one PPO update.
     /// Returns the iteration's diagnostics.
-    pub fn step(&mut self) -> IterationStats {
-        let batch = collect_parallel(
-            &self.env,
-            &self.net,
-            self.config.timesteps_per_batch,
-            self.config.workers,
-            self.config.seed.wrapping_add(1 + self.iterations as u64 * 0x9e37_79b9),
-        );
+    pub fn step(&mut self) -> Result<IterationStats, TrainError> {
+        let batch =
+            self.vec_env.collect(&self.net, self.config.timesteps_per_batch, self.config.workers);
+        if batch.is_empty() {
+            return Err(TrainError::EmptyBatch);
+        }
         self.timesteps += batch.len();
         let ppo_stats = match &mut self.learner {
             Learner::Ppo(ppo) => ppo.update(&mut self.net, &batch),
@@ -137,17 +215,17 @@ impl Trainer {
             ppo: ppo_stats,
         };
         self.iterations += 1;
-        stats
+        Ok(stats)
     }
 
     /// Train until the timestep budget is spent or `patience`
     /// iterations pass without improving the best objective.
-    pub fn train(&mut self) -> TrainReport {
+    pub fn train(&mut self) -> Result<TrainReport, TrainError> {
         let mut history = Vec::new();
         let mut stale = 0usize;
         let mut best_seen = f64::INFINITY;
         while self.timesteps < self.config.max_timesteps {
-            let stats = self.step();
+            let stats = self.step()?;
             if stats.best_objective + 1e-12 < best_seen {
                 best_seen = stats.best_objective;
                 stale = 0;
@@ -162,7 +240,7 @@ impl Trainer {
                 break;
             }
         }
-        TrainReport { history, best: self.env.best(), timesteps: self.timesteps }
+        Ok(TrainReport { history, best: self.env.best(), timesteps: self.timesteps })
     }
 
     /// Build one tree greedily (argmax actions) with the current
@@ -215,8 +293,8 @@ mod tests {
 
     #[test]
     fn smoke_training_improves_or_matches_initial_policy() {
-        let mut trainer = Trainer::new(rules(64), NeuroCutsConfig::smoke_test());
-        let report = trainer.train();
+        let mut trainer = Trainer::new(rules(64), NeuroCutsConfig::smoke_test()).unwrap();
+        let report = trainer.train().unwrap();
         assert!(!report.history.is_empty());
         assert!(report.timesteps > 0);
         let best = report.best.expect("at least one completed tree");
@@ -237,8 +315,8 @@ mod tests {
         let mut cfg = NeuroCutsConfig::smoke_test();
         cfg.max_timesteps = 3_000;
         cfg.timesteps_per_batch = 600;
-        let mut trainer = Trainer::new(rules(64), cfg);
-        let report = trainer.train();
+        let mut trainer = Trainer::new(rules(64), cfg).unwrap();
+        let report = trainer.train().unwrap();
         let first_mean = -report.history[0].mean_return; // mean objective
         let best = report.best.unwrap().objective;
         assert!(
@@ -249,8 +327,8 @@ mod tests {
 
     #[test]
     fn greedy_tree_is_valid_and_deterministic() {
-        let mut trainer = Trainer::new(rules(64), NeuroCutsConfig::smoke_test());
-        let _ = trainer.step();
+        let mut trainer = Trainer::new(rules(64), NeuroCutsConfig::smoke_test()).unwrap();
+        let _ = trainer.step().unwrap();
         let (t1, s1) = trainer.greedy_tree();
         let (_t2, s2) = trainer.greedy_tree();
         assert_eq!(s1, s2);
@@ -259,7 +337,7 @@ mod tests {
 
     #[test]
     fn sampled_trees_vary() {
-        let trainer = Trainer::new(rules(64), NeuroCutsConfig::smoke_test());
+        let trainer = Trainer::new(rules(64), NeuroCutsConfig::smoke_test()).unwrap();
         let trees = trainer.sample_trees(4, 42);
         assert_eq!(trees.len(), 4);
         for (t, _) in &trees {
@@ -276,11 +354,11 @@ mod tests {
 
     #[test]
     fn checkpoint_roundtrip() {
-        let mut trainer = Trainer::new(rules(64), NeuroCutsConfig::smoke_test());
-        let _ = trainer.step();
+        let mut trainer = Trainer::new(rules(64), NeuroCutsConfig::smoke_test()).unwrap();
+        let _ = trainer.step().unwrap();
         let ckpt = trainer.save_policy();
         let (_, s1) = trainer.greedy_tree();
-        let mut restored = Trainer::new(rules(64), NeuroCutsConfig::smoke_test());
+        let mut restored = Trainer::new(rules(64), NeuroCutsConfig::smoke_test()).unwrap();
         restored.load_policy(&ckpt);
         let (_, s2) = restored.greedy_tree();
         assert_eq!(s1, s2);
@@ -298,10 +376,51 @@ mod tests {
             .with_coeff(0.0);
         cfg.max_timesteps_per_rollout = 60_000;
         cfg.max_timesteps = 2_500;
-        let mut trainer = Trainer::new(rules, cfg);
-        let report = trainer.train();
+        let mut trainer = Trainer::new(rules, cfg).unwrap();
+        let report = trainer.train().unwrap();
         let best = report.best.expect("completed trees");
         assert_tree_valid(&best.tree, 200, 86);
+    }
+
+    #[test]
+    fn empty_rule_set_is_an_error_not_a_panic() {
+        let empty = classbench::parse_rules("").unwrap();
+        match Trainer::new(empty, NeuroCutsConfig::smoke_test()) {
+            Err(TrainError::EmptyRuleSet) => {}
+            other => panic!("expected EmptyRuleSet, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn terminal_root_is_nothing_to_learn() {
+        // Fewer rules than binth: the root is already a valid leaf, so
+        // no episode ever reaches a decision.
+        let mut cfg = NeuroCutsConfig::smoke_test();
+        cfg.binth = 64;
+        match Trainer::new(rules(8), cfg) {
+            Err(TrainError::NothingToLearn { rules, binth }) => {
+                assert_eq!(binth, 64);
+                assert!(rules <= 64);
+            }
+            other => panic!("expected NothingToLearn, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn zero_rollout_budget_is_nothing_to_learn() {
+        let mut cfg = NeuroCutsConfig::smoke_test();
+        cfg.max_timesteps_per_rollout = 0;
+        match Trainer::new(rules(64), cfg) {
+            Err(TrainError::NothingToLearn { .. }) => {}
+            other => panic!("expected NothingToLearn, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn train_error_messages_name_the_cause() {
+        assert!(TrainError::EmptyRuleSet.to_string().contains("empty rule set"));
+        let e = TrainError::NothingToLearn { rules: 8, binth: 64 }.to_string();
+        assert!(e.contains("8 rules") && e.contains("binth 64"), "{e}");
     }
 
     #[test]
@@ -309,8 +428,8 @@ mod tests {
         let mut cfg = NeuroCutsConfig::smoke_test();
         cfg.max_timesteps = usize::MAX / 2;
         cfg.patience = 2;
-        let mut trainer = Trainer::new(rules(32), cfg);
-        let report = trainer.train();
+        let mut trainer = Trainer::new(rules(32), cfg).unwrap();
+        let report = trainer.train().unwrap();
         // Must terminate (patience) well before the absurd budget.
         assert!(report.history.len() < 100);
     }

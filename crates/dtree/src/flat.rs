@@ -611,8 +611,9 @@ impl FlatTree {
     /// Classify a batch of packets into `out` (same length), returning
     /// exactly what per-packet [`FlatTree::classify`] would.
     ///
-    /// Traversal is an interleaved wavefront (see
-    /// [`Self::classify_batch_ranks`]): all packets advance through
+    /// Traversal is an interleaved wavefront (the per-subtree rank
+    /// walk behind [`FlatTree::classify_batch_with`]): all packets
+    /// advance through
     /// the tree level by level, which hides node-fetch latency that a
     /// one-packet-at-a-time loop would serialise behind each packet's
     /// root-to-leaf dependence chain.

@@ -27,6 +27,8 @@
 //! * incremental rule insertion/deletion (§4 "Handling classifier
 //!   updates", [`updates`]).
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod flat;
 pub mod memory;

@@ -13,10 +13,16 @@
 //! * [`categorical`] — masked categorical distributions over logits
 //!   (sampling, log-probabilities, entropy, and their gradients);
 //! * [`PolicyValueNet`] — the shared-trunk two-head policy + value
-//!   network, with `forward` / `backward` / `adam_step`.
+//!   network, with `forward` / `backward` / `adam_step`, plus the
+//!   allocation-free batched inference path ([`InferBuffer`] /
+//!   [`PolicyValueNet::infer`]) that the vectorised rollout collector
+//!   drives with one matrix-matrix pass per environment step.
 //!
 //! Every gradient path is covered by finite-difference checks in the
-//! test suite.
+//! test suite, and the batched inference path is proven bit-identical
+//! to the scalar one.
+
+#![warn(missing_docs)]
 
 pub mod adam;
 pub mod categorical;
@@ -28,4 +34,4 @@ pub use adam::AdamConfig;
 pub use categorical::MaskedCategorical;
 pub use linear::Linear;
 pub use matrix::Matrix;
-pub use policy_value::{ForwardCache, NetConfig, PolicyValueNet};
+pub use policy_value::{ForwardCache, InferBuffer, NetConfig, PolicyValueNet};

@@ -55,14 +55,22 @@ impl Linear {
 
     /// Forward pass: `[n, in] -> [n, out]`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul_nt(&self.w);
-        for r in 0..y.rows {
-            let row = y.row_mut(r);
+        let mut y = Matrix::default();
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// [`Linear::forward`] into a caller-owned buffer (resized and
+    /// overwritten) — the allocation-free kernel behind the batched
+    /// inference path. Bit-identical to `forward`.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_nt_into(&self.w, out);
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
             for (v, b) in row.iter_mut().zip(self.b.iter()) {
                 *v += b;
             }
         }
-        y
     }
 
     /// Backward pass: accumulate parameter gradients for the batch and

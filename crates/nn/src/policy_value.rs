@@ -48,6 +48,48 @@ pub struct ForwardCache {
     pub values: Matrix,
 }
 
+/// Reusable activations for the batched *inference* path.
+///
+/// [`PolicyValueNet::infer`] writes every intermediate and output
+/// activation into these preallocated matrices, so steady-state rollout
+/// collection performs no per-step allocation (buffers only grow, and
+/// only until they fit the largest batch seen). Unlike
+/// [`ForwardCache`], nothing needed for backprop is retained — this is
+/// the actor-side forward, not the learner-side one.
+///
+/// ```
+/// use nn::{InferBuffer, Matrix, NetConfig, PolicyValueNet};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let net = PolicyValueNet::new(
+///     NetConfig { obs_dim: 4, dim_actions: 2, num_actions: 3, hidden: [8, 8] },
+///     &mut rng,
+/// );
+/// let obs = [0.25f32, -1.0, 0.5, 0.0];
+/// let mut x = Matrix::default();
+/// x.reset(4);
+/// x.push_row(&obs);
+/// let mut buf = InferBuffer::default();
+/// net.infer(&x, &mut buf);
+/// // Bit-identical to the scalar convenience path.
+/// let (dim, act, value) = net.forward_one(&obs);
+/// assert_eq!(buf.dim_logits.row(0), &dim[..]);
+/// assert_eq!(buf.act_logits.row(0), &act[..]);
+/// assert_eq!(buf.values.get(0, 0), value);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InferBuffer {
+    h1: Matrix,
+    h2: Matrix,
+    /// Dimension-head logits `[n, dim_actions]`.
+    pub dim_logits: Matrix,
+    /// Action-head logits `[n, num_actions]`.
+    pub act_logits: Matrix,
+    /// Value estimates `[n, 1]`.
+    pub values: Matrix,
+}
+
 /// The shared-trunk policy + value network.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PolicyValueNet {
@@ -95,6 +137,23 @@ impl PolicyValueNet {
         let act_logits = self.act_head.forward(&h2);
         let values = self.value_head.forward(&h2);
         ForwardCache { x, h1, h2, dim_logits, act_logits, values }
+    }
+
+    /// Batched inference: forward `[n, obs_dim]` into `buf` without
+    /// retaining anything for backprop and without allocating once the
+    /// buffers are warm. One matrix-matrix pass replaces `n` per-row
+    /// matrix-vector passes, and the results are bit-identical to
+    /// [`PolicyValueNet::forward`]/[`PolicyValueNet::forward_one`]
+    /// row-for-row (the same kernels run over the same row layout).
+    pub fn infer(&self, x: &Matrix, buf: &mut InferBuffer) {
+        assert_eq!(x.cols, self.config.obs_dim, "observation width mismatch");
+        self.l1.forward_into(x, &mut buf.h1);
+        buf.h1.tanh_inplace();
+        self.l2.forward_into(&buf.h1, &mut buf.h2);
+        buf.h2.tanh_inplace();
+        self.dim_head.forward_into(&buf.h2, &mut buf.dim_logits);
+        self.act_head.forward_into(&buf.h2, &mut buf.act_logits);
+        self.value_head.forward_into(&buf.h2, &mut buf.values);
     }
 
     /// Convenience: forward a single observation, returning
@@ -344,6 +403,30 @@ mod tests {
             MaskedCategorical::from_logits(&l0).probs
         );
         assert!(MaskedCategorical::from_logits(&l1).probs[1] > 0.8);
+    }
+
+    #[test]
+    fn batched_infer_matches_per_row_forward_bit_exactly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let net = tiny_net(&mut rng);
+        let x = Matrix::xavier(7, 6, 1.0, &mut rng);
+        let mut buf = InferBuffer::default();
+        net.infer(&x, &mut buf);
+        // Warm buffers: run again with a different batch size to prove
+        // stale contents never leak through.
+        let y = Matrix::xavier(3, 6, 1.0, &mut rng);
+        net.infer(&y, &mut buf);
+        net.infer(&x, &mut buf);
+        let cache = net.forward(x.clone());
+        assert_eq!(buf.dim_logits, cache.dim_logits);
+        assert_eq!(buf.act_logits, cache.act_logits);
+        assert_eq!(buf.values, cache.values);
+        for r in 0..x.rows {
+            let (dim, act, v) = net.forward_one(x.row(r));
+            assert_eq!(buf.dim_logits.row(r), &dim[..]);
+            assert_eq!(buf.act_logits.row(r), &act[..]);
+            assert_eq!(buf.values.get(r, 0), v);
+        }
     }
 
     #[test]

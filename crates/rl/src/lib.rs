@@ -8,12 +8,19 @@
 //! complete. This crate implements exactly that training stack:
 //!
 //! * [`Sample`]/[`RolloutBatch`] — 1-step experiences with joint
-//!   two-head log-probabilities and masks;
+//!   two-head log-probabilities and masks, grouped into per-env
+//!   trajectories by [`EpisodeSpan`]s with GAE(γ, λ) advantage
+//!   estimation ([`RolloutBatch::gae`]; γ = 0 recovers the paper's
+//!   independent 1-step advantages);
 //! * [`Ppo`] — the clipped-surrogate actor-critic update with entropy
 //!   regularisation, clipped value loss, and KL-target early stopping
 //!   (the paper's PPO, Table 1 hyperparameters);
-//! * [`sampler`] — crossbeam-based parallel rollout collection, the
-//!   "policy evaluation" workers of Figure 7.
+//! * [`sampler`] — scoped-thread parallel rollout collection over
+//!   whole episodes, the "policy evaluation" workers of Figure 7 (the
+//!   lockstep *vectorised* collector with batched policy inference
+//!   lives with the environment, in `neurocuts::vecenv`).
+
+#![warn(missing_docs)]
 
 pub mod ppo;
 pub mod qlearning;
@@ -22,5 +29,5 @@ pub mod sampler;
 
 pub use ppo::{Ppo, PpoConfig, UpdateStats};
 pub use qlearning::{QConfig, QLearner, QStats};
-pub use rollout::{RolloutBatch, Sample};
+pub use rollout::{EpisodeSpan, RolloutBatch, Sample};
 pub use sampler::{collect_parallel, RolloutEnv};

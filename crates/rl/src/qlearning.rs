@@ -148,7 +148,12 @@ mod tests {
                 reward,
             });
         }
-        RolloutBatch { samples, episodes: n, mean_episode_return: total / n as f64 }
+        RolloutBatch {
+            samples,
+            episodes: n,
+            mean_episode_return: total / n as f64,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -53,12 +53,7 @@ pub fn collect_parallel<E: RolloutEnv>(
                         .wrapping_add(round.wrapping_mul(workers as u64));
                     let (samples, ep_return) = worker_env.episode(net, ep_seed);
                     collected.fetch_add(samples.len().max(1), Ordering::Relaxed);
-                    let mut guard = batches[w].lock();
-                    guard.merge(RolloutBatch {
-                        samples,
-                        episodes: 1,
-                        mean_episode_return: ep_return,
-                    });
+                    batches[w].lock().push_episode(w, samples, ep_return);
                     round += 1;
                 }
             });

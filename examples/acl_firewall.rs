@@ -31,8 +31,8 @@ fn main() {
     // Time-optimised NeuroCuts (c = 1, no partitioning): the firewall
     // fast path cares about worst-case lookup latency.
     let cfg = NeuroCutsConfig::small(24_000).with_coeff(1.0);
-    let mut trainer = Trainer::new(rules.clone(), cfg);
-    let report = trainer.train();
+    let mut trainer = Trainer::new(rules.clone(), cfg).expect("trainable rule set");
+    let report = trainer.train().expect("training makes progress");
     let (tree, stats) = match report.best {
         Some(b) => (b.tree, b.stats),
         None => trainer.greedy_tree(),

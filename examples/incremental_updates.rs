@@ -19,8 +19,8 @@ use neurocuts::{NeuroCutsConfig, Trainer};
 fn main() {
     let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 200).with_seed(5));
     let cfg = NeuroCutsConfig::small(12_000);
-    let mut trainer = Trainer::new(rules.clone(), cfg);
-    let report = trainer.train();
+    let mut trainer = Trainer::new(rules.clone(), cfg).expect("trainable rule set");
+    let report = trainer.train().expect("training makes progress");
     let mut tree = match report.best {
         Some(b) => b.tree,
         None => trainer.greedy_tree().0,

@@ -19,9 +19,9 @@ fn main() {
     // 2. Train a NeuroCuts policy with a small budget. `small(n)` is a
     //    few-hundred-rule configuration; `paper_default()` is Table 1.
     let cfg = NeuroCutsConfig::small(30_000);
-    let mut trainer = Trainer::new(rules.clone(), cfg);
+    let mut trainer = Trainer::new(rules.clone(), cfg).expect("trainable rule set");
     println!("training...");
-    let report = trainer.train();
+    let report = trainer.train().expect("training makes progress");
     for h in &report.history {
         println!(
             "  iter {:>2}: {:>6} steps, mean return {:>10.2}, best objective {:>8.1}",

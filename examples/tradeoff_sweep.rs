@@ -20,8 +20,8 @@ fn main() {
             .with_coeff(c)
             .with_partition_mode(PartitionMode::Simple)
             .with_seed(11);
-        let mut trainer = Trainer::new(rules.clone(), cfg);
-        let report = trainer.train();
+        let mut trainer = Trainer::new(rules.clone(), cfg).expect("trainable rule set");
+        let report = trainer.train().expect("training makes progress");
         let stats = match report.best {
             Some(best) => best.stats,
             None => trainer.greedy_tree().1,

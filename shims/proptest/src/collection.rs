@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::TestRng;
 use rand::Rng as _;
 
-/// Anything usable as the size argument of [`vec`]: an exact length, a
+/// Anything usable as the size argument of [`vec()`]: an exact length, a
 /// half-open range, or an inclusive range.
 pub trait IntoSizeRange {
     /// Inclusive minimum, exclusive maximum.

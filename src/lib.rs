@@ -10,6 +10,8 @@
 //! * [`neurocuts`] — the RL environment and trainer (the paper's
 //!   contribution).
 
+#![warn(missing_docs)]
+
 pub use baselines;
 pub use classbench;
 pub use dtree;

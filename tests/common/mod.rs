@@ -22,7 +22,7 @@ pub fn build(name: &str, rules: &RuleSet) -> DecisionTree {
 /// budget never completed a rollout (untrained policies are heavy-
 /// tailed; the bench harness uses the same fallback).
 pub fn best_or_greedy(trainer: &mut Trainer) -> (DecisionTree, TreeStats) {
-    let report = trainer.train();
+    let report = trainer.train().expect("training makes progress");
     match report.best {
         Some(b) => (b.tree, b.stats),
         None => trainer.greedy_tree(),

@@ -23,7 +23,7 @@ fn generate_train_classify_pipeline() {
     assert_eq!(rules.len(), generated.len());
 
     // Train with a tiny budget.
-    let mut trainer = Trainer::new(rules.clone(), NeuroCutsConfig::smoke_test());
+    let mut trainer = Trainer::new(rules.clone(), NeuroCutsConfig::smoke_test()).unwrap();
     let (tree, _) = best_or_greedy(&mut trainer);
     assert_tree_valid(&tree, 400, 101);
 
@@ -44,12 +44,12 @@ fn trained_policy_transfers_within_same_rules() {
     // the greedy trees coincide — the deployment story for retraining
     // on classifier updates.
     let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 90).with_seed(103));
-    let mut a = Trainer::new(rules.clone(), NeuroCutsConfig::smoke_test());
-    let _ = a.step();
+    let mut a = Trainer::new(rules.clone(), NeuroCutsConfig::smoke_test()).unwrap();
+    let _ = a.step().unwrap();
     let ckpt = a.save_policy();
     let (_, sa) = a.greedy_tree();
 
-    let mut b = Trainer::new(rules, NeuroCutsConfig::smoke_test());
+    let mut b = Trainer::new(rules, NeuroCutsConfig::smoke_test()).unwrap();
     b.load_policy(&ckpt);
     let (tb, sb) = b.greedy_tree();
     assert_eq!(sa, sb);
@@ -61,7 +61,7 @@ fn all_partition_modes_end_to_end() {
     for mode in [PartitionMode::None, PartitionMode::Simple, PartitionMode::EffiCuts] {
         let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 80).with_seed(105));
         let cfg = NeuroCutsConfig::smoke_test().with_partition_mode(mode);
-        let mut trainer = Trainer::new(rules.clone(), cfg);
+        let mut trainer = Trainer::new(rules.clone(), cfg).unwrap();
         let (tree, stats) = best_or_greedy(&mut trainer);
         assert_tree_valid(&tree, 300, 106);
         assert!(stats.time >= 1, "{mode:?}");
@@ -77,7 +77,7 @@ fn space_objective_trains_smaller_trees_than_it_reports() {
             let rules =
                 generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 80).with_seed(seed));
             let cfg = NeuroCutsConfig::smoke_test().with_coeff(0.0).with_seed(seed);
-            Trainer::new(rules, cfg).train().best
+            Trainer::new(rules, cfg).unwrap().train().unwrap().best
         })
         .expect("at least one of ten seeds completes a tree");
     // c = 0 with log scaling: objective is log(bytes).

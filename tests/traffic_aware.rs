@@ -14,8 +14,9 @@ use common::{best_or_greedy, build};
 fn traffic_aware_training_runs_and_validates() {
     let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 80).with_seed(400));
     let trace = generate_trace(&rules, &TraceConfig::new(500).with_seed(401));
-    let mut trainer =
-        Trainer::new(rules.clone(), NeuroCutsConfig::smoke_test()).set_traffic(trace.clone());
+    let mut trainer = Trainer::new(rules.clone(), NeuroCutsConfig::smoke_test())
+        .unwrap()
+        .set_traffic(trace.clone());
     let (tree, _) = best_or_greedy(&mut trainer);
     // Exactness is independent of the objective.
     for p in &trace {
