@@ -39,8 +39,8 @@ impl BuildLimits {
 pub fn distinct_ranges(tree: &DecisionTree, id: NodeId, dim: Dim) -> usize {
     let node = tree.node(id);
     let space = node.space.range(dim);
-    let mut ranges: Vec<(u64, u64)> = node
-        .rules
+    let mut ranges: Vec<(u64, u64)> = tree
+        .rules_at(id)
         .iter()
         .filter(|&&r| tree.is_active(r))
         .map(|&r| {
@@ -59,8 +59,8 @@ pub fn distinct_ranges(tree: &DecisionTree, id: NodeId, dim: Dim) -> usize {
 pub fn interior_endpoints(tree: &DecisionTree, id: NodeId, dim: Dim) -> Vec<u64> {
     let node = tree.node(id);
     let space = node.space.range(dim);
-    let mut points: Vec<u64> = Vec::with_capacity(node.rules.len() * 2);
-    for &r in &node.rules {
+    let mut points: Vec<u64> = Vec::with_capacity(node.num_rules() * 2);
+    for &r in tree.rules_at(id) {
         if !tree.is_active(r) {
             continue;
         }
@@ -82,33 +82,16 @@ pub fn interior_endpoints(tree: &DecisionTree, id: NodeId, dim: Dim) -> Vec<u64>
 
 /// Rule counts each child of an equal-size cut would receive, without
 /// materialising the children. Used to evaluate `spfac` budgets.
+/// Delegates to the tree's single-pass counting kernel: O(rules +
+/// overlapped children) instead of one full rescan per child.
 pub fn simulate_cut(tree: &DecisionTree, id: NodeId, dim: Dim, ncuts: usize) -> Vec<usize> {
-    let node = tree.node(id);
-    node.space
-        .cut(dim, ncuts)
-        .iter()
-        .map(|s| {
-            node.rules
-                .iter()
-                .filter(|&&r| tree.is_active(r) && s.intersects_rule(tree.rule(r)))
-                .count()
-        })
-        .collect()
+    tree.cut_child_counts(id, dim, ncuts)
 }
 
-/// Rule counts for a simultaneous multi-dimension cut (HyperCuts).
+/// Rule counts for a simultaneous multi-dimension cut (HyperCuts),
+/// single-pass like [`simulate_cut`].
 pub fn simulate_multicut(tree: &DecisionTree, id: NodeId, dims: &[(Dim, usize)]) -> Vec<usize> {
-    let node = tree.node(id);
-    node.space
-        .multi_cut(dims)
-        .iter()
-        .map(|s| {
-            node.rules
-                .iter()
-                .filter(|&&r| tree.is_active(r) && s.intersects_rule(tree.rule(r)))
-                .count()
-        })
-        .collect()
+    tree.multicut_child_counts(id, dims)
 }
 
 /// Dimensions ordered by decreasing distinct-range count; dimensions
@@ -169,7 +152,7 @@ mod tests {
         let mut t = tree();
         let sim = simulate_cut(&t, t.root(), Dim::DstPort, 4);
         let kids = t.cut_node(t.root(), Dim::DstPort, 4);
-        let real: Vec<usize> = kids.iter().map(|&k| t.node(k).rules.len()).collect();
+        let real: Vec<usize> = kids.iter().map(|&k| t.node(k).num_rules()).collect();
         assert_eq!(sim, real);
     }
 
@@ -179,7 +162,7 @@ mod tests {
         let dims = [(Dim::DstPort, 2), (Dim::Proto, 2)];
         let sim = simulate_multicut(&t, t.root(), &dims);
         let kids = t.multicut_node(t.root(), &dims);
-        let real: Vec<usize> = kids.iter().map(|&k| t.node(k).rules.len()).collect();
+        let real: Vec<usize> = kids.iter().map(|&k| t.node(k).num_rules()).collect();
         assert_eq!(sim, real);
     }
 

@@ -79,7 +79,7 @@ fn ficuts(
     let mut stack = vec![root];
     let mut remaining = Vec::new();
     while let Some(id) = stack.pop() {
-        let n = tree.node(id).rules.len();
+        let n = tree.node(id).num_rules();
         if n <= cfg.precut_threshold
             || tree.node(id).depth >= cfg.limits.max_depth / 2
             || tree.num_nodes() >= cfg.limits.max_nodes
@@ -123,7 +123,7 @@ fn ficuts(
 pub fn build_cutsplit(rules: &RuleSet, cfg: &CutSplitConfig) -> DecisionTree {
     let mut tree = DecisionTree::new(rules);
     let root = tree.root();
-    let all = tree.node(root).rules.clone();
+    let all = tree.rules_at(root).to_vec();
 
     let mut groups: Vec<(Subset, Vec<RuleId>)> = vec![
         (Subset::BothSmall, Vec::new()),

@@ -125,15 +125,15 @@ fn equi_dense_bounds(tree: &DecisionTree, id: NodeId, dim: Dim, fanout: usize) -
     if endpoints.is_empty() {
         return None;
     }
-    let n = node.rules.len();
+    let n = node.num_rules();
     let target = n.div_ceil(fanout).max(1);
 
     // Sweep the endpoints, counting rules that *start* before each
     // candidate; emit a boundary whenever a chunk has accumulated
     // roughly `target` rule starts. This balances rule density without
     // simulating every child.
-    let mut starts: Vec<u64> = node
-        .rules
+    let mut starts: Vec<u64> = tree
+        .rules_at(id)
         .iter()
         .filter(|&&r| tree.is_active(r))
         .map(|&r| tree.rule(r).range(dim).intersect(&space).lo)
@@ -164,7 +164,7 @@ fn grow_equidense(tree: &mut DecisionTree, root: NodeId, cfg: &EffiCutsConfig) {
         if cfg.limits.must_stop(tree, id) {
             continue;
         }
-        let n = tree.node(id).rules.len();
+        let n = tree.node(id).num_rules();
         let mut expanded = false;
         for (dim, distinct) in dims_by_distinct_ranges(tree, id) {
             if distinct <= 1 {
@@ -197,18 +197,7 @@ trait DenseCutProbe {
 
 impl DenseCutProbe for DecisionTree {
     fn clone_node_counts(&self, id: NodeId, dim: Dim, bounds: &[u64]) -> Vec<usize> {
-        let node = self.node(id);
-        bounds
-            .windows(2)
-            .map(|w| {
-                let mut space = node.space;
-                space.ranges[dim.index()] = classbench::DimRange::new(w[0], w[1]);
-                node.rules
-                    .iter()
-                    .filter(|&&r| self.is_active(r) && space.intersects_rule(self.rule(r)))
-                    .count()
-            })
-            .collect()
+        self.dense_child_counts(id, dim, bounds)
     }
 }
 
@@ -217,7 +206,7 @@ impl DenseCutProbe for DecisionTree {
 pub fn build_efficuts(rules: &RuleSet, cfg: &EffiCutsConfig) -> DecisionTree {
     let mut tree = DecisionTree::new(rules);
     let root = tree.root();
-    let all = tree.node(root).rules.clone();
+    let all = tree.rules_at(root).to_vec();
     let groups = partition_by_largeness(&tree, &all, cfg.largeness_threshold, cfg.min_partition);
     let children: Vec<NodeId> =
         if groups.len() >= 2 { tree.partition_node(root, groups) } else { vec![root] };
@@ -250,7 +239,7 @@ mod tests {
     fn partition_groups_disjoint_and_cover() {
         let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 300).with_seed(41));
         let tree = DecisionTree::new(&rs);
-        let all = tree.node(tree.root()).rules.clone();
+        let all = tree.rules_at(tree.root()).to_vec();
         let groups = partition_by_largeness(&tree, &all, 0.5, 16);
         let mut seen: Vec<RuleId> = groups.iter().flatten().copied().collect();
         seen.sort_unstable();
@@ -267,7 +256,7 @@ mod tests {
     fn merging_reduces_partition_count() {
         let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 300).with_seed(42));
         let tree = DecisionTree::new(&rs);
-        let all = tree.node(tree.root()).rules.clone();
+        let all = tree.rules_at(tree.root()).to_vec();
         let merged = partition_by_largeness(&tree, &all, 0.5, 32);
         let unmerged = partition_by_largeness(&tree, &all, 0.5, 1);
         assert!(merged.len() <= unmerged.len());

@@ -53,7 +53,7 @@ fn choose_ncuts(
     spfac: f64,
     max_cuts: usize,
 ) -> Option<usize> {
-    let n = tree.node(id).rules.len();
+    let n = tree.node(id).num_rules();
     let budget = (spfac * n as f64).max(4.0) as usize;
     let range_len = tree.node(id).space.range(dim).len();
     let mut best: Option<usize> = None;
@@ -128,7 +128,7 @@ mod tests {
         let tree = build_hicuts(&rs, &cfg);
         // Every leaf either satisfies binth or could make no progress.
         for id in tree.leaf_ids() {
-            let n = tree.node(id).rules.len();
+            let n = tree.node(id).num_rules();
             if n > cfg.limits.binth {
                 // Oversized leaves are only allowed when no dimension
                 // could separate their rules within budget.

@@ -47,7 +47,7 @@ fn choose_multicut(
     id: NodeId,
     cfg: &HyperCutsConfig,
 ) -> Option<Vec<(Dim, usize)>> {
-    let n = tree.node(id).rules.len();
+    let n = tree.node(id).num_rules();
     let budget = ((cfg.spfac * (n as f64).sqrt()) as usize).clamp(4, cfg.max_children);
 
     // Candidate dims: distinct count above the mean (HyperCuts' rule),

@@ -40,7 +40,7 @@ fn split_score(tree: &DecisionTree, id: NodeId, dim: Dim, threshold: u64) -> Sco
     let (ls, rs) = node.space.split(dim, threshold);
     let mut left = 0usize;
     let mut right = 0usize;
-    for &r in &node.rules {
+    for &r in tree.rules_at(id) {
         if !tree.is_active(r) {
             continue;
         }
@@ -58,7 +58,7 @@ fn split_score(tree: &DecisionTree, id: NodeId, dim: Dim, threshold: u64) -> Sco
 /// Best `(dim, threshold)` for a node, or `None` when no endpoint-based
 /// split makes progress.
 fn choose_split(tree: &DecisionTree, id: NodeId, cfg: &HyperSplitConfig) -> Option<(Dim, u64)> {
-    let n = tree.node(id).rules.len();
+    let n = tree.node(id).num_rules();
     let mut best: Option<(Score, Dim, u64)> = None;
     for &dim in &DIMS {
         let endpoints = interior_endpoints(tree, id, dim);
@@ -156,9 +156,9 @@ mod tests {
         let tree = build_hypersplit(&rs, &HyperSplitConfig::default());
         // Spot-check the root split: neither child should hold everything.
         if let NodeKind::Split { children, .. } = &tree.node(tree.root()).kind {
-            let total = tree.node(tree.root()).rules.len();
+            let total = tree.node(tree.root()).num_rules();
             for &c in children.iter() {
-                assert!(tree.node(c).rules.len() < total);
+                assert!(tree.node(c).num_rules() < total);
             }
         } else {
             panic!("root should have been split");
@@ -181,7 +181,7 @@ mod tests {
         let cfg = HyperSplitConfig::default();
         let tree = build_hypersplit(&rs, &cfg);
         for id in tree.leaf_ids() {
-            if tree.node(id).rules.len() > cfg.limits.binth
+            if tree.node(id).num_rules() > cfg.limits.binth
                 && tree.node(id).depth < cfg.limits.max_depth
             {
                 assert!(choose_split(&tree, id, &cfg).is_none());

@@ -40,5 +40,28 @@ fn env_episode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, env_episode);
+/// The allocation-free observation encoder on its own: one reused
+/// buffer threaded through every call, the pattern harnesses that
+/// don't retain observations should use.
+fn obs_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_encode");
+    let env = NeuroCutsEnv::new(
+        generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 60).with_seed(1)),
+        NeuroCutsConfig::smoke_test(),
+    );
+    let meta = neurocuts::env::NodeMeta::root();
+    let space = dtree::NodeSpace::full();
+    let dim_mask = vec![true; 5];
+    let act_mask = env.action_space.act_mask(true);
+    group.bench_function("encode_into_reused", |b| {
+        let mut obs = Vec::new();
+        b.iter(|| {
+            env.encoder.encode_into(&space, &meta, &dim_mask, &act_mask, &mut obs);
+            black_box(obs.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, env_episode, obs_encode);
 criterion_main!(benches);

@@ -101,8 +101,9 @@ pub struct NeuroCutsResult {
     /// Best completed tree's stats (falls back to the greedy tree when
     /// every training rollout truncated).
     pub stats: TreeStats,
-    /// The tree behind `stats`.
-    pub tree: DecisionTree,
+    /// The tree behind `stats` (an `Arc` snapshot shared with the
+    /// trainer's best-tree record).
+    pub tree: std::sync::Arc<DecisionTree>,
     /// Timesteps actually consumed.
     pub timesteps: usize,
 }

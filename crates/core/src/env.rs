@@ -26,8 +26,9 @@ use std::sync::Arc;
 /// Per-node bookkeeping the observation encoding needs but the tree
 /// substrate doesn't store: the simple-partition coverage window per
 /// dimension, the EffiCuts partition id, and whether the node is still
-/// a *top node* (partition actions allowed).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// a *top node* (partition actions allowed). 12 bytes and `Copy`: the
+/// decision loop reads and propagates it by value instead of cloning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeMeta {
     /// Per-dimension `(lo_level, hi_level)` coverage window: the node
     /// holds rules whose coverage fraction lies in
@@ -47,7 +48,7 @@ impl NodeMeta {
 
     /// Metadata inherited by cut children: same windows/id, not top.
     pub fn after_cut(&self) -> Self {
-        NodeMeta { top: false, ..self.clone() }
+        NodeMeta { top: false, ..*self }
     }
 }
 
@@ -61,15 +62,18 @@ pub struct BestTree {
     pub stats: TreeStats,
     /// Per-level profile (Figure 5/6 visualisations).
     pub profile: LevelProfile,
-    /// The tree itself.
-    pub tree: DecisionTree,
+    /// The tree itself — an `Arc` snapshot shared with the episode that
+    /// produced it, so recording an improvement under the mutex is O(1)
+    /// instead of a deep tree clone.
+    pub tree: Arc<DecisionTree>,
 }
 
 /// The result of building one tree with a frozen policy.
 #[derive(Debug, Clone)]
 pub struct Episode {
-    /// The completed tree.
-    pub tree: DecisionTree,
+    /// The completed tree (shared with the best-tree record when the
+    /// episode improved it).
+    pub tree: Arc<DecisionTree>,
     /// 1-step experiences (empty if the root was already terminal).
     pub samples: Vec<Sample>,
     /// Scalarised objective of the finished tree (lower is better).
@@ -131,6 +135,9 @@ impl EpisodeState {
 #[derive(Clone)]
 pub struct NeuroCutsEnv {
     rules: Arc<RuleSet>,
+    /// The SoA rule store every episode tree shares: built once per
+    /// environment, so starting an episode allocates no rule copies.
+    store: Arc<dtree::RuleStore>,
     config: Arc<NeuroCutsConfig>,
     /// The tuple action space.
     pub action_space: ActionSpace,
@@ -147,6 +154,7 @@ impl NeuroCutsEnv {
         let action_space = ActionSpace::new(config.partition_mode);
         NeuroCutsEnv {
             objective: Objective::from_config(&config),
+            store: Arc::new(dtree::RuleStore::from_ruleset(&rules)),
             rules: Arc::new(rules),
             config: Arc::new(config),
             action_space,
@@ -207,7 +215,7 @@ impl NeuroCutsEnv {
     /// [`NeuroCutsEnv::apply_decision`] and close it with
     /// [`NeuroCutsEnv::finish_episode`].
     pub fn start_episode(&self, seed: u64, greedy: bool) -> EpisodeState {
-        let tree = DecisionTree::new(&self.rules);
+        let tree = DecisionTree::with_store(Arc::clone(&self.store));
         let root = tree.root();
         EpisodeState {
             tree,
@@ -250,25 +258,30 @@ impl NeuroCutsEnv {
                 st.truncated = true;
                 return false; // rollout truncation
             }
-            let meta = st.metas[id].clone();
+            let meta = st.metas[id];
             // Inseparable rules (identical projections in every
             // dimension) can never be split apart by cutting; treat the
             // node as terminal like every cutting heuristic does, or the
-            // rollout would grind through the full space grid.
-            if !st.tree.is_separable(id) {
-                continue;
-            }
-            // The dimension mask keeps only dimensions whose cuts can
-            // still discriminate rules at this node — cutting any other
-            // dimension replicates every rule into some child for zero
-            // gain, which every hand-tuned heuristic also refuses to do.
-            let dim_mask: Vec<bool> =
-                classbench::DIMS.iter().map(|&d| st.tree.dim_separable(id, d)).collect();
-            if !dim_mask.iter().any(|&m| m) {
+            // rollout would grind through the full space grid. The mask
+            // keeps only dimensions whose cuts can still discriminate
+            // rules here — one memoized single-pass scan computes all
+            // five dimensions at once (the old loop rescanned the rule
+            // list up to ten times per node).
+            let sep = st.tree.separability_mask(id);
+            if sep == 0 {
                 continue; // nothing separable: forced leaf
             }
+            let dim_mask: Vec<bool> =
+                (0..classbench::NUM_DIMS).map(|d| sep & (1 << d) != 0).collect();
             let act_mask = self.action_space.act_mask(meta.top || self.config.partition_anywhere);
-            let obs = self.encoder.encode(&st.tree.node(id).space, &meta, &dim_mask, &act_mask);
+            let mut obs = Vec::new();
+            self.encoder.encode_into(
+                &st.tree.node(id).space,
+                &meta,
+                &dim_mask,
+                &act_mask,
+                &mut obs,
+            );
             st.pending = Some(PendingDecision { node: id, obs, dim_mask, act_mask });
             return true;
         }
@@ -290,7 +303,7 @@ impl NeuroCutsEnv {
     ) {
         let p = st.pending.take().expect("no pending decision to apply");
         let id = p.node;
-        let meta = st.metas[id].clone();
+        let meta = st.metas[id];
         let dim_dist = MaskedCategorical::new(dim_logits, &p.dim_mask);
         let act_dist = MaskedCategorical::new(act_logits, &p.act_mask);
         let (mut dim_action, mut act_action) = if st.greedy {
@@ -315,9 +328,7 @@ impl NeuroCutsEnv {
                         tree.truncate_covered(k);
                     }
                     let child_meta = meta.after_cut();
-                    for _ in &kids {
-                        metas.push(child_meta.clone());
-                    }
+                    metas.resize(metas.len() + kids.len(), child_meta);
                     break kids;
                 }
                 Action::SimplePartition { dim, level } => {
@@ -373,6 +384,7 @@ impl NeuroCutsEnv {
     /// multi-env collectors can do it in a deterministic order.
     pub fn finish_episode(&self, st: EpisodeState) -> Episode {
         let EpisodeState { tree, mut samples, sample_nodes, truncated, .. } = st;
+        let tree = Arc::new(tree);
         let (time, bytes) = subtree_metrics(&tree, &self.objective.memory);
         // Traffic-aware extension (§8): replace worst-case depth with
         // the expected lookup cost under the configured trace.
@@ -417,7 +429,8 @@ impl NeuroCutsEnv {
                 objective: ep.objective,
                 stats: TreeStats::compute(&ep.tree),
                 profile: LevelProfile::compute(&ep.tree),
-                tree: ep.tree.clone(),
+                // O(1) snapshot: the record shares the episode's tree.
+                tree: Arc::clone(&ep.tree),
             });
         }
     }

@@ -60,30 +60,50 @@ impl ObsEncoder {
         dim_mask: &[bool],
         act_mask: &[bool],
     ) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.obs_dim());
+        let mut out = Vec::new();
+        self.encode_into(space, meta, dim_mask, act_mask, &mut out);
+        out
+    }
+
+    /// [`Self::encode`] into a caller-owned buffer: clears `out` and
+    /// fills it in place with no intermediate allocations, reserving
+    /// exact capacity on first use so a reused buffer never
+    /// reallocates. Callers that don't retain the observation (probes,
+    /// benchmark harnesses) thread one buffer through every call; the
+    /// episode loop hands the buffer off to the recorded `Sample`, so
+    /// it allocates exactly one right-sized `Vec` per decision.
+    pub fn encode_into(
+        &self,
+        space: &NodeSpace,
+        meta: &NodeMeta,
+        dim_mask: &[bool],
+        act_mask: &[bool],
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        out.reserve_exact(self.obs_dim());
         // Binary range strings, most-significant bit first.
         for (i, &dim) in DIMS.iter().enumerate() {
             let bits = DIM_BITS[i];
             let r = space.range(dim);
-            push_bits(&mut out, r.lo, bits);
-            push_bits(&mut out, r.hi.saturating_sub(1), bits);
+            push_bits(out, r.lo, bits);
+            push_bits(out, r.hi.saturating_sub(1), bits);
         }
         // Partition coverage windows.
         for d in 0..NUM_DIMS {
             let (lo, hi) = meta.coverage_window[d];
-            push_one_hot(&mut out, lo as usize, NUM_LEVELS);
-            push_one_hot(&mut out, hi as usize, NUM_LEVELS);
+            push_one_hot(out, lo as usize, NUM_LEVELS);
+            push_one_hot(out, hi as usize, NUM_LEVELS);
         }
         // EffiCuts partition id (all-zero when not under one).
         match meta.efficuts_id {
-            Some(id) => push_one_hot(&mut out, (id as usize).min(7), 8),
+            Some(id) => push_one_hot(out, (id as usize).min(7), 8),
             None => out.extend(std::iter::repeat_n(0.0, 8)),
         }
         // Action masks.
         out.extend(dim_mask.iter().map(|&m| if m { 1.0 } else { 0.0 }));
         out.extend(act_mask.iter().map(|&m| if m { 1.0 } else { 0.0 }));
         debug_assert_eq!(out.len(), self.obs_dim());
-        out
     }
 }
 

@@ -39,13 +39,13 @@ pub fn plan_simple_partition(
     }
     let threshold = COVERAGE_LEVELS[level];
     let (small, large): (Vec<RuleId>, Vec<RuleId>) =
-        tree.node(id).rules.iter().partition(|&&r| tree.rule(r).largeness(dim) <= threshold);
+        tree.rules_at(id).iter().partition(|&&r| tree.rule(r).largeness(dim) <= threshold);
     if small.is_empty() || large.is_empty() {
         return None;
     }
-    let mut small_meta = meta.clone();
+    let mut small_meta = *meta;
     small_meta.coverage_window[dim.index()] = (lo, level as u8);
-    let mut large_meta = meta.clone();
+    let mut large_meta = *meta;
     large_meta.coverage_window[dim.index()] = (level as u8, hi);
     Some(SimpleSplit { small, large, small_meta, large_meta })
 }
@@ -59,13 +59,13 @@ pub fn plan_efficuts_partition(
     id: NodeId,
     meta: &NodeMeta,
 ) -> Option<(Vec<Vec<RuleId>>, Vec<NodeMeta>)> {
-    let groups = baselines::partition_by_largeness(tree, &tree.node(id).rules.clone(), 0.5, 16);
+    let groups = baselines::partition_by_largeness(tree, tree.rules_at(id), 0.5, 16);
     if groups.len() < 2 {
         return None;
     }
     let metas = (0..groups.len())
         .map(|i| {
-            let mut m = meta.clone();
+            let mut m = *meta;
             m.efficuts_id = Some(i.min(255) as u8);
             // EffiCuts children are final partitions: no further
             // partitioning below them.
@@ -138,7 +138,7 @@ mod tests {
         }
         // Groups cover all rules.
         let total: usize = groups.iter().map(|g| g.len()).sum();
-        assert_eq!(total, tree.node(tree.root()).rules.len());
+        assert_eq!(total, tree.node(tree.root()).num_rules());
     }
 
     #[test]

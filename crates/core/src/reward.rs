@@ -58,7 +58,7 @@ pub fn subtree_metrics(tree: &DecisionTree, memory: &MemoryModel) -> (Vec<usize>
     let mut bytes = vec![0usize; n];
     for id in (0..n).rev() {
         let node = tree.node(id);
-        let own_bytes = memory.node_bytes(&node.kind, node.rules.len());
+        let own_bytes = memory.node_bytes(&node.kind, node.num_rules());
         match &node.kind {
             NodeKind::Leaf => {
                 time[id] = 1;

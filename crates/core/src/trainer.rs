@@ -20,6 +20,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rl::{Ppo, QConfig, QLearner, UpdateStats};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Why a [`Trainer`] could not be built or make progress. Surfaced as
 /// a `Result` instead of a panic so callers (the CLI, long-running
@@ -245,7 +246,7 @@ impl Trainer {
 
     /// Build one tree greedily (argmax actions) with the current
     /// policy — the deterministic "final" tree.
-    pub fn greedy_tree(&self) -> (DecisionTree, TreeStats) {
+    pub fn greedy_tree(&self) -> (Arc<DecisionTree>, TreeStats) {
         let ep = self.env.build_tree(&self.net, 0, true);
         let stats = TreeStats::compute(&ep.tree);
         (ep.tree, stats)
@@ -253,7 +254,7 @@ impl Trainer {
 
     /// Sample `n` stochastic tree variations from the current policy
     /// (Figure 6).
-    pub fn sample_trees(&self, n: usize, seed: u64) -> Vec<(DecisionTree, TreeStats)> {
+    pub fn sample_trees(&self, n: usize, seed: u64) -> Vec<(Arc<DecisionTree>, TreeStats)> {
         (0..n)
             .map(|i| {
                 let ep = self.env.build_tree(&self.net, seed.wrapping_add(i as u64), false);

@@ -249,7 +249,7 @@ impl FlatTree {
             let compiled = match &node.kind {
                 NodeKind::Leaf => {
                     let start = flat.leaf_rules.len() as u32;
-                    for &r in node.rules.iter().filter(|&&r| tree.is_active(r)) {
+                    for &r in tree.rules_at(old).iter().filter(|&&r| tree.is_active(r)) {
                         flat.leaf_rules.push(table_index[r]);
                         let ranges = &tree.rule(r).ranges;
                         // Padding lanes are always-true; a degenerate
@@ -748,7 +748,7 @@ mod tests {
     fn compiled_mixed_kinds_agree() {
         let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 150).with_seed(92));
         let mut tree = DecisionTree::new(&rules);
-        let all = tree.node(tree.root()).rules.clone();
+        let all = tree.rules_at(tree.root()).to_vec();
         let (a, b) = all.split_at(all.len() / 2);
         let parts = tree.partition_node(tree.root(), vec![a.to_vec(), b.to_vec()]);
         tree.multicut_node(parts[0], &[(Dim::SrcIp, 4), (Dim::Proto, 2)]);
@@ -756,7 +756,7 @@ mod tests {
         let leaves: Vec<usize> = tree.leaf_ids().collect();
         for id in leaves {
             let range = *tree.node(id).space.range(Dim::SrcPort);
-            if range.len() > 4096 && tree.node(id).rules.len() > 4 {
+            if range.len() > 4096 && tree.node(id).num_rules() > 4 {
                 let mid1 = range.lo + range.len() / 3;
                 let mid2 = range.lo + 2 * range.len() / 3;
                 tree.dense_cut_node(id, Dim::SrcPort, vec![range.lo, mid1, mid2, range.hi]);

@@ -37,6 +37,7 @@ pub mod replay;
 pub mod serve;
 pub mod space;
 pub mod stats;
+pub mod store;
 pub mod tree;
 pub mod updates;
 pub mod validate;
@@ -48,11 +49,12 @@ pub use engine::{
 };
 pub use flat::{FlatTree, StaleTreeError};
 pub use memory::MemoryModel;
-pub use node::{Node, NodeId, NodeKind, RuleId};
+pub use node::{Node, NodeId, NodeKind, RuleId, RuleSpan};
 pub use replay::{find_rebuild_divergence, serve_during, ChurnSchedule};
 pub use serve::{ClassifierHandle, RebuildPolicy, Snapshot, UpdateStats};
 pub use space::NodeSpace;
 pub use stats::{average_lookup_cost, TreeStats};
+pub use store::RuleStore;
 pub use tree::DecisionTree;
 pub use updates::{UpdateError, UpdateLog};
 pub use validate::validate_tree;

@@ -59,7 +59,7 @@ impl MemoryModel {
     /// Total bytes of a tree: all nodes plus the shared rule table.
     pub fn tree_bytes(&self, tree: &DecisionTree) -> usize {
         let nodes: usize =
-            tree.nodes().iter().map(|n| self.node_bytes(&n.kind, n.rules.len())).sum();
+            tree.nodes().iter().map(|n| self.node_bytes(&n.kind, n.num_rules())).sum();
         nodes + self.rule_table_entry * tree.num_active_rules()
     }
 

@@ -13,6 +13,19 @@ pub type NodeId = usize;
 /// mark deletions, so leaf rule lists stay valid across updates.
 pub type RuleId = usize;
 
+/// A node's rule list as a `(start, len)` window into the tree's shared
+/// rule-id pool ([`crate::DecisionTree`] owns one growable `Vec<RuleId>`
+/// for the whole tree). Spans replace per-node `Vec` allocations: an
+/// expansion appends all children's lists to the pool in one go, and
+/// truncation just shrinks `len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuleSpan {
+    /// First pool index of the node's rules.
+    pub start: usize,
+    /// Number of rules stored at the node.
+    pub len: usize,
+}
+
 /// What has been decided at a node.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum NodeKind {
@@ -92,13 +105,17 @@ impl NodeKind {
 }
 
 /// One node of a [`crate::DecisionTree`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The node's rule list lives in the tree's shared pool; read it with
+/// [`crate::DecisionTree::rules_at`].
+#[derive(Debug, Clone)]
 pub struct Node {
     /// Region of header space this node is responsible for.
     pub space: NodeSpace,
-    /// Rules intersecting `space`, in precedence order (higher priority
-    /// first, ties broken by lower [`RuleId`]).
-    pub rules: Vec<RuleId>,
+    /// Window into the tree's rule-id pool holding this node's rules,
+    /// in precedence order (higher priority first, ties broken by lower
+    /// [`RuleId`]).
+    pub span: RuleSpan,
     /// The expansion applied at this node, or [`NodeKind::Leaf`].
     pub kind: NodeKind,
     /// Distance from the root (root = 0).
@@ -108,19 +125,19 @@ pub struct Node {
 }
 
 impl Node {
-    /// A fresh leaf.
-    pub fn leaf(
+    /// A fresh leaf over an already-pooled rule span.
+    pub(crate) fn leaf(
         space: NodeSpace,
-        rules: Vec<RuleId>,
+        span: RuleSpan,
         depth: usize,
         parent: Option<NodeId>,
     ) -> Self {
-        Node { space, rules, kind: NodeKind::Leaf, depth, parent }
+        Node { space, span, kind: NodeKind::Leaf, depth, parent }
     }
 
     /// Number of rules stored at the node.
     pub fn num_rules(&self) -> usize {
-        self.rules.len()
+        self.span.len
     }
 
     /// True when the node is an (expandable or terminal) leaf.
@@ -135,7 +152,7 @@ mod tests {
 
     #[test]
     fn leaf_has_no_children() {
-        let n = Node::leaf(NodeSpace::full(), vec![0, 1, 2], 0, None);
+        let n = Node::leaf(NodeSpace::full(), RuleSpan { start: 0, len: 3 }, 0, None);
         assert!(n.is_leaf());
         assert!(n.kind.children().is_empty());
         assert_eq!(n.num_rules(), 3);

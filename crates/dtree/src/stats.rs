@@ -55,7 +55,7 @@ pub fn subtree_time(tree: &DecisionTree, id: NodeId) -> usize {
 /// excluding the shared rule table.
 pub fn subtree_bytes(tree: &DecisionTree, id: NodeId, model: &MemoryModel) -> usize {
     let node = tree.node(id);
-    let own = model.node_bytes(&node.kind, node.rules.len());
+    let own = model.node_bytes(&node.kind, node.num_rules());
     own + node.kind.children().iter().map(|&c| subtree_bytes(tree, c, model)).sum::<usize>()
 }
 
@@ -90,8 +90,8 @@ impl TreeStats {
             max_depth = max_depth.max(node.depth);
             if node.is_leaf() {
                 leaves += 1;
-                leaf_rule_refs += node.rules.len();
-                largest_leaf = largest_leaf.max(node.rules.len());
+                leaf_rule_refs += node.num_rules();
+                largest_leaf = largest_leaf.max(node.num_rules());
             }
         }
         let active = tree.num_active_rules().max(1);

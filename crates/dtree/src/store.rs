@@ -1,0 +1,176 @@
+//! The shared, structure-of-arrays rule store behind [`crate::DecisionTree`].
+//!
+//! Episode-driven training builds thousands of trees over the *same*
+//! rule set; before this store existed every `DecisionTree::new` deep-
+//! cloned the full rule `Vec`. A [`RuleStore`] is built once, wrapped
+//! in an [`Arc`](std::sync::Arc), and shared by every tree —
+//! construction touches only the per-tree state (node arena, rule-id
+//! pool, active flags).
+//!
+//! Alongside the array-of-structs rules (kept for by-reference
+//! accessors and serialisation), the store maintains **per-dimension
+//! `lo`/`hi` columns in rule-id order** — the same layout PR 2 gave the
+//! serving-side [`crate::FlatTree`]. The builder's hot loops (child
+//! assignment, covered-rule truncation, separability scans) walk one
+//! dimension's column sequentially instead of striding across 88-byte
+//! `Rule` structs, and the intersection test is branch-free.
+
+use classbench::{Rule, RuleSet, NUM_DIMS};
+
+use crate::node::RuleId;
+use crate::space::NodeSpace;
+
+/// Immutable-by-sharing rule storage: array-of-structs rules plus
+/// per-dimension bound columns, indexed by [`RuleId`] (priority order
+/// when built from a [`RuleSet`]).
+///
+/// Mutation (appending rules for incremental updates) goes through
+/// `Arc::make_mut` in the tree, so a store shared with live episodes is
+/// copied once and never written behind their backs.
+#[derive(Debug, Clone, Default)]
+pub struct RuleStore {
+    rules: Vec<Rule>,
+    /// `lo[d][r]` = rule `r`'s inclusive lower bound in dimension `d`.
+    lo: [Vec<u64>; NUM_DIMS],
+    /// `hi[d][r]` = rule `r`'s exclusive upper bound in dimension `d`.
+    hi: [Vec<u64>; NUM_DIMS],
+}
+
+impl RuleStore {
+    /// Build a store from a rule set (rule ids = priority-order
+    /// indices, matching [`crate::DecisionTree::new`]).
+    pub fn from_ruleset(rules: &RuleSet) -> Self {
+        Self::from_rules(rules.rules().to_vec())
+    }
+
+    /// Build a store from already-ordered rules.
+    pub fn from_rules(rules: Vec<Rule>) -> Self {
+        let mut store = RuleStore {
+            lo: std::array::from_fn(|_| Vec::with_capacity(rules.len())),
+            hi: std::array::from_fn(|_| Vec::with_capacity(rules.len())),
+            rules,
+        };
+        for r in 0..store.rules.len() {
+            for d in 0..NUM_DIMS {
+                store.lo[d].push(store.rules[r].ranges[d].lo);
+                store.hi[d].push(store.rules[r].ranges[d].hi);
+            }
+        }
+        store
+    }
+
+    /// Number of rules (including any later deactivated by updates —
+    /// activity is per-tree state).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the store holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// All rules, in id order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Borrow one rule.
+    #[inline]
+    pub fn rule(&self, id: RuleId) -> &Rule {
+        &self.rules[id]
+    }
+
+    /// Rule `id`'s half-open projection onto dimension column `d`.
+    #[inline]
+    pub fn proj(&self, d: usize, id: RuleId) -> (u64, u64) {
+        (self.lo[d][id], self.hi[d][id])
+    }
+
+    /// Append a rule (incremental updates). Callers own the id ordering
+    /// contract: new rules get the next id regardless of priority.
+    pub fn push(&mut self, rule: Rule) -> RuleId {
+        let id = self.rules.len();
+        for d in 0..NUM_DIMS {
+            self.lo[d].push(rule.ranges[d].lo);
+            self.hi[d].push(rule.ranges[d].hi);
+        }
+        self.rules.push(rule);
+        id
+    }
+
+    /// Branch-free intersection test: true when rule `id` overlaps
+    /// `space` in every dimension. Identical in result to
+    /// [`NodeSpace::intersects_rule`]; evaluated without short-circuits
+    /// so the column loads pipeline.
+    #[inline]
+    pub fn intersects(&self, id: RuleId, space: &NodeSpace) -> bool {
+        let mut ok = true;
+        for d in 0..NUM_DIMS {
+            let s = &space.ranges[d];
+            ok &= (self.lo[d][id] < s.hi) & (s.lo < self.hi[d][id]);
+        }
+        ok
+    }
+
+    /// True when rule `id`, clipped to `space`, covers all of `space`
+    /// (the covered-rule truncation test). Identical in result to
+    /// [`NodeSpace::covered_by_rule`].
+    #[inline]
+    pub fn covers(&self, id: RuleId, space: &NodeSpace) -> bool {
+        let mut ok = true;
+        for d in 0..NUM_DIMS {
+            let s = &space.ranges[d];
+            ok &= s.is_empty() || ((self.lo[d][id] <= s.lo) & (s.hi <= self.hi[d][id]));
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classbench::{generate_rules, ClassifierFamily, Dim, DimRange, GeneratorConfig};
+
+    #[test]
+    fn columns_mirror_rules() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 60).with_seed(5));
+        let store = RuleStore::from_ruleset(&rs);
+        assert_eq!(store.len(), 60);
+        for (id, rule) in store.rules().iter().enumerate() {
+            for d in 0..NUM_DIMS {
+                assert_eq!(store.proj(d, id), (rule.ranges[d].lo, rule.ranges[d].hi));
+            }
+        }
+    }
+
+    #[test]
+    fn intersects_and_covers_agree_with_nodespace() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 80).with_seed(6));
+        let store = RuleStore::from_ruleset(&rs);
+        let mut spaces = vec![NodeSpace::full()];
+        spaces.extend(NodeSpace::full().cut(Dim::SrcIp, 8));
+        spaces.extend(NodeSpace::full().cut(Dim::Proto, 4));
+        let mut narrow = NodeSpace::full();
+        narrow.ranges[Dim::DstPort.index()] = DimRange::new(0, 1024);
+        narrow.ranges[Dim::SrcIp.index()] = DimRange::new(5, 5); // empty
+        spaces.push(narrow);
+        for space in &spaces {
+            for id in 0..store.len() {
+                assert_eq!(store.intersects(id, space), space.intersects_rule(store.rule(id)));
+                assert_eq!(store.covers(id, space), space.covered_by_rule(store.rule(id)));
+            }
+        }
+    }
+
+    #[test]
+    fn push_extends_all_columns() {
+        let mut store = RuleStore::from_rules(vec![Rule::default_rule(1)]);
+        let mut r = Rule::default_rule(2);
+        r.ranges[Dim::Proto.index()] = DimRange::exact(6);
+        let id = store.push(r);
+        assert_eq!(id, 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.proj(Dim::Proto.index(), 1), (6, 7));
+    }
+}

@@ -1,30 +1,51 @@
 //! The arena-backed decision tree and its expansion operations.
 
-use crate::node::{Node, NodeId, NodeKind, RuleId};
+use crate::node::{Node, NodeId, NodeKind, RuleId, RuleSpan};
 use crate::space::NodeSpace;
-use classbench::{Dim, Packet, Rule, RuleSet};
+use crate::store::RuleStore;
+use classbench::{Dim, DimRange, Packet, Rule, RuleSet, NUM_DIMS};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Bit set in the separability cache when a node's mask is computed.
+const SEP_COMPUTED: u8 = 1 << 7;
 
 /// A packet-classification decision tree.
 ///
-/// The tree owns a **stable rule arena**: rule ids are indices that never
-/// shift, so incremental updates (appending new rules, marking deletions)
-/// do not invalidate the rule lists stored at leaves. When constructed
-/// with [`DecisionTree::new`] from a [`RuleSet`], rule ids equal the rule
-/// set's priority-order indices, so `classify` results are directly
-/// comparable with [`RuleSet::classify`].
+/// The tree reads its rules from a **shared, immutable-by-sharing
+/// [`RuleStore`]**: rule ids are indices that never shift, so
+/// incremental updates (appending new rules, marking deletions) do not
+/// invalidate the rule lists stored at leaves, and thousands of
+/// episode trees built over the same rule set share one store instead
+/// of deep-cloning it ([`DecisionTree::with_store`]). When constructed
+/// with [`DecisionTree::new`] from a [`RuleSet`], rule ids equal the
+/// rule set's priority-order indices, so `classify` results are
+/// directly comparable with [`RuleSet::classify`].
+///
+/// Per-node rule lists live as `(start, len)` spans in one growable
+/// per-tree pool, so expanding a node performs **zero per-child
+/// allocations**: a counting pass sizes every child's span, one pool
+/// `resize` reserves them, and a fill pass writes each rule into every
+/// child it overlaps — O(parent rules × overlapped children) instead
+/// of the old per-child rescans (O(parent rules × children × dims)).
 ///
 /// Match precedence is *higher priority wins, ties broken by lower rule
 /// id* — identical to the linear-scan ground truth.
 #[derive(Debug, Clone)]
 pub struct DecisionTree {
-    rules: Vec<Rule>,
+    store: Arc<RuleStore>,
     active: Vec<bool>,
     /// Maintained count of `true` entries in `active`, so
     /// [`Self::num_active_rules`] is O(1) in reward/stats loops.
     num_active: usize,
     nodes: Vec<Node>,
+    /// The shared rule-id pool all node spans index into.
+    pool: Vec<RuleId>,
     root: NodeId,
+    /// Lazily computed per-node separability masks (bit `d` = dimension
+    /// `d` separable, [`SEP_COMPUTED`] = entry valid). Invalidated on
+    /// any mutation of the node's rule list.
+    sep_cache: Vec<u8>,
     /// Bumped on every structural or rule mutation (expansions,
     /// truncation, rule insertion/deletion). A compiled [`crate::FlatTree`]
     /// records the generation it was built from, so a snapshot that no
@@ -34,16 +55,35 @@ pub struct DecisionTree {
 }
 
 /// Hand-written so the JSON deployment format stays exactly the four
-/// fields it has always been: `num_active` and `generation` are derived
-/// state, never serialised — trees saved by earlier versions load
-/// unchanged, a loaded file cannot smuggle in a count that disagrees
-/// with `active`, and a freshly loaded tree starts at generation 0.
+/// fields it has always been — `rules`, `active`, `nodes` (each node an
+/// object with `space`/`rules`/`kind`/`depth`/`parent`, the per-node
+/// rule lists materialised from the span pool), `root`. `num_active`,
+/// `generation`, and the separability cache are derived state, never
+/// serialised — trees saved by earlier versions load unchanged, a
+/// loaded file cannot smuggle in a count that disagrees with `active`,
+/// and a freshly loaded tree starts at generation 0.
 impl Serialize for DecisionTree {
     fn serialize_value(&self) -> serde::Value {
         let mut map = serde::Map::new();
-        map.insert("rules", self.rules.serialize_value());
+        map.insert(
+            "rules",
+            serde::Value::Array(self.store.rules().iter().map(|r| r.serialize_value()).collect()),
+        );
         map.insert("active", self.active.serialize_value());
-        map.insert("nodes", self.nodes.serialize_value());
+        let nodes: Vec<serde::Value> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut m = serde::Map::new();
+                m.insert("space", n.space.serialize_value());
+                m.insert("rules", self.span_slice(n.span).to_vec().serialize_value());
+                m.insert("kind", n.kind.serialize_value());
+                m.insert("depth", n.depth.serialize_value());
+                m.insert("parent", n.parent.serialize_value());
+                serde::Value::Object(m)
+            })
+            .collect();
+        map.insert("nodes", serde::Value::Array(nodes));
         map.insert("root", self.root.serialize_value());
         serde::Value::Object(map)
     }
@@ -61,28 +101,74 @@ impl Deserialize for DecisionTree {
         };
         let rules: Vec<Rule> = Deserialize::deserialize_value(field("rules")?)?;
         let active: Vec<bool> = Deserialize::deserialize_value(field("active")?)?;
-        let nodes: Vec<Node> = Deserialize::deserialize_value(field("nodes")?)?;
+        let node_values = field("nodes")?
+            .as_array()
+            .ok_or_else(|| serde::Error::custom("DecisionTree: `nodes` must be an array"))?;
+        let mut pool = Vec::new();
+        let mut nodes = Vec::with_capacity(node_values.len());
+        for nv in node_values {
+            let nobj = nv
+                .as_object()
+                .ok_or_else(|| serde::Error::custom("DecisionTree: node must be an object"))?;
+            let nfield = |name: &str| {
+                nobj.get(name).ok_or_else(|| {
+                    serde::Error::custom(format!("DecisionTree: node missing field `{name}`"))
+                })
+            };
+            let space: NodeSpace = Deserialize::deserialize_value(nfield("space")?)?;
+            let rules: Vec<RuleId> = Deserialize::deserialize_value(nfield("rules")?)?;
+            let kind: NodeKind = Deserialize::deserialize_value(nfield("kind")?)?;
+            let depth: usize = Deserialize::deserialize_value(nfield("depth")?)?;
+            let parent: Option<NodeId> = Deserialize::deserialize_value(nfield("parent")?)?;
+            let span = RuleSpan { start: pool.len(), len: rules.len() };
+            pool.extend(rules);
+            nodes.push(Node { space, span, kind, depth, parent });
+        }
         let root: NodeId = Deserialize::deserialize_value(field("root")?)?;
         let num_active = active.iter().filter(|&&a| a).count();
-        Ok(DecisionTree { rules, active, num_active, nodes, root, generation: 0 })
+        let sep_cache = vec![0; nodes.len()];
+        Ok(DecisionTree {
+            store: Arc::new(RuleStore::from_rules(rules)),
+            active,
+            num_active,
+            nodes,
+            pool,
+            root,
+            sep_cache,
+            generation: 0,
+        })
     }
 }
 
 impl DecisionTree {
     /// Start a tree for `rules`: a single root leaf owning every rule
-    /// and the full header space.
+    /// and the full header space. Builds a private [`RuleStore`]; use
+    /// [`Self::with_store`] to share one store across many trees.
     pub fn new(rules: &RuleSet) -> Self {
-        let rules: Vec<Rule> = rules.rules().to_vec();
-        let n = rules.len();
-        let root = Node::leaf(NodeSpace::full(), (0..n).collect(), 0, None);
+        Self::with_store(Arc::new(RuleStore::from_ruleset(rules)))
+    }
+
+    /// Start a tree over a shared rule store — the episode-construction
+    /// fast path: no rules are copied, only the per-tree state (node
+    /// arena, rule-id pool, active flags) is allocated.
+    pub fn with_store(store: Arc<RuleStore>) -> Self {
+        let n = store.len();
+        let root = Node::leaf(NodeSpace::full(), RuleSpan { start: 0, len: n }, 0, None);
         DecisionTree {
             active: vec![true; n],
             num_active: n,
-            rules,
+            store,
             nodes: vec![root],
+            pool: (0..n).collect(),
             root: 0,
+            sep_cache: vec![0],
             generation: 0,
         }
+    }
+
+    /// The shared rule store behind this tree.
+    pub fn store(&self) -> &Arc<RuleStore> {
+        &self.store
     }
 
     /// Monotonic mutation counter: any expansion, truncation, or rule
@@ -115,12 +201,23 @@ impl DecisionTree {
 
     /// The rule arena (including deleted rules; see [`Self::is_active`]).
     pub fn rules(&self) -> &[Rule] {
-        &self.rules
+        self.store.rules()
     }
 
     /// Borrow a rule by id.
     pub fn rule(&self, id: RuleId) -> &Rule {
-        &self.rules[id]
+        self.store.rule(id)
+    }
+
+    #[inline]
+    fn span_slice(&self, span: RuleSpan) -> &[RuleId] {
+        &self.pool[span.start..span.start + span.len]
+    }
+
+    /// The rule ids stored at a node, in precedence order.
+    #[inline]
+    pub fn rules_at(&self, id: NodeId) -> &[RuleId] {
+        self.span_slice(self.nodes[id].span)
     }
 
     /// True while the rule has not been deleted by an update.
@@ -143,7 +240,7 @@ impl DecisionTree {
     /// `true` if rule `a` takes precedence over rule `b`.
     #[inline]
     pub fn precedes(&self, a: RuleId, b: RuleId) -> bool {
-        let (pa, pb) = (self.rules[a].priority, self.rules[b].priority);
+        let (pa, pb) = (self.store.rule(a).priority, self.store.rule(b).priority);
         pa > pb || (pa == pb && a < b)
     }
 
@@ -151,7 +248,7 @@ impl DecisionTree {
     /// and as the reference for incremental updates).
     pub fn linear_classify(&self, packet: &Packet) -> Option<RuleId> {
         let mut best: Option<RuleId> = None;
-        for (id, rule) in self.rules.iter().enumerate() {
+        for (id, rule) in self.store.rules().iter().enumerate() {
             if self.active[id] && rule.matches(packet) && best.is_none_or(|b| self.precedes(id, b))
             {
                 best = Some(id);
@@ -196,11 +293,11 @@ impl DecisionTree {
             let node = &self.nodes[id];
             match &node.kind {
                 NodeKind::Leaf => {
-                    return node
-                        .rules
+                    return self
+                        .span_slice(node.span)
                         .iter()
                         .copied()
-                        .find(|&r| self.active[r] && self.rules[r].matches(packet));
+                        .find(|&r| self.active[r] && self.store.rule(r).matches(packet));
                 }
                 NodeKind::Partition { children } => {
                     let mut best: Option<RuleId> = None;
@@ -299,11 +396,11 @@ impl DecisionTree {
             let node = &self.nodes[id];
             match &node.kind {
                 NodeKind::Leaf => {
-                    return node
-                        .rules
+                    return self
+                        .span_slice(node.span)
                         .iter()
                         .copied()
-                        .find(|&r| self.active[r] && self.rules[r].matches(packet));
+                        .find(|&r| self.active[r] && self.store.rule(r).matches(packet));
                 }
                 NodeKind::Cut { dim, ncuts, children } => {
                     let idx =
@@ -349,30 +446,78 @@ impl DecisionTree {
         }
     }
 
-    /// Filter `parent_rules` down to those intersecting `space`, into
-    /// the reused `scratch` buffer. Expansion operations call this once
-    /// per candidate child with one scratch per *step*, so child
-    /// evaluation does not allocate; the surviving child then copies
-    /// the scratch into a single exactly-sized `Vec` it owns.
-    fn assign_rules_into(
-        &self,
-        parent_rules: &[RuleId],
-        space: &NodeSpace,
-        scratch: &mut Vec<RuleId>,
-    ) {
-        scratch.clear();
-        scratch.extend(
-            parent_rules
-                .iter()
-                .copied()
-                .filter(|&r| self.active[r] && space.intersects_rule(&self.rules[r])),
-        );
+    /// Inclusive child-index range a rule with raw projection
+    /// `[rl, rh)` overlaps under an equal-size cut of `range` into
+    /// `ncuts` pieces with the given `step`. Matches the per-child
+    /// `DimRange::overlaps` filter exactly, including the degenerate
+    /// tail (ranges shorter than `ncuts` produce empty trailing
+    /// children anchored at `range.hi`, which a rule extending past
+    /// `range.hi` *does* overlap under the half-open predicate).
+    #[inline]
+    fn cut_span_of(range: &DimRange, step: u64, ncuts: usize, rl: u64, rh: u64) -> (usize, usize) {
+        let first = ((rl.max(range.lo) - range.lo) / step).min(ncuts as u64 - 1) as usize;
+        let last = if rh > range.hi {
+            ncuts - 1
+        } else {
+            (((rh - 1).max(range.lo) - range.lo) / step).min(ncuts as u64 - 1) as usize
+        };
+        (first, last)
     }
 
-    fn push_child(&mut self, parent: NodeId, space: NodeSpace, rules: Vec<RuleId>) -> NodeId {
+    /// Single-pass child assignment: size every child's span (counting
+    /// pass), reserve them contiguously in the pool, then write each
+    /// active, parent-intersecting rule into the children reported by
+    /// `children_of` (inclusive index range). Rules land in each child
+    /// in parent order, so child lists are exactly the old per-child
+    /// filter's output. Zero allocations besides the single pool grow
+    /// and the per-child bookkeeping.
+    fn assign_spans(
+        &mut self,
+        id: NodeId,
+        nchildren: usize,
+        children_of: impl Fn(&RuleStore, RuleId) -> (usize, usize),
+    ) -> Vec<RuleSpan> {
+        let parent = self.nodes[id].span;
+        let space = self.nodes[id].space;
+        let mut counts = vec![0usize; nchildren];
+        for i in parent.start..parent.start + parent.len {
+            let r = self.pool[i];
+            if !self.active[r] || !self.store.intersects(r, &space) {
+                continue;
+            }
+            let (first, last) = children_of(&self.store, r);
+            for c in &mut counts[first..=last] {
+                *c += 1;
+            }
+        }
+        let mut spans = Vec::with_capacity(nchildren);
+        let mut cursors = Vec::with_capacity(nchildren);
+        let mut offset = self.pool.len();
+        for &c in &counts {
+            spans.push(RuleSpan { start: offset, len: c });
+            cursors.push(offset);
+            offset += c;
+        }
+        self.pool.resize(offset, 0);
+        for i in parent.start..parent.start + parent.len {
+            let r = self.pool[i];
+            if !self.active[r] || !self.store.intersects(r, &space) {
+                continue;
+            }
+            let (first, last) = children_of(&self.store, r);
+            for cur in &mut cursors[first..=last] {
+                self.pool[*cur] = r;
+                *cur += 1;
+            }
+        }
+        spans
+    }
+
+    fn push_child(&mut self, parent: NodeId, space: NodeSpace, span: RuleSpan) -> NodeId {
         let depth = self.nodes[parent].depth + 1;
         let id = self.nodes.len();
-        self.nodes.push(Node::leaf(space, rules, depth, Some(parent)));
+        self.nodes.push(Node::leaf(space, span, depth, Some(parent)));
+        self.sep_cache.push(0);
         id
     }
 
@@ -384,18 +529,16 @@ impl DecisionTree {
     pub fn cut_node(&mut self, id: NodeId, dim: Dim, ncuts: usize) -> Vec<NodeId> {
         assert!(self.nodes[id].is_leaf(), "node {id} already expanded");
         assert!(ncuts >= 2, "a cut needs at least 2 pieces");
+        let range = *self.nodes[id].space.range(dim);
+        let step = (range.len() / ncuts as u64).max(1);
+        let d = dim.index();
+        let spans = self.assign_spans(id, ncuts, |store, r| {
+            let (rl, rh) = store.proj(d, r);
+            Self::cut_span_of(&range, step, ncuts, rl, rh)
+        });
         let spaces = self.nodes[id].space.cut(dim, ncuts);
-        let parent_rules = std::mem::take(&mut self.nodes[id].rules);
-        let mut scratch = Vec::with_capacity(parent_rules.len());
-        let children: Vec<NodeId> = spaces
-            .into_iter()
-            .map(|s| {
-                self.assign_rules_into(&parent_rules, &s, &mut scratch);
-                let rules = scratch.as_slice().to_vec();
-                self.push_child(id, s, rules)
-            })
-            .collect();
-        self.nodes[id].rules = parent_rules;
+        let children: Vec<NodeId> =
+            spaces.into_iter().zip(spans).map(|(s, span)| self.push_child(id, s, span)).collect();
         self.nodes[id].kind = NodeKind::Cut { dim, ncuts, children: children.clone() };
         self.bump_generation();
         children
@@ -411,27 +554,121 @@ impl DecisionTree {
         assert!(self.nodes[id].is_leaf(), "node {id} already expanded");
         assert!(!dims.is_empty(), "multicut needs at least one dimension");
         assert!(dims.iter().all(|&(_, n)| n >= 2), "each cut needs >= 2 pieces");
-        let mut seen = [false; classbench::NUM_DIMS];
+        let mut seen = [false; NUM_DIMS];
         for &(d, _) in dims {
             assert!(!seen[d.index()], "dimension {d} repeated in multicut");
             seen[d.index()] = true;
         }
-        let spaces = self.nodes[id].space.multi_cut(dims);
-        let parent_rules = std::mem::take(&mut self.nodes[id].rules);
-        let mut scratch = Vec::with_capacity(parent_rules.len());
-        let children: Vec<NodeId> = spaces
-            .into_iter()
-            .map(|s| {
-                self.assign_rules_into(&parent_rules, &s, &mut scratch);
-                let rules = scratch.as_slice().to_vec();
-                self.push_child(id, s, rules)
+        let specs: Vec<(usize, DimRange, u64, usize)> = dims
+            .iter()
+            .map(|&(dim, n)| {
+                let range = *self.nodes[id].space.range(dim);
+                (dim.index(), range, (range.len() / n as u64).max(1), n)
             })
             .collect();
-        self.nodes[id].rules = parent_rules;
+        let nchildren: usize = dims.iter().map(|&(_, n)| n).product();
+        // Row-major composite index: the first dimension is the most
+        // significant digit, matching `NodeSpace::multi_cut` and the
+        // lookup path. A single-dim multicut degenerates to the plain
+        // cut assignment; true multi-dim cuts enumerate the Cartesian
+        // product of each rule's per-dimension index ranges.
+        let spans = if let [(d, range, step, n)] = specs[..] {
+            self.assign_spans(id, nchildren, |store, r| {
+                let (rl, rh) = store.proj(d, r);
+                Self::cut_span_of(&range, step, n, rl, rh)
+            })
+        } else {
+            self.multi_spans(id, &specs, nchildren)
+        };
+        let spaces = self.nodes[id].space.multi_cut(dims);
+        let children: Vec<NodeId> =
+            spaces.into_iter().zip(spans).map(|(s, span)| self.push_child(id, s, span)).collect();
         self.nodes[id].kind =
             NodeKind::MultiCut { dims: dims.to_vec(), children: children.clone() };
         self.bump_generation();
         children
+    }
+
+    /// Enumerate the composite (row-major) child indices rule `r`
+    /// overlaps under a multi-dimension cut and invoke `visit` on each.
+    fn for_each_multi_child(
+        store: &RuleStore,
+        specs: &[(usize, DimRange, u64, usize)],
+        r: RuleId,
+        mut visit: impl FnMut(usize),
+    ) {
+        let k = specs.len();
+        let mut first = [0usize; NUM_DIMS];
+        let mut last = [0usize; NUM_DIMS];
+        for (i, &(d, range, step, n)) in specs.iter().enumerate() {
+            let (rl, rh) = store.proj(d, r);
+            let (f, l) = Self::cut_span_of(&range, step, n, rl, rh);
+            first[i] = f;
+            last[i] = l;
+        }
+        // Odometer over the per-dimension index ranges.
+        let mut idx = first;
+        loop {
+            let mut composite = 0usize;
+            for (i, &(_, _, _, n)) in specs.iter().enumerate() {
+                composite = composite * n + idx[i];
+            }
+            visit(composite);
+            let mut dim = k;
+            loop {
+                if dim == 0 {
+                    return;
+                }
+                dim -= 1;
+                if idx[dim] < last[dim] {
+                    idx[dim] += 1;
+                    break;
+                }
+                idx[dim] = first[dim];
+            }
+        }
+    }
+
+    /// The multi-dimension analogue of [`Self::assign_spans`]: counting
+    /// pass + fill pass over composite child indices.
+    fn multi_spans(
+        &mut self,
+        id: NodeId,
+        specs: &[(usize, DimRange, u64, usize)],
+        nchildren: usize,
+    ) -> Vec<RuleSpan> {
+        let parent = self.nodes[id].span;
+        let space = self.nodes[id].space;
+        let mut counts = vec![0usize; nchildren];
+        for i in parent.start..parent.start + parent.len {
+            let r = self.pool[i];
+            if !self.active[r] || !self.store.intersects(r, &space) {
+                continue;
+            }
+            Self::for_each_multi_child(&self.store, specs, r, |c| counts[c] += 1);
+        }
+        let mut spans = Vec::with_capacity(nchildren);
+        let mut cursors = Vec::with_capacity(nchildren);
+        let mut offset = self.pool.len();
+        for &c in &counts {
+            spans.push(RuleSpan { start: offset, len: c });
+            cursors.push(offset);
+            offset += c;
+        }
+        self.pool.resize(offset, 0);
+        let store = Arc::clone(&self.store);
+        for i in parent.start..parent.start + parent.len {
+            let r = self.pool[i];
+            if !self.active[r] || !store.intersects(r, &space) {
+                continue;
+            }
+            let pool = &mut self.pool;
+            Self::for_each_multi_child(&store, specs, r, |c| {
+                pool[cursors[c]] = r;
+                cursors[c] += 1;
+            });
+        }
+        spans
     }
 
     /// Apply an equi-dense cut at the explicit `bounds` (EffiCuts):
@@ -448,19 +685,25 @@ impl DecisionTree {
         let range = *self.nodes[id].space.range(dim);
         assert_eq!(bounds[0], range.lo, "bounds must start at the node range");
         assert_eq!(*bounds.last().unwrap(), range.hi, "bounds must end at the node range");
-        let parent_rules = std::mem::take(&mut self.nodes[id].rules);
-        let mut scratch = Vec::with_capacity(parent_rules.len());
+        let d = dim.index();
+        let nchildren = bounds.len() - 1;
+        let spans = self.assign_spans(id, nchildren, |store, r| {
+            let (rl, rh) = store.proj(d, r);
+            // First child whose upper bound exceeds the rule's start;
+            // last child whose lower bound the rule's end exceeds.
+            let first = bounds[1..].partition_point(|&b| b <= rl).min(nchildren - 1);
+            let last = bounds[..nchildren].partition_point(|&b| b < rh).saturating_sub(1);
+            (first, last)
+        });
         let children: Vec<NodeId> = bounds
             .windows(2)
-            .map(|w| {
+            .zip(spans)
+            .map(|(w, span)| {
                 let mut space = self.nodes[id].space;
-                space.ranges[dim.index()] = classbench::DimRange::new(w[0], w[1]);
-                self.assign_rules_into(&parent_rules, &space, &mut scratch);
-                let rules = scratch.as_slice().to_vec();
-                self.push_child(id, space, rules)
+                space.ranges[d] = DimRange::new(w[0], w[1]);
+                self.push_child(id, space, span)
             })
             .collect();
-        self.nodes[id].rules = parent_rules;
         self.nodes[id].kind = NodeKind::DenseCut { dim, bounds, children: children.clone() };
         self.bump_generation();
         children
@@ -479,16 +722,14 @@ impl DecisionTree {
             range.lo < threshold && threshold < range.hi,
             "threshold {threshold} outside open range {range}"
         );
+        let d = dim.index();
+        let spans = self.assign_spans(id, 2, |store, r| {
+            let (rl, rh) = store.proj(d, r);
+            (if rl < threshold { 0 } else { 1 }, if rh > threshold { 1 } else { 0 })
+        });
         let (ls, rs) = self.nodes[id].space.split(dim, threshold);
-        let parent_rules = std::mem::take(&mut self.nodes[id].rules);
-        let mut scratch = Vec::with_capacity(parent_rules.len());
-        self.assign_rules_into(&parent_rules, &ls, &mut scratch);
-        let left_rules = scratch.as_slice().to_vec();
-        self.assign_rules_into(&parent_rules, &rs, &mut scratch);
-        let right_rules = scratch.as_slice().to_vec();
-        let left = self.push_child(id, ls, left_rules);
-        let right = self.push_child(id, rs, right_rules);
-        self.nodes[id].rules = parent_rules;
+        let left = self.push_child(id, ls, spans[0]);
+        let right = self.push_child(id, rs, spans[1]);
         self.nodes[id].kind = NodeKind::Split { dim, threshold, children: [left, right] };
         self.bump_generation();
         (left, right)
@@ -499,17 +740,25 @@ impl DecisionTree {
     ///
     /// # Panics
     /// Panics if the node is not a leaf, fewer than two subsets are
-    /// given, a subset is empty, or the subsets are not a disjoint cover
-    /// of the node's rules.
+    /// given, or a subset is empty. That the subsets exactly cover the
+    /// node's rules is asserted in debug builds only — the O(n log n)
+    /// sort-and-compare was measurable on every partition node of the
+    /// training hot path, and both in-tree planners construct subsets
+    /// by partitioning the node's own list.
     pub fn partition_node(&mut self, id: NodeId, subsets: Vec<Vec<RuleId>>) -> Vec<NodeId> {
         assert!(self.nodes[id].is_leaf(), "node {id} already expanded");
         assert!(subsets.len() >= 2, "a partition needs at least 2 subsets");
         assert!(subsets.iter().all(|s| !s.is_empty()), "empty partition subset");
-        let mut all: Vec<RuleId> = subsets.iter().flatten().copied().collect();
-        all.sort_unstable();
-        let mut expected = self.nodes[id].rules.clone();
-        expected.sort_unstable();
-        assert_eq!(all, expected, "subsets must exactly cover the node's rules");
+        debug_assert!(
+            {
+                let mut all: Vec<RuleId> = subsets.iter().flatten().copied().collect();
+                all.sort_unstable();
+                let mut expected = self.rules_at(id).to_vec();
+                expected.sort_unstable();
+                all == expected
+            },
+            "subsets must exactly cover the node's rules"
+        );
 
         let space = self.nodes[id].space;
         let children: Vec<NodeId> = subsets
@@ -517,9 +766,12 @@ impl DecisionTree {
             .map(|mut subset| {
                 // Keep precedence order within each partition.
                 subset.sort_by(|&a, &b| {
-                    self.rules[b].priority.cmp(&self.rules[a].priority).then(a.cmp(&b))
+                    let (pa, pb) = (self.store.rule(a).priority, self.store.rule(b).priority);
+                    pb.cmp(&pa).then(a.cmp(&b))
                 });
-                self.push_child(id, space, subset)
+                let span = RuleSpan { start: self.pool.len(), len: subset.len() };
+                self.pool.extend_from_slice(&subset);
+                self.push_child(id, space, span)
             })
             .collect();
         self.nodes[id].kind = NodeKind::Partition { children: children.clone() };
@@ -533,14 +785,16 @@ impl DecisionTree {
     /// dropped. Returns how many rules were removed.
     pub fn truncate_covered(&mut self, id: NodeId) -> usize {
         let node = &self.nodes[id];
-        let cover = node
-            .rules
+        let space = node.space;
+        let cover = self
+            .span_slice(node.span)
             .iter()
-            .position(|&r| self.active[r] && node.space.covered_by_rule(&self.rules[r]));
+            .position(|&r| self.active[r] && self.store.covers(r, &space));
         match cover {
-            Some(pos) if pos + 1 < node.rules.len() => {
-                let removed = node.rules.len() - pos - 1;
-                self.nodes[id].rules.truncate(pos + 1);
+            Some(pos) if pos + 1 < self.nodes[id].span.len => {
+                let removed = self.nodes[id].span.len - pos - 1;
+                self.nodes[id].span.len = pos + 1;
+                self.sep_cache[id] = 0;
                 self.bump_generation();
                 removed
             }
@@ -549,8 +803,7 @@ impl DecisionTree {
     }
 
     pub(crate) fn push_rule_impl(&mut self, rule: Rule) -> RuleId {
-        let id = self.rules.len();
-        self.rules.push(rule);
+        let id = Arc::make_mut(&mut self.store).push(rule);
         self.active.push(true);
         self.num_active += 1;
         self.bump_generation();
@@ -558,21 +811,39 @@ impl DecisionTree {
     }
 
     /// Insert `id` into a leaf's rule list at its precedence position.
+    /// The list is re-homed at the end of the pool (spans are append-
+    /// only windows); the old window becomes garbage until the next
+    /// rebuild folds it away.
     pub(crate) fn leaf_insert_sorted(&mut self, node: NodeId, id: RuleId) {
         debug_assert!(self.nodes[node].is_leaf());
-        let pos = self.nodes[node]
-            .rules
-            .iter()
-            .position(|&r| self.precedes(id, r))
-            .unwrap_or(self.nodes[node].rules.len());
-        self.nodes[node].rules.insert(pos, id);
+        let span = self.nodes[node].span;
+        let pos =
+            self.span_slice(span).iter().position(|&r| self.precedes(id, r)).unwrap_or(span.len);
+        let start = self.pool.len();
+        self.pool.reserve(span.len + 1);
+        self.pool.extend_from_within(span.start..span.start + pos);
+        self.pool.push(id);
+        self.pool.extend_from_within(span.start + pos..span.start + span.len);
+        self.nodes[node].span = RuleSpan { start, len: span.len + 1 };
+        self.sep_cache[node] = 0;
         self.bump_generation();
     }
 
-    /// Remove `id` from a leaf's rule list if present.
+    /// Remove `id` from a leaf's rule list if present (in-place span
+    /// compaction).
     pub(crate) fn leaf_remove(&mut self, node: NodeId, id: RuleId) {
         debug_assert!(self.nodes[node].is_leaf());
-        self.nodes[node].rules.retain(|&r| r != id);
+        let span = self.nodes[node].span;
+        let mut w = span.start;
+        for i in span.start..span.start + span.len {
+            let r = self.pool[i];
+            if r != id {
+                self.pool[w] = r;
+                w += 1;
+            }
+        }
+        self.nodes[node].span.len = w - span.start;
+        self.sep_cache[node] = 0;
         self.bump_generation();
     }
 
@@ -582,6 +853,9 @@ impl DecisionTree {
             self.num_active -= 1;
         }
         self.active[id] = false;
+        // Separability is defined over *active* rules: a deletion can
+        // flip any node's mask, so drop the whole cache.
+        self.sep_cache.iter_mut().for_each(|s| *s = 0);
         self.bump_generation();
     }
 
@@ -610,7 +884,78 @@ impl DecisionTree {
     /// True when the node holds at most `binth` rules (the standard
     /// leaf-termination condition in all the cutting papers).
     pub fn is_terminal(&self, id: NodeId, binth: usize) -> bool {
-        self.nodes[id].rules.len() <= binth
+        self.nodes[id].span.len <= binth
+    }
+
+    /// Clip `(lo, hi)` to `s` with the same anchoring as
+    /// [`DimRange::intersect`] (empty results collapse to `max(lo)`).
+    #[inline]
+    fn clip_proj((lo, hi): (u64, u64), s: &DimRange) -> (u64, u64) {
+        let l = lo.max(s.lo);
+        let h = hi.min(s.hi).max(l);
+        (l, h)
+    }
+
+    /// Compute the per-dimension separability mask of a node: bit `d`
+    /// set when [`Self::dim_separable`] holds for dimension `d`. One
+    /// pass over the node's rules covers all five dimensions, with an
+    /// early exit once every cuttable dimension is known separable.
+    fn compute_separability(&self, id: NodeId) -> u8 {
+        let node = &self.nodes[id];
+        let mut pending = 0u8;
+        for (d, r) in node.space.ranges.iter().enumerate() {
+            if r.len() >= 2 {
+                pending |= 1 << d;
+            }
+        }
+        if pending == 0 {
+            return 0;
+        }
+        let mut mask = 0u8;
+        let mut heads = [(0u64, 0u64); NUM_DIMS];
+        let mut have_head = false;
+        for &r in self.span_slice(node.span) {
+            if !self.active[r] {
+                continue;
+            }
+            if !have_head {
+                for (d, h) in heads.iter_mut().enumerate() {
+                    *h = Self::clip_proj(self.store.proj(d, r), &node.space.ranges[d]);
+                }
+                have_head = true;
+                continue;
+            }
+            let mut p = pending;
+            while p != 0 {
+                let d = p.trailing_zeros() as usize;
+                p &= p - 1;
+                if Self::clip_proj(self.store.proj(d, r), &node.space.ranges[d]) != heads[d] {
+                    mask |= 1 << d;
+                    pending &= !(1 << d);
+                }
+            }
+            if pending == 0 {
+                break;
+            }
+        }
+        mask
+    }
+
+    /// The node's per-dimension separability as a 5-bit mask (bit `d`
+    /// set ⇔ [`Self::dim_separable`] for dimension `d`), **memoized**:
+    /// computed at most once per node in a single pass over its rules
+    /// and invalidated by any mutation of the node's rule list
+    /// (truncation, leaf insertion/removal, rule deletion). The episode
+    /// hot loop asks once per visited node; the cache makes repeat
+    /// queries (progress checks, builders revisiting) free.
+    pub fn separability_mask(&mut self, id: NodeId) -> u8 {
+        let cached = self.sep_cache[id];
+        if cached & SEP_COMPUTED != 0 {
+            return cached & !SEP_COMPUTED;
+        }
+        let mask = self.compute_separability(id);
+        self.sep_cache[id] = mask | SEP_COMPUTED;
+        mask
     }
 
     /// True when cutting `dim` could still separate the node's rules:
@@ -619,18 +964,10 @@ impl DecisionTree {
     /// the node's space). Cutting a non-separable dimension replicates
     /// every rule into some child for no discrimination gain.
     pub fn dim_separable(&self, id: NodeId, dim: Dim) -> bool {
-        let node = &self.nodes[id];
-        let space = node.space.range(dim);
-        if space.len() < 2 {
-            return false;
+        if self.sep_cache[id] & SEP_COMPUTED != 0 {
+            return self.sep_cache[id] & (1 << dim.index()) != 0;
         }
-        let mut actives = node.rules.iter().filter(|&&r| self.active[r]);
-        let Some(&first) = actives.next() else { return false };
-        let head = self.rules[first].range(dim).intersect(space);
-        node.rules
-            .iter()
-            .filter(|&&r| self.active[r])
-            .any(|&r| self.rules[r].range(dim).intersect(space) != head)
+        self.compute_separability(id) & (1 << dim.index()) != 0
     }
 
     /// True when some cut could still separate the node's rules (see
@@ -638,21 +975,88 @@ impl DecisionTree {
     /// ever shrink the rule list — every tree builder must treat the
     /// node as terminal or recurse forever.
     pub fn is_separable(&self, id: NodeId) -> bool {
-        classbench::DIMS.iter().any(|&d| self.dim_separable(id, d))
+        if self.sep_cache[id] & SEP_COMPUTED != 0 {
+            return self.sep_cache[id] & !SEP_COMPUTED != 0;
+        }
+        self.compute_separability(id) != 0
+    }
+
+    /// Rule counts each child of an equal-size cut would receive,
+    /// without materialising the children: one pass over the node's
+    /// rules, O(rules + overlapped children) instead of the old
+    /// per-child rescan. Exactly the counts [`Self::cut_node`] would
+    /// assign.
+    pub fn cut_child_counts(&self, id: NodeId, dim: Dim, ncuts: usize) -> Vec<usize> {
+        let node = &self.nodes[id];
+        let range = *node.space.range(dim);
+        let step = (range.len() / ncuts as u64).max(1);
+        let d = dim.index();
+        let space = node.space;
+        let mut counts = vec![0usize; ncuts];
+        for &r in self.span_slice(node.span) {
+            if !self.active[r] || !self.store.intersects(r, &space) {
+                continue;
+            }
+            let (rl, rh) = self.store.proj(d, r);
+            let (first, last) = Self::cut_span_of(&range, step, ncuts, rl, rh);
+            for c in &mut counts[first..=last] {
+                *c += 1;
+            }
+        }
+        counts
+    }
+
+    /// Rule counts for a simultaneous multi-dimension cut (HyperCuts),
+    /// single-pass like [`Self::cut_child_counts`].
+    pub fn multicut_child_counts(&self, id: NodeId, dims: &[(Dim, usize)]) -> Vec<usize> {
+        let node = &self.nodes[id];
+        let specs: Vec<(usize, DimRange, u64, usize)> = dims
+            .iter()
+            .map(|&(dim, n)| {
+                let range = *node.space.range(dim);
+                (dim.index(), range, (range.len() / n as u64).max(1), n)
+            })
+            .collect();
+        let nchildren: usize = dims.iter().map(|&(_, n)| n).product();
+        let space = node.space;
+        let mut counts = vec![0usize; nchildren];
+        for &r in self.span_slice(node.span) {
+            if !self.active[r] || !self.store.intersects(r, &space) {
+                continue;
+            }
+            Self::for_each_multi_child(&self.store, &specs, r, |c| counts[c] += 1);
+        }
+        counts
+    }
+
+    /// Rule counts each equi-dense-cut child would receive, single-pass
+    /// (EffiCuts' progress probe).
+    pub fn dense_child_counts(&self, id: NodeId, dim: Dim, bounds: &[u64]) -> Vec<usize> {
+        let node = &self.nodes[id];
+        let d = dim.index();
+        let nchildren = bounds.len() - 1;
+        let space = node.space;
+        let mut counts = vec![0usize; nchildren];
+        for &r in self.span_slice(node.span) {
+            if !self.active[r] || !self.store.intersects(r, &space) {
+                continue;
+            }
+            let (rl, rh) = self.store.proj(d, r);
+            let first = bounds[1..].partition_point(|&b| b <= rl).min(nchildren - 1);
+            let last = bounds[..nchildren].partition_point(|&b| b < rh).saturating_sub(1);
+            for c in &mut counts[first..=last] {
+                *c += 1;
+            }
+        }
+        counts
     }
 
     /// True when cutting would make progress: at least one child would
     /// hold strictly fewer rules than the node. Builders use this to
     /// avoid infinite recursion when every rule spans the whole node.
     pub fn cut_makes_progress(&self, id: NodeId, dim: Dim, ncuts: usize) -> bool {
-        let node = &self.nodes[id];
-        node.space.cut(dim, ncuts).iter().any(|s| {
-            node.rules
-                .iter()
-                .filter(|&&r| self.active[r] && s.intersects_rule(&self.rules[r]))
-                .count()
-                < node.rules.len()
-        })
+        let n = self.nodes[id].span.len;
+        self.cut_child_counts(id, dim, ncuts).iter().any(|&c| c < n)
     }
 }
 
@@ -675,9 +1079,21 @@ mod tests {
         let rs = small_rules();
         let t = DecisionTree::new(&rs);
         assert_eq!(t.num_nodes(), 1);
-        assert_eq!(t.node(t.root()).rules, vec![0, 1, 2]);
+        assert_eq!(t.rules_at(t.root()), &[0, 1, 2][..]);
         assert_eq!(t.num_active_rules(), 3);
         assert!(t.node(t.root()).is_leaf());
+    }
+
+    #[test]
+    fn shared_store_trees_do_not_clone_rules() {
+        let rs = small_rules();
+        let store = Arc::new(RuleStore::from_ruleset(&rs));
+        let a = DecisionTree::with_store(Arc::clone(&store));
+        let b = DecisionTree::with_store(Arc::clone(&store));
+        assert!(Arc::ptr_eq(a.store(), b.store()));
+        assert_eq!(a.rules().len(), 3);
+        let p = Packet::new(1, 2, 3, 4, 6);
+        assert_eq!(a.classify(&p), b.classify(&p));
     }
 
     #[test]
@@ -700,10 +1116,10 @@ mod tests {
         let kids = t.cut_node(t.root(), Dim::DstPort, 4);
         assert_eq!(kids.len(), 4);
         // Child 0 covers dst ports [0, 16384): all three rules intersect.
-        assert_eq!(t.node(kids[0]).rules.len(), 3);
+        assert_eq!(t.rules_at(kids[0]).len(), 3);
         // Children 1..4 exclude [0, 1024): the low-port rule drops out.
         for &k in &kids[1..] {
-            assert_eq!(t.node(k).rules, vec![0, 2]);
+            assert_eq!(t.rules_at(k), &[0, 2][..]);
             assert_eq!(t.node(k).depth, 1);
             assert_eq!(t.node(k).parent, Some(t.root()));
         }
@@ -733,8 +1149,8 @@ mod tests {
         let mut t = DecisionTree::new(&rs);
         let kids = t.dense_cut_node(t.root(), Dim::DstPort, vec![0, 1024, 8192, 65536]);
         assert_eq!(kids.len(), 3);
-        assert_eq!(t.node(kids[0]).rules, vec![0, 1, 2]);
-        assert_eq!(t.node(kids[1]).rules, vec![0, 2]);
+        assert_eq!(t.rules_at(kids[0]), &[0, 1, 2][..]);
+        assert_eq!(t.rules_at(kids[1]), &[0, 2][..]);
         assert_eq!(t.classify(&Packet::new(0, 0, 0, 1023, 17)), Some(1));
         assert_eq!(t.classify(&Packet::new(0, 0, 0, 1024, 17)), Some(2));
         assert_eq!(t.classify(&Packet::new(0, 0, 0, 60000, 6)), Some(0));
@@ -753,8 +1169,8 @@ mod tests {
         let rs = small_rules();
         let mut t = DecisionTree::new(&rs);
         let (l, r) = t.split_node(t.root(), Dim::DstPort, 1024);
-        assert_eq!(t.node(l).rules, vec![0, 1, 2]);
-        assert_eq!(t.node(r).rules, vec![0, 2]);
+        assert_eq!(t.rules_at(l), &[0, 1, 2][..]);
+        assert_eq!(t.rules_at(r), &[0, 2][..]);
         assert_eq!(t.classify(&Packet::new(0, 0, 0, 1023, 17)), Some(1));
         assert_eq!(t.classify(&Packet::new(0, 0, 0, 1024, 17)), Some(2));
     }
@@ -809,10 +1225,10 @@ mod tests {
         let rs = RuleSet::new(vec![r_cover, r_low, Rule::default_rule(0)]);
         let mut t = DecisionTree::new(&rs);
         let kids = t.cut_node(t.root(), Dim::Proto, 2);
-        assert_eq!(t.node(kids[0]).rules, vec![0, 1, 2]);
+        assert_eq!(t.rules_at(kids[0]), &[0, 1, 2][..]);
         let removed = t.truncate_covered(kids[0]);
         assert_eq!(removed, 2);
-        assert_eq!(t.node(kids[0]).rules, vec![0]);
+        assert_eq!(t.rules_at(kids[0]), &[0][..]);
         // Classification through the truncated node is still correct.
         assert_eq!(t.classify(&Packet::new(0, 0, 0, 9999, 6)), Some(0));
         // The untouched right child still resolves to the default rule.
@@ -828,6 +1244,84 @@ mod tests {
         assert!(!t.cut_makes_progress(t.root(), Dim::SrcIp, 8));
         // Cutting DstPort separates the low-port rule.
         assert!(t.cut_makes_progress(t.root(), Dim::DstPort, 8));
+    }
+
+    #[test]
+    fn separability_mask_matches_per_dim_queries_and_memoizes() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 80).with_seed(9));
+        let mut t = DecisionTree::new(&rs);
+        let kids = t.cut_node(t.root(), Dim::SrcIp, 8);
+        for id in std::iter::once(t.root()).chain(kids) {
+            let mask = t.separability_mask(id);
+            for (d, &dim) in classbench::DIMS.iter().enumerate() {
+                assert_eq!(mask & (1 << d) != 0, t.dim_separable(id, dim), "node {id} dim {dim}");
+            }
+            assert_eq!(mask != 0, t.is_separable(id));
+            // Memoized: a second query returns the same mask.
+            assert_eq!(t.separability_mask(id), mask);
+        }
+        // Truncation invalidates the cache.
+        let victim = *t.nodes[t.root()].kind.children().first().unwrap();
+        let before = t.separability_mask(victim);
+        t.truncate_covered(victim);
+        let after = t.separability_mask(victim);
+        // The fresh mask is recomputed from the (possibly shorter) list
+        // and still matches the immutable per-dim queries.
+        for (d, &dim) in classbench::DIMS.iter().enumerate() {
+            assert_eq!(after & (1 << d) != 0, t.dim_separable(victim, dim));
+        }
+        let _ = before;
+    }
+
+    #[test]
+    fn child_counts_match_materialised_children() {
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 120).with_seed(31));
+        for ncuts in [2, 7, 32] {
+            let mut t = DecisionTree::new(&rs);
+            let sim = t.cut_child_counts(t.root(), Dim::SrcIp, ncuts);
+            let kids = t.cut_node(t.root(), Dim::SrcIp, ncuts);
+            let real: Vec<usize> = kids.iter().map(|&k| t.rules_at(k).len()).collect();
+            assert_eq!(sim, real, "ncuts {ncuts}");
+        }
+        let mut t = DecisionTree::new(&rs);
+        let dims = [(Dim::SrcIp, 4), (Dim::DstIp, 2), (Dim::Proto, 2)];
+        let sim = t.multicut_child_counts(t.root(), &dims);
+        let kids = t.multicut_node(t.root(), &dims);
+        let real: Vec<usize> = kids.iter().map(|&k| t.rules_at(k).len()).collect();
+        assert_eq!(sim, real);
+        let mut t = DecisionTree::new(&rs);
+        let bounds = vec![0, 1 << 8, 1 << 20, 1 << 30, 1 << 32];
+        let sim = t.dense_child_counts(t.root(), Dim::DstIp, &bounds);
+        let kids = t.dense_cut_node(t.root(), Dim::DstIp, bounds);
+        let real: Vec<usize> = kids.iter().map(|&k| t.rules_at(k).len()).collect();
+        assert_eq!(sim, real);
+    }
+
+    #[test]
+    fn degenerate_tiny_range_cut_matches_reference_filter() {
+        // A 2-wide proto range cut into 8 produces six empty trailing
+        // children anchored at the range top; the half-open overlap
+        // predicate still assigns wide rules to them. The single-pass
+        // assignment must reproduce that exactly.
+        let mut narrow = Rule::default_rule(1);
+        narrow.ranges[Dim::Proto.index()] = DimRange::new(5, 7);
+        let rs = RuleSet::new(vec![narrow, Rule::default_rule(0)]);
+        let mut t = DecisionTree::new(&rs);
+        // Shrink the root range to [5, 7) via a split, then cut into 8.
+        let (_, r) = t.split_node(t.root(), Dim::Proto, 5);
+        let (mid, _) = t.split_node(r, Dim::Proto, 7);
+        let kids = t.cut_node(mid, Dim::Proto, 8);
+        assert_eq!(kids.len(), 8);
+        for &k in &kids {
+            let space = t.node(k).space;
+            let reference: Vec<RuleId> = t
+                .rules_at(mid)
+                .iter()
+                .copied()
+                .filter(|&r| t.is_active(r) && space.intersects_rule(t.rule(r)))
+                .collect();
+            assert_eq!(t.rules_at(k), &reference[..], "child {k} space {space}");
+        }
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub fn insert_rule(tree: &mut DecisionTree, rule: Rule) -> RuleId {
             NodeKind::Partition { children } => {
                 let target = children
                     .into_iter()
-                    .min_by_key(|&c| tree.node(c).rules.len())
+                    .min_by_key(|&c| tree.node(c).num_rules())
                     .expect("partition node with no children");
                 stack.push(target);
             }
@@ -218,7 +218,7 @@ mod tests {
         // not just the smallest one.
         let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 80).with_seed(41));
         let mut t = DecisionTree::new(&rs);
-        let all = t.node(t.root()).rules.clone();
+        let all = t.rules_at(t.root()).to_vec();
         let (a, b) = all.split_at(all.len() / 2);
         let parts = t.partition_node(t.root(), vec![a.to_vec(), b.to_vec()]);
         for p in parts {
@@ -231,7 +231,7 @@ mod tests {
             assert!(!t.is_active(victim));
             // No leaf may still list the victim.
             for nid in t.leaf_ids().collect::<Vec<_>>() {
-                assert!(!t.node(nid).rules.contains(&victim), "leaf {nid} kept rule {victim}");
+                assert!(!t.rules_at(nid).contains(&victim), "leaf {nid} kept rule {victim}");
             }
         }
         assert_tree_valid(&t, 300, 42);
@@ -290,15 +290,15 @@ mod tests {
     fn insert_into_partitioned_tree_balances() {
         let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 60).with_seed(6));
         let mut t = DecisionTree::new(&rs);
-        let all = t.node(t.root()).rules.clone();
+        let all = t.rules_at(t.root()).to_vec();
         let (a, b) = all.split_at(all.len() / 3);
         t.partition_node(t.root(), vec![a.to_vec(), b.to_vec()]);
         let before: Vec<usize> =
-            t.node(t.root()).kind.children().iter().map(|&c| t.node(c).rules.len()).collect();
+            t.node(t.root()).kind.children().iter().map(|&c| t.node(c).num_rules()).collect();
         let hi = t.rules().iter().map(|r| r.priority).max().unwrap() + 1;
         insert_rule(&mut t, new_rule(hi));
         let after: Vec<usize> =
-            t.node(t.root()).kind.children().iter().map(|&c| t.node(c).rules.len()).collect();
+            t.node(t.root()).kind.children().iter().map(|&c| t.node(c).num_rules()).collect();
         // The smaller partition received the rule.
         let min_idx = before.iter().enumerate().min_by_key(|&(_, &n)| n).unwrap().0;
         assert_eq!(after[min_idx], before[min_idx] + 1);

@@ -142,7 +142,7 @@ mod tests {
     fn partitioned_trees_validate() {
         let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 120).with_seed(5));
         let mut t = DecisionTree::new(&rs);
-        let all: Vec<usize> = t.node(t.root()).rules.clone();
+        let all: Vec<usize> = t.rules_at(t.root()).to_vec();
         let (big, small): (Vec<_>, Vec<_>) =
             all.iter().partition(|&&r| t.rule(r).largeness(Dim::SrcIp) > 0.5);
         if !big.is_empty() && !small.is_empty() {
@@ -162,21 +162,11 @@ mod tests {
         let mut t = DecisionTree::new(&rs);
         let kids = t.cut_node(t.root(), Dim::SrcIp, 4);
         // Corrupt: steal all rules from one child that had rules.
-        let victim = kids.iter().copied().max_by_key(|&k| t.node(k).rules.len()).unwrap();
-        // Test-only surgery: rebuild the tree from serialised parts with
-        // one leaf's rule list emptied.
-        let broken = t.clone();
-        let mut emptied = broken.node(victim).clone();
-        emptied.rules.clear();
-        // Replace the node via serde roundtrip surgery on the arena.
-        let mut nodes: Vec<crate::node::Node> = broken.nodes().to_vec();
-        nodes[victim] = emptied;
-        let json = serde_json::json!({
-            "rules": broken.rules(),
-            "active": (0..broken.rules().len()).map(|i| broken.is_active(i)).collect::<Vec<_>>(),
-            "nodes": nodes,
-            "root": broken.root(),
-        });
+        let victim = kids.iter().copied().max_by_key(|&k| t.node(k).num_rules()).unwrap();
+        // Test-only surgery: empty the victim leaf's rule list in the
+        // serialised form and reload.
+        let mut json = serde_json::to_value(&t).unwrap();
+        json["nodes"][victim]["rules"] = serde_json::json!([]);
         let corrupted: DecisionTree = serde_json::from_value(json).unwrap();
         assert!(!validate_tree(&corrupted, 500, 0).is_empty());
     }

@@ -14,7 +14,7 @@ fn random_expand(tree: &mut DecisionTree, rng: &mut ChaCha8Rng, steps: usize) {
     for _ in 0..steps {
         let leaves: Vec<usize> = tree
             .leaf_ids()
-            .filter(|&id| tree.node(id).rules.len() > 2 && tree.is_separable(id))
+            .filter(|&id| tree.node(id).num_rules() > 2 && tree.is_separable(id))
             .collect();
         let Some(&id) = leaves.as_slice().choose(rng) else { return };
         let dims: Vec<Dim> = classbench::DIMS
@@ -39,7 +39,7 @@ fn random_expand(tree: &mut DecisionTree, rng: &mut ChaCha8Rng, steps: usize) {
             }
             2 => {
                 // Partition into two arbitrary non-empty subsets.
-                let rules = tree.node(id).rules.clone();
+                let rules = tree.rules_at(id).to_vec();
                 if rules.len() >= 2 {
                     let k = rng.gen_range(1..rules.len());
                     let (a, b) = rules.split_at(k);
@@ -82,10 +82,10 @@ proptest! {
                     // exactly cover its rules.
                     let mut all: Vec<usize> = children
                         .iter()
-                        .flat_map(|&c| tree.node(c).rules.clone())
+                        .flat_map(|&c| tree.rules_at(c).to_vec())
                         .collect();
                     all.sort_unstable();
-                    let mut expect = node.rules.clone();
+                    let mut expect = tree.rules_at(id).to_vec();
                     expect.sort_unstable();
                     prop_assert_eq!(all, expect);
                     for &c in children {
@@ -109,7 +109,7 @@ proptest! {
         // only *remove* shadowed rules (checked via lookup equivalence).
         for id in tree.leaf_ids() {
             let node = tree.node(id);
-            for &r in &node.rules {
+            for &r in tree.rules_at(id) {
                 prop_assert!(node.space.intersects_rule(tree.rule(r)));
             }
         }

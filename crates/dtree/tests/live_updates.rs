@@ -28,7 +28,7 @@ fn random_expand_all_kinds(tree: &mut DecisionTree, rng: &mut ChaCha8Rng, steps:
     for _ in 0..steps {
         let leaves: Vec<usize> = tree
             .leaf_ids()
-            .filter(|&id| tree.node(id).rules.len() > 2 && tree.is_separable(id))
+            .filter(|&id| tree.node(id).num_rules() > 2 && tree.is_separable(id))
             .collect();
         let Some(&id) = leaves.as_slice().choose(rng) else { return };
         let dims: Vec<Dim> = classbench::DIMS
@@ -63,7 +63,7 @@ fn random_expand_all_kinds(tree: &mut DecisionTree, rng: &mut ChaCha8Rng, steps:
                 tree.split_node(id, dim, t);
             }
             _ => {
-                let rules = tree.node(id).rules.clone();
+                let rules = tree.rules_at(id).to_vec();
                 let k = rng.gen_range(1..rules.len());
                 let (a, b) = rules.split_at(k);
                 tree.partition_node(id, vec![a.to_vec(), b.to_vec()]);
@@ -247,7 +247,7 @@ proptest! {
 fn wildcard_insert_spans_partition_children_and_deletes_cleanly() {
     let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 120).with_seed(70));
     let mut tree = DecisionTree::new(&rules);
-    let all = tree.node(tree.root()).rules.clone();
+    let all = tree.rules_at(tree.root()).to_vec();
     let third = all.len() / 3;
     let (a, rest) = all.split_at(third);
     let (b, c) = rest.split_at(third);

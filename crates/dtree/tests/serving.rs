@@ -98,7 +98,7 @@ fn split_tree_all_paths_agree() {
 fn partition_tree_all_paths_agree() {
     let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 200).with_seed(19));
     let mut tree = DecisionTree::new(&rules);
-    let all = tree.node(tree.root()).rules.clone();
+    let all = tree.rules_at(tree.root()).to_vec();
     let third = all.len() / 3;
     let (a, rest) = all.split_at(third);
     let (b, c) = rest.split_at(third);
@@ -174,7 +174,7 @@ fn random_expand_all_kinds(tree: &mut DecisionTree, rng: &mut ChaCha8Rng, steps:
     for _ in 0..steps {
         let leaves: Vec<usize> = tree
             .leaf_ids()
-            .filter(|&id| tree.node(id).rules.len() > 2 && tree.is_separable(id))
+            .filter(|&id| tree.node(id).num_rules() > 2 && tree.is_separable(id))
             .collect();
         let Some(&id) = leaves.as_slice().choose(rng) else { return };
         let dims: Vec<Dim> = classbench::DIMS
@@ -211,7 +211,7 @@ fn random_expand_all_kinds(tree: &mut DecisionTree, rng: &mut ChaCha8Rng, steps:
                 tree.split_node(id, dim, t);
             }
             _ => {
-                let rules = tree.node(id).rules.clone();
+                let rules = tree.rules_at(id).to_vec();
                 let k = rng.gen_range(1..rules.len());
                 let (a, b) = rules.split_at(k);
                 tree.partition_node(id, vec![a.to_vec(), b.to_vec()]);

@@ -16,6 +16,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// An environment that can run one full episode (one tree build) under
 /// a frozen policy and return the 1-step experiences plus an episode
 /// objective (e.g. the final tree reward).
+///
+/// `Clone` is expected to be cheap: implementations share their heavy
+/// state (the NeuroCuts env shares its rule set, its SoA rule store,
+/// and the best-tree record across clones), so each worker's clone
+/// costs a handful of `Arc` bumps, not a rule-set copy.
 pub trait RolloutEnv: Send + Clone {
     /// Run one episode with the given policy; `seed` makes the episode's
     /// action sampling reproducible.

@@ -21,10 +21,12 @@ fn main() {
     let cfg = NeuroCutsConfig::small(12_000);
     let mut trainer = Trainer::new(rules.clone(), cfg).expect("trainable rule set");
     let report = trainer.train().expect("training makes progress");
-    let mut tree = match report.best {
+    // Updates mutate the tree in place, so take it out of the shared
+    // best-tree snapshot (clones only if the record still holds it).
+    let mut tree = std::sync::Arc::unwrap_or_clone(match report.best {
         Some(b) => b.tree,
         None => trainer.greedy_tree().0,
-    };
+    });
     println!("trained tree: {}", TreeStats::compute(&tree));
 
     // New devices come online: add one high-priority allow rule each.

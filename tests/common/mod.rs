@@ -5,6 +5,7 @@
 use classbench::RuleSet;
 use dtree::{DecisionTree, TreeStats};
 use neurocuts::Trainer;
+use std::sync::Arc;
 
 /// Every baseline tree builder, by harness name (the bench harness's
 /// `BASELINE_NAMES` plus HyperSplit, which the figures exclude).
@@ -21,7 +22,7 @@ pub fn build(name: &str, rules: &RuleSet) -> DecisionTree {
 /// Best completed training tree, or the greedy tree when the tiny smoke
 /// budget never completed a rollout (untrained policies are heavy-
 /// tailed; the bench harness uses the same fallback).
-pub fn best_or_greedy(trainer: &mut Trainer) -> (DecisionTree, TreeStats) {
+pub fn best_or_greedy(trainer: &mut Trainer) -> (Arc<DecisionTree>, TreeStats) {
     let report = trainer.train().expect("training makes progress");
     match report.best {
         Some(b) => (b.tree, b.stats),
