@@ -28,11 +28,15 @@
 
 use serde_json::Value;
 
-/// The per-row throughput metrics worth gating.
-const METRICS: [&str; 2] = ["steps_per_sec", "episodes_per_sec"];
+/// The per-row throughput metrics worth gating. `mpps` and
+/// `sustained_mpps` cover the serving-side emitters: `bench_updates`
+/// rows (Mpps sustained during churn) and `bench_lifecycle` phase rows
+/// (Mpps sustained in every lifecycle phase, including *during* a
+/// background retrain).
+const METRICS: [&str; 4] = ["steps_per_sec", "episodes_per_sec", "mpps", "sustained_mpps"];
 
 /// Identity fields used to label a row in failure messages.
-const ID_FIELDS: [&str; 5] = ["path", "algo", "hidden", "workers", "envs"];
+const ID_FIELDS: [&str; 6] = ["path", "algo", "hidden", "workers", "envs", "phase"];
 
 fn scalar(v: &Value) -> String {
     if let Some(s) = v.as_str() {

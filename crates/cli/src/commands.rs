@@ -1,4 +1,4 @@
-//! The seven CLI subcommands.
+//! The eight CLI subcommands.
 
 use crate::args::Args;
 use classbench::{
@@ -9,7 +9,10 @@ use dtree::{
     find_rebuild_divergence, run_engine, run_live_engine, serve_during, ChurnSchedule,
     ClassifierHandle, DecisionTree, EngineConfig, FlatTree, RebuildPolicy, TreeStats,
 };
-use neurocuts::{NeuroCutsConfig, PartitionMode, Trainer};
+use neurocuts::{
+    churn_retrain_timeline, retrain_snapshot, LifecycleConfig, LifecycleWorker, NeuroCutsConfig,
+    PartitionMode, RetrainTrigger, TimelineConfig, Trainer,
+};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -39,9 +42,20 @@ subcommands:
       batched, and sharded multi-core lookup throughput
   update-bench --tree TREE.json --rules FILE [--updates N] [--trace N]
                [--threads T] [--churn C] [--seed S]
+               [--auto-retrain true] [--retrain-churn C] [--timesteps N]
       replay an insert/delete churn schedule through the live
       ClassifierHandle while engine readers serve concurrently;
-      reports updates/sec applied and Mpps sustained during churn
+      reports updates/sec applied and Mpps sustained during churn.
+      with --auto-retrain true, a background lifecycle worker watches
+      the churn and hot-swaps a freshly retrained tree mid-replay
+  lifecycle-bench --rules FILE [--updates N] [--trace N] [--timesteps N]
+                  [--readers R] [--retrain-churn C] [--seed S]
+      the full churn → retrain → hot-swap loop: train an initial
+      classifier, churn it under concurrent readers, let the
+      background lifecycle worker retrain and verify-swap the
+      optimised tree, and compare the result against a fresh train on
+      the final rules; exits non-zero on any divergence or if no swap
+      was adopted
   stats    --tree TREE.json
       print a saved tree's statistics";
 
@@ -279,8 +293,11 @@ pub fn serve_bench(argv: &[String]) -> Result<(), String> {
 /// Builds a [`ClassifierHandle`] around the saved tree, spawns reader
 /// threads that serve a synthetic trace through epoch-swapped
 /// snapshots, and replays a seeded insert/delete schedule against the
-/// handle. Afterwards the final snapshot is verified bit-identical to
-/// a from-scratch recompile of the updated tree.
+/// handle. With `--auto-retrain true`, a background [`LifecycleWorker`]
+/// runs alongside the replay and hot-swaps a freshly retrained tree
+/// when the churn trigger fires. Afterwards the final snapshot is
+/// verified bit-identical to a from-scratch recompile of the updated
+/// tree.
 pub fn update_bench(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     let tree = read_tree(args.required("tree")?)?;
@@ -294,6 +311,9 @@ pub fn update_bench(argv: &[String]) -> Result<(), String> {
     if !max_churn.is_finite() || max_churn <= 0.0 {
         return Err("--churn must be a positive fraction".into());
     }
+    let auto_retrain: bool = args.parse_or("auto-retrain", false)?;
+    let retrain_churn: f64 = args.parse_or("retrain-churn", 0.25)?;
+    let train_timesteps: usize = args.parse_or("timesteps", 3_000)?;
     let trace = generate_trace(&rules, &TraceConfig::new(n).with_seed(seed));
 
     let policy = RebuildPolicy { max_churn, min_updates: 8 };
@@ -308,21 +328,38 @@ pub fn update_bench(argv: &[String]) -> Result<(), String> {
     let live: Vec<usize> =
         (0..rules.len()).filter(|&id| handle.with_tree(|t| t.is_active(id))).collect();
     let mut schedule = ChurnSchedule::new(rules.rules().to_vec(), live, seed ^ 0x5eed);
-    let (churn_secs, served) = serve_during(&handle, &trace, threads.max(1), || {
-        let start = std::time::Instant::now();
-        for i in 0..updates {
-            schedule.step(&handle);
-            if (i + 1).is_multiple_of((updates / 10).max(1)) {
-                eprintln!(
-                    "  {:>6}/{updates} updates  epoch {}  rebuilds {}  overlay {}",
-                    i + 1,
-                    handle.epoch(),
-                    handle.stats().rebuilds,
-                    handle.stats().overlay_len
-                );
+    let worker = auto_retrain.then(|| {
+        let mut lc = LifecycleConfig::new(NeuroCutsConfig::small(train_timesteps).with_seed(seed));
+        lc.trigger =
+            RetrainTrigger { min_churn: retrain_churn, min_updates: 32, max_drift: f64::INFINITY };
+        LifecycleWorker::new(lc, &handle)
+    });
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let ((churn_secs, served), lc_report) = std::thread::scope(|scope| {
+        let worker_thread = worker.map(|w| {
+            let (handle, trace, stop) = (&handle, &trace, &stop);
+            scope.spawn(move || w.run(handle, trace, stop, std::time::Duration::from_millis(20)))
+        });
+        let measured = serve_during(&handle, &trace, threads.max(1), || {
+            let start = std::time::Instant::now();
+            for i in 0..updates {
+                schedule.step(&handle);
+                if (i + 1).is_multiple_of((updates / 10).max(1)) {
+                    eprintln!(
+                        "  {:>6}/{updates} updates  epoch {}  rebuilds {}  retrains {}  overlay {}",
+                        i + 1,
+                        handle.epoch(),
+                        handle.stats().rebuilds,
+                        handle.stats().retrains,
+                        handle.stats().overlay_len
+                    );
+                }
             }
-        }
-        start.elapsed().as_secs_f64()
+            start.elapsed().as_secs_f64()
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let lc_report = worker_thread.map(|t| t.join().expect("lifecycle worker thread"));
+        (measured, lc_report)
     });
 
     let stats = handle.stats();
@@ -331,6 +368,31 @@ pub fn update_bench(argv: &[String]) -> Result<(), String> {
     println!("updates applied   {updates} ({applied_per_sec:>10.0} updates/s)");
     println!("rebuilds          {} (epoch {})", stats.rebuilds, stats.epoch);
     println!("sustained serving {threads} readers  {sustained_mpps:>8.2} Mpps during churn");
+    if let Some(report) = &lc_report {
+        println!(
+            "auto-retrain      {} attempt(s), {} adopted ({} trigger polls)",
+            report.retrains,
+            report.adopted(),
+            report.polls
+        );
+        for e in &report.events {
+            match &e.skipped {
+                None => println!(
+                    "  seed {}: {:.0}% churn -> depth {} -> {}, reconciled +{}/-{}, \
+                     spot-checked {}, epoch {}",
+                    e.train_seed,
+                    e.churn * 100.0,
+                    e.depth_before,
+                    e.depth_after,
+                    e.reconciled_inserts,
+                    e.reconciled_deletes,
+                    e.spot_checked,
+                    e.epoch
+                ),
+                Some(why) => println!("  seed {} skipped: {why}", e.train_seed),
+            }
+        }
+    }
 
     // Correctness gate: the final snapshot must equal a full recompile.
     if let Some(p) = find_rebuild_divergence(&handle, &trace) {
@@ -349,6 +411,104 @@ pub fn update_bench(argv: &[String]) -> Result<(), String> {
         "live engine       {:>2}t  {:>10.0} pkts/s (epoch {}..{})",
         report.threads, report.packets_per_sec, report.min_epoch, report.max_epoch
     );
+    Ok(())
+}
+
+/// `neurocuts lifecycle-bench`: the churn → retrain → hot-swap loop.
+///
+/// Trains an initial classifier, serves it through a
+/// [`ClassifierHandle`] while a seeded churn schedule mutates the rule
+/// set, then lets a [`LifecycleWorker`] detect the accumulated churn,
+/// retrain on a frozen snapshot, verify the graft against the
+/// linear-scan ground truth, and publish it through one epoch swap —
+/// measuring sustained Mpps in every phase. Finishes by training a
+/// fresh classifier on the *final* rules and comparing depths: the
+/// auto-retrained tree should be close to what a from-scratch deploy
+/// would give.
+pub fn lifecycle_bench(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let rules = read_rules(args.required("rules")?)?;
+    let updates: usize = args.parse_or("updates", 1_000)?;
+    let n: usize = args.parse_or("trace", 20_000)?;
+    let timesteps: usize = args.parse_or("timesteps", 3_000)?;
+    let readers: usize = args.parse_or("readers", 2)?;
+    let retrain_churn: f64 = args.parse_or("retrain-churn", 0.25)?;
+    if !retrain_churn.is_finite() || retrain_churn <= 0.0 {
+        return Err("--retrain-churn must be a positive fraction".into());
+    }
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let trace = generate_trace(&rules, &TraceConfig::new(n).with_seed(seed));
+    let train_cfg = NeuroCutsConfig::small(timesteps).with_seed(seed);
+
+    eprintln!("training the initial classifier on {} rules...", rules.len());
+    let (tree, stats, _) = retrain_snapshot(&rules, &train_cfg, seed).map_err(|e| e.to_string())?;
+    eprintln!("initial tree: {stats}");
+    let handle = ClassifierHandle::new((*tree).clone(), RebuildPolicy::default_policy());
+
+    let mut lc = LifecycleConfig::new(train_cfg.clone());
+    lc.trigger =
+        RetrainTrigger { min_churn: retrain_churn, min_updates: 32, max_drift: f64::INFINITY };
+    let mut worker = LifecycleWorker::new(lc, &handle);
+    let tl = TimelineConfig {
+        updates,
+        readers: readers.max(1),
+        measure_ms: 400,
+        schedule_seed: seed ^ 0x11fe,
+        check_every: (updates / 8).max(1),
+    };
+    let report = churn_retrain_timeline(&handle, &rules, &trace, &mut worker, &tl);
+
+    println!("phase      secs     Mpps  updates  epoch  rebuilds  retrains  depth  overlay");
+    for r in &report.phases {
+        println!(
+            "{:<9} {:>5.2} {:>8.2} {:>8} {:>6} {:>9} {:>9} {:>6} {:>8}",
+            r.phase, r.secs, r.mpps, r.updates, r.epoch, r.rebuilds, r.retrains, r.depth, r.overlay
+        );
+    }
+    println!("differential checks: {} run, {} divergences", report.checks, report.divergences);
+
+    let lc_report = worker.into_report();
+    for e in &lc_report.events {
+        match &e.skipped {
+            None => println!(
+                "retrain (seed {}): {:.0}% churn, {} timesteps in {:.2}s, depth {} -> {}, \
+                 reconciled +{}/-{}, spot-checked {} packets, published epoch {}",
+                e.train_seed,
+                e.churn * 100.0,
+                e.timesteps,
+                e.train_secs,
+                e.depth_before,
+                e.depth_after,
+                e.reconciled_inserts,
+                e.reconciled_deletes,
+                e.spot_checked,
+                e.epoch
+            ),
+            Some(why) => println!("retrain (seed {}) skipped: {why}", e.train_seed),
+        }
+    }
+
+    // The staleness comparator: how does the auto-retrained classifier
+    // compare with training from scratch on the rules we ended up with?
+    let final_rules = handle.rule_snapshot();
+    let (_, fresh, _) =
+        retrain_snapshot(final_rules.rules(), &train_cfg, seed).map_err(|e| e.to_string())?;
+    let served_depth = handle.with_tree(TreeStats::compute).time;
+    println!(
+        "auto-retrained depth {served_depth} vs fresh-trained depth {} on the final {} rules \
+         (ratio {:.2})",
+        fresh.time,
+        final_rules.len(),
+        served_depth as f64 / fresh.time.max(1) as f64
+    );
+
+    if report.divergences > 0 {
+        return Err(format!("{} differential checks diverged", report.divergences));
+    }
+    if lc_report.adopted() == 0 {
+        return Err("no retrain was adopted — raise --updates or lower --retrain-churn".into());
+    }
+    println!("lifecycle verified: every epoch certified, {} swap(s) adopted", lc_report.adopted());
     Ok(())
 }
 

@@ -32,7 +32,12 @@
 //!   with parallel rollout workers (Figure 7), plus greedy/stochastic
 //!   tree extraction (Figures 5 and 6) and incremental classifier
 //!   updates (§4). Degenerate inputs surface as [`TrainError`]s rather
-//!   than panics.
+//!   than panics;
+//! * [`lifecycle`] — the churn → retrain → hot-swap loop: a background
+//!   [`LifecycleWorker`] watches churn and tree-quality drift, retrains
+//!   on a frozen snapshot while readers keep serving, spot-checks the
+//!   grafted winner against a linear scan, and publishes it through one
+//!   epoch swap.
 //!
 //! # Quickstart
 //!
@@ -55,6 +60,7 @@
 pub mod actions;
 pub mod config;
 pub mod env;
+pub mod lifecycle;
 pub mod obs;
 pub mod partitioner;
 pub mod reward;
@@ -64,6 +70,10 @@ pub mod vecenv;
 pub use actions::{Action, ActionSpace};
 pub use config::{NeuroCutsConfig, PartitionMode, RewardScaling};
 pub use env::{EpisodeState, NeuroCutsEnv, PendingDecision};
+pub use lifecycle::{
+    churn_retrain_timeline, drift_signal, retrain_snapshot, LifecycleConfig, LifecycleEvent,
+    LifecycleReport, LifecycleWorker, PhaseRow, RetrainTrigger, TimelineConfig, TimelineReport,
+};
 pub use obs::ObsEncoder;
 pub use reward::Objective;
 pub use trainer::{BestTree, IterationStats, TrainError, TrainReport, Trainer};

@@ -1,0 +1,614 @@
+//! The classifier lifecycle: close the churn → retrain → hot-swap loop.
+//!
+//! PR 3's live-update path keeps serving *correct* matches under churn,
+//! but the served tree's **shape** was chosen by the RL optimiser for a
+//! rule set that no longer exists: rebuilds re-flatten the mutated tree
+//! without ever re-running the optimiser, so depth and Mpps silently
+//! degrade the longer a classifier lives. This module is the missing
+//! control loop (cf. Chameleon's runtime reconfiguration pattern:
+//! reconfigure in the background, verify continuously, swap invisibly):
+//!
+//! 1. **Watch** — a [`LifecycleWorker`] polls the handle's lifetime
+//!    update counters (churn since the last baseline) and a cheap tree-
+//!    quality drift signal (worst-case depth × bytes/rule vs. the
+//!    post-train baseline, [`drift_signal`]).
+//! 2. **Trigger** — a [`RetrainTrigger`] decides when accumulated churn
+//!    or quality drift warrants a retrain (with a `min_updates` gate so
+//!    small classifiers don't thrash).
+//! 3. **Retrain** — the worker freezes the current rule set
+//!    ([`dtree::ClassifierHandle::rule_snapshot`]), trains a fresh
+//!    policy on the side via [`Trainer`] + the vectorised collector,
+//!    and extracts the best tree ([`Trainer::train_to_tree`]). Readers
+//!    keep serving the old epoch throughout.
+//! 4. **Verify + swap** — [`dtree::ClassifierHandle::adopt`] grafts the
+//!    winner into the live id space, reconciles updates that landed
+//!    mid-retrain, spot-checks the graft against the linear-scan ground
+//!    truth, and publishes one new epoch — folding the overlay and
+//!    resetting the churn log atomically. A failed spot check abandons
+//!    the swap with the serving state untouched.
+//!
+//! The [`churn_retrain_timeline`] driver at the bottom is the shared
+//! harness behind the CLI `lifecycle-bench` subcommand and the
+//! `bench_lifecycle` JSON emitter, so the two entry points measure the
+//! same loop instead of carrying diverging copies.
+
+use crate::config::NeuroCutsConfig;
+use crate::trainer::{TrainError, Trainer};
+use classbench::{Packet, RuleSet};
+use dtree::{
+    find_rebuild_divergence, serve_during, ChurnSchedule, ClassifierHandle, DecisionTree, TreeStats,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// When accumulated churn or quality drift warrants a background
+/// retrain (the lifecycle analogue of `dtree`'s `RebuildPolicy`, one
+/// level up: a rebuild re-flattens the mutated tree, a retrain re-runs
+/// the optimiser that chose its shape).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrainTrigger {
+    /// Retrain when updates since the last baseline reach this
+    /// fraction of the active rules.
+    pub min_churn: f64,
+    /// Never retrain before this many updates since the baseline, so
+    /// small classifiers don't retrain on every handful of updates.
+    pub min_updates: usize,
+    /// Retrain regardless of churn when the quality signal
+    /// ([`drift_signal`]) grows past this ratio of the baseline.
+    pub max_drift: f64,
+}
+
+impl RetrainTrigger {
+    /// Retrain at 25% churn (or 1.5× quality drift), not before 32
+    /// updates.
+    pub fn default_trigger() -> Self {
+        RetrainTrigger { min_churn: 0.25, min_updates: 32, max_drift: 1.5 }
+    }
+
+    /// True when the accumulated signals warrant a retrain.
+    pub fn fires(&self, updates_since: usize, churn: f64, drift: f64) -> bool {
+        updates_since >= self.min_updates && (churn >= self.min_churn || drift >= self.max_drift)
+    }
+}
+
+impl Default for RetrainTrigger {
+    fn default() -> Self {
+        Self::default_trigger()
+    }
+}
+
+/// The cheap tree-quality signal the worker watches: worst-case
+/// classification depth (Eq. 1) × bytes per rule. Depth is fixed by the
+/// structure while churn only mutates leaves, so the product moves with
+/// the rule count and leaf occupancy — exactly the "shape chosen for a
+/// rule set that no longer exists" drift a rebuild cannot fix.
+pub fn drift_signal(stats: &TreeStats) -> f64 {
+    stats.time as f64 * stats.bytes_per_rule.max(1.0)
+}
+
+/// Everything a [`LifecycleWorker`] needs to run.
+#[derive(Debug, Clone)]
+pub struct LifecycleConfig {
+    /// When to retrain.
+    pub trigger: RetrainTrigger,
+    /// Training budget and hyperparameters for each background retrain.
+    /// Each retrain `k` uses `train.seed + k`, recorded per event, so
+    /// every swap is reproducible from its snapshot alone.
+    pub train: NeuroCutsConfig,
+    /// Stop after this many retrain attempts (0 = unlimited).
+    pub max_retrains: usize,
+}
+
+impl LifecycleConfig {
+    /// A worker around the given training config with the default
+    /// trigger and no retrain cap.
+    pub fn new(train: NeuroCutsConfig) -> Self {
+        LifecycleConfig { trigger: RetrainTrigger::default_trigger(), train, max_retrains: 0 }
+    }
+}
+
+/// One retrain attempt, adopted or skipped. Carries the frozen snapshot
+/// and seed so any published epoch can be re-derived from scratch
+/// (retrain the snapshot with the same seed, graft, compare) — the
+/// reproducibility claim the soak test pins.
+#[derive(Debug, Clone)]
+pub struct LifecycleEvent {
+    /// Epoch after the swap (the pre-attempt epoch when skipped).
+    pub epoch: u64,
+    /// The rule set the retrain saw (frozen at trigger time).
+    pub snapshot_rules: RuleSet,
+    /// The exact seed this retrain trained with.
+    pub train_seed: u64,
+    /// Churn fraction since the baseline at trigger time.
+    pub churn: f64,
+    /// Quality-drift ratio vs. the baseline at trigger time.
+    pub drift: f64,
+    /// Environment timesteps the retrain consumed.
+    pub timesteps: usize,
+    /// Wall-clock seconds spent training (readers served throughout).
+    pub train_secs: f64,
+    /// Stats of the trained template *before* grafting — re-deriving
+    /// them from `snapshot_rules` + `train_seed` must reproduce this
+    /// exactly (the trainer is deterministic), which is how the soak
+    /// test certifies every published epoch. `None` when training was
+    /// skipped.
+    pub template_stats: Option<TreeStats>,
+    /// Served worst-case depth before the swap.
+    pub depth_before: usize,
+    /// Served worst-case depth after the swap (unchanged when skipped).
+    pub depth_after: usize,
+    /// Bytes per rule after the swap.
+    pub bytes_per_rule_after: f64,
+    /// Post-snapshot inserts the swap reconciled.
+    pub reconciled_inserts: usize,
+    /// Post-snapshot deletes the swap reconciled.
+    pub reconciled_deletes: usize,
+    /// Packets the pre-publish linear-scan spot check verified.
+    pub spot_checked: usize,
+    /// True when the retrained tree was published.
+    pub adopted: bool,
+    /// Why the attempt did not publish (degenerate rule set, failed
+    /// spot check, ...). `None` when adopted.
+    pub skipped: Option<String>,
+}
+
+/// Everything a worker did over its lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct LifecycleReport {
+    /// One entry per retrain attempt, in order.
+    pub events: Vec<LifecycleEvent>,
+    /// Trigger polls evaluated.
+    pub polls: usize,
+    /// Retrain attempts (adopted + skipped).
+    pub retrains: usize,
+}
+
+impl LifecycleReport {
+    /// Retrains that actually published a new tree.
+    pub fn adopted(&self) -> usize {
+        self.events.iter().filter(|e| e.adopted).count()
+    }
+}
+
+/// The off-hot-path self-optimisation worker (module docs). Drive it
+/// synchronously with [`Self::poll`] (deterministic harnesses) or hand
+/// it a thread via [`Self::run`].
+#[derive(Debug)]
+pub struct LifecycleWorker {
+    cfg: LifecycleConfig,
+    baseline_updates: usize,
+    baseline_signal: f64,
+    polls: usize,
+    retrains: usize,
+    events: Vec<LifecycleEvent>,
+}
+
+impl LifecycleWorker {
+    /// Attach a worker to a handle: the current tree becomes the
+    /// quality baseline and churn starts counting from now.
+    pub fn new(cfg: LifecycleConfig, handle: &ClassifierHandle) -> Self {
+        let stats = handle.with_tree(TreeStats::compute);
+        LifecycleWorker {
+            cfg,
+            baseline_updates: handle.stats().lifetime_updates(),
+            baseline_signal: drift_signal(&stats),
+            polls: 0,
+            retrains: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Retrain attempts so far (adopted + skipped).
+    pub fn retrains(&self) -> usize {
+        self.retrains
+    }
+
+    /// The attempts recorded so far.
+    pub fn events(&self) -> &[LifecycleEvent] {
+        &self.events
+    }
+
+    /// Evaluate the trigger once and, when it fires, run one full
+    /// retrain → verify → swap cycle on the calling thread (readers
+    /// keep serving the old epoch throughout; updates only pause for
+    /// the final graft + compile). Returns the recorded event when an
+    /// attempt ran, `None` when the trigger held.
+    ///
+    /// `spot_check` is the trace the pre-publish verification classifies
+    /// through both the grafted tree and the linear-scan ground truth.
+    pub fn poll(
+        &mut self,
+        handle: &ClassifierHandle,
+        spot_check: &[Packet],
+    ) -> Option<&LifecycleEvent> {
+        self.polls += 1;
+        if self.cfg.max_retrains > 0 && self.retrains >= self.cfg.max_retrains {
+            return None;
+        }
+        let stats = handle.stats();
+        let updates_since = stats.lifetime_updates().saturating_sub(self.baseline_updates);
+        let churn = updates_since as f64 / stats.active_rules.max(1) as f64;
+        let tree_stats = handle.with_tree(TreeStats::compute);
+        let drift = drift_signal(&tree_stats) / self.baseline_signal.max(f64::MIN_POSITIVE);
+        if !self.cfg.trigger.fires(updates_since, churn, drift) {
+            return None;
+        }
+
+        self.retrains += 1;
+        let snap = handle.rule_snapshot();
+        let seed = self.cfg.train.seed.wrapping_add(self.retrains as u64);
+        let mut event = LifecycleEvent {
+            epoch: stats.epoch,
+            snapshot_rules: snap.rules().clone(),
+            train_seed: seed,
+            churn,
+            drift,
+            timesteps: 0,
+            train_secs: 0.0,
+            template_stats: None,
+            depth_before: tree_stats.time,
+            depth_after: tree_stats.time,
+            bytes_per_rule_after: tree_stats.bytes_per_rule,
+            reconciled_inserts: 0,
+            reconciled_deletes: 0,
+            spot_checked: 0,
+            adopted: false,
+            skipped: None,
+        };
+        let started = Instant::now();
+        match retrain_snapshot(snap.rules(), &self.cfg.train, seed) {
+            Err(err) => event.skipped = Some(err.to_string()),
+            Ok((tree, template_stats, timesteps)) => {
+                event.timesteps = timesteps;
+                event.train_secs = started.elapsed().as_secs_f64();
+                event.template_stats = Some(template_stats);
+                match handle.adopt(&tree, &snap, spot_check) {
+                    Err(err) => event.skipped = Some(err.to_string()),
+                    Ok(report) => {
+                        event.adopted = true;
+                        event.epoch = report.epoch;
+                        event.reconciled_inserts = report.reconciled_inserts;
+                        event.reconciled_deletes = report.reconciled_deletes;
+                        event.spot_checked = report.spot_checked;
+                        let after = handle.with_tree(TreeStats::compute);
+                        event.depth_after = after.time;
+                        event.bytes_per_rule_after = after.bytes_per_rule;
+                    }
+                }
+            }
+        }
+        // Re-baseline from the post-attempt state (also after a skip:
+        // retrying the same degenerate snapshot every poll would spin).
+        self.baseline_updates = handle.stats().lifetime_updates();
+        self.baseline_signal = drift_signal(&handle.with_tree(TreeStats::compute));
+        self.events.push(event);
+        self.events.last()
+    }
+
+    /// Run as a background worker: poll every `interval` until `stop`
+    /// is set, then return the full report. Spawn on its own thread
+    /// (e.g. `std::thread::scope`) next to readers and updaters.
+    pub fn run(
+        mut self,
+        handle: &ClassifierHandle,
+        spot_check: &[Packet],
+        stop: &AtomicBool,
+        interval: Duration,
+    ) -> LifecycleReport {
+        while !stop.load(Ordering::Relaxed) {
+            self.poll(handle, spot_check);
+            // Sleep in small slices so a stop request isn't stuck
+            // behind a long interval.
+            let mut left = interval;
+            while !left.is_zero() && !stop.load(Ordering::Relaxed) {
+                let step = left.min(Duration::from_millis(5));
+                std::thread::sleep(step);
+                left = left.saturating_sub(step);
+            }
+        }
+        // One drain poll, so churn that accumulated since the last
+        // tick is not silently dropped at shutdown (a replay shorter
+        // than one interval would otherwise never trigger).
+        self.poll(handle, spot_check);
+        self.into_report()
+    }
+
+    /// Consume the worker into its report.
+    pub fn into_report(self) -> LifecycleReport {
+        LifecycleReport { events: self.events, polls: self.polls, retrains: self.retrains }
+    }
+}
+
+/// Retrain on a frozen rule-set snapshot: train with `cfg` reseeded to
+/// `seed`, and return the tree to deploy plus its stats and the
+/// timesteps consumed. Deterministic for a fixed (rules, cfg, seed) —
+/// the soak test re-derives published epochs through this exact entry
+/// point, from nothing but a [`LifecycleEvent`]'s `snapshot_rules` and
+/// `train_seed`.
+pub fn retrain_snapshot(
+    rules: &RuleSet,
+    cfg: &NeuroCutsConfig,
+    seed: u64,
+) -> Result<(Arc<DecisionTree>, TreeStats, usize), TrainError> {
+    let mut cfg = cfg.clone();
+    cfg.seed = seed;
+    let mut trainer = Trainer::new(rules.clone(), cfg)?;
+    trainer.train_to_tree()
+}
+
+/// One measured phase of a [`churn_retrain_timeline`] run.
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Phase name (`baseline`, `churn`, `retrain`, `steady`).
+    pub phase: &'static str,
+    /// Wall-clock seconds the phase ran.
+    pub secs: f64,
+    /// Sustained reader throughput during the phase (million packets
+    /// per second, all readers combined).
+    pub mpps: f64,
+    /// Updates applied during the phase.
+    pub updates: usize,
+    /// Published epoch at phase end.
+    pub epoch: u64,
+    /// Cumulative rebuilds at phase end.
+    pub rebuilds: u64,
+    /// Cumulative adopted retrains at phase end.
+    pub retrains: u64,
+    /// Served worst-case depth (Eq. 1) at phase end.
+    pub depth: usize,
+    /// Bytes per rule at phase end.
+    pub bytes_per_rule: f64,
+    /// Overlay length at phase end.
+    pub overlay: usize,
+}
+
+/// What a [`churn_retrain_timeline`] run produced.
+#[derive(Debug, Clone)]
+pub struct TimelineReport {
+    /// The measured phases, in order.
+    pub phases: Vec<PhaseRow>,
+    /// Differential checks that found a divergence (must be 0).
+    pub divergences: usize,
+    /// Differential checks run.
+    pub checks: usize,
+}
+
+/// Knobs for [`churn_retrain_timeline`].
+#[derive(Debug, Clone)]
+pub struct TimelineConfig {
+    /// Updates to apply during the churn phase.
+    pub updates: usize,
+    /// Reader threads serving throughout.
+    pub readers: usize,
+    /// Mpps measurement window for the quiet phases (milliseconds).
+    pub measure_ms: u64,
+    /// Seed for the churn schedule.
+    pub schedule_seed: u64,
+    /// Run a differential check every this many updates (0 = only at
+    /// phase boundaries).
+    pub check_every: usize,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        TimelineConfig {
+            updates: 200,
+            readers: 2,
+            measure_ms: 300,
+            schedule_seed: 7,
+            check_every: 64,
+        }
+    }
+}
+
+/// The shared churn-then-retrain harness behind `lifecycle-bench` and
+/// `bench_lifecycle`: measure a baseline, apply churn under concurrent
+/// readers, let the worker retrain and hot-swap while readers keep
+/// serving, then measure the steady state — with a differential
+/// certification ([`find_rebuild_divergence`]) at every checkpoint and
+/// phase boundary.
+///
+/// The worker is polled *synchronously* after the churn phase so runs
+/// are deterministic given (rules, seeds, config); [`LifecycleWorker::run`]
+/// is the free-running alternative exercised by the soak test.
+pub fn churn_retrain_timeline(
+    handle: &ClassifierHandle,
+    donors: &RuleSet,
+    trace: &[Packet],
+    worker: &mut LifecycleWorker,
+    cfg: &TimelineConfig,
+) -> TimelineReport {
+    let mut phases = Vec::new();
+    let mut divergences = 0usize;
+    let mut checks = 0usize;
+    let check = |handle: &ClassifierHandle, divergences: &mut usize, checks: &mut usize| {
+        *checks += 1;
+        if find_rebuild_divergence(handle, trace).is_some() {
+            *divergences += 1;
+        }
+    };
+    let row = |phase: &'static str, secs: f64, served: u64, updates: usize| {
+        let stats = handle.stats();
+        let tree_stats = handle.with_tree(TreeStats::compute);
+        PhaseRow {
+            phase,
+            secs,
+            mpps: served as f64 / secs.max(1e-9) / 1e6,
+            updates,
+            epoch: stats.epoch,
+            rebuilds: stats.rebuilds,
+            retrains: stats.retrains,
+            depth: tree_stats.time,
+            bytes_per_rule: tree_stats.bytes_per_rule,
+            overlay: stats.overlay_len,
+        }
+    };
+
+    // Phase 1: the freshly trained baseline.
+    let started = Instant::now();
+    let ((), served) = serve_during(handle, trace, cfg.readers, || {
+        std::thread::sleep(Duration::from_millis(cfg.measure_ms));
+    });
+    check(handle, &mut divergences, &mut checks);
+    phases.push(row("baseline", started.elapsed().as_secs_f64(), served, 0));
+
+    // Phase 2: churn under concurrent readers.
+    let mut schedule = ChurnSchedule::new(
+        donors.rules().to_vec(),
+        (0..handle.stats().active_rules).collect(),
+        cfg.schedule_seed,
+    );
+    let started = Instant::now();
+    let (_, served) = serve_during(handle, trace, cfg.readers, || {
+        for i in 0..cfg.updates {
+            schedule.step(handle);
+            if cfg.check_every > 0 && (i + 1) % cfg.check_every == 0 {
+                check(handle, &mut divergences, &mut checks);
+            }
+        }
+    });
+    check(handle, &mut divergences, &mut checks);
+    phases.push(row("churn", started.elapsed().as_secs_f64(), served, cfg.updates));
+
+    // Phase 3: the background retrain — readers serve the old epoch
+    // while the worker trains, verifies, and swaps.
+    let started = Instant::now();
+    let (_, served) =
+        serve_during(handle, trace, cfg.readers, || worker.poll(handle, trace).is_some());
+    check(handle, &mut divergences, &mut checks);
+    phases.push(row("retrain", started.elapsed().as_secs_f64(), served, 0));
+
+    // Phase 4: steady state on the retrained tree.
+    let started = Instant::now();
+    let ((), served) = serve_during(handle, trace, cfg.readers, || {
+        std::thread::sleep(Duration::from_millis(cfg.measure_ms));
+    });
+    check(handle, &mut divergences, &mut checks);
+    phases.push(row("steady", started.elapsed().as_secs_f64(), served, 0));
+
+    TimelineReport { phases, divergences, checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classbench::{
+        generate_rules, generate_trace, ClassifierFamily, Dim, GeneratorConfig, TraceConfig,
+    };
+    use dtree::RebuildPolicy;
+
+    fn served_handle(seed: u64) -> (ClassifierHandle, RuleSet) {
+        let rules =
+            generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 150).with_seed(seed));
+        let mut tree = DecisionTree::new(&rules);
+        for k in tree.cut_node(tree.root(), Dim::SrcIp, 8) {
+            if !tree.is_terminal(k, 8) {
+                tree.cut_node(k, Dim::DstIp, 4);
+            }
+        }
+        (ClassifierHandle::new(tree, RebuildPolicy::default_policy()), rules)
+    }
+
+    #[test]
+    fn trigger_gates_on_updates_then_fires_on_churn_or_drift() {
+        let t = RetrainTrigger { min_churn: 0.25, min_updates: 10, max_drift: 1.5 };
+        assert!(!t.fires(9, 9.0, 9.0), "min_updates must gate everything");
+        assert!(!t.fires(10, 0.1, 1.0), "neither signal past threshold");
+        assert!(t.fires(10, 0.25, 1.0), "churn alone fires");
+        assert!(t.fires(10, 0.0, 1.5), "drift alone fires");
+    }
+
+    #[test]
+    fn worker_holds_until_enough_churn_accumulates() {
+        let (handle, rules) = served_handle(60);
+        let mut cfg = LifecycleConfig::new(NeuroCutsConfig::smoke_test());
+        cfg.trigger = RetrainTrigger { min_churn: 0.3, min_updates: 16, max_drift: 100.0 };
+        let mut worker = LifecycleWorker::new(cfg, &handle);
+        let trace = generate_trace(&rules, &TraceConfig::new(64).with_seed(61));
+        assert!(worker.poll(&handle, &trace).is_none(), "no churn yet");
+        for i in 0..8 {
+            handle.insert(classbench::Rule::default_rule(200_000 + i));
+        }
+        assert!(worker.poll(&handle, &trace).is_none(), "below min_updates");
+        assert_eq!(worker.retrains(), 0);
+    }
+
+    #[test]
+    fn worker_retrains_verifies_and_swaps() {
+        let (handle, rules) = served_handle(62);
+        let mut cfg = LifecycleConfig::new(NeuroCutsConfig::smoke_test());
+        cfg.trigger = RetrainTrigger { min_churn: 0.2, min_updates: 16, max_drift: 100.0 };
+        cfg.max_retrains = 1;
+        let mut worker = LifecycleWorker::new(cfg, &handle);
+        let trace = generate_trace(&rules, &TraceConfig::new(256).with_seed(63));
+        let mut schedule =
+            ChurnSchedule::new(rules.rules().to_vec(), (0..rules.len()).collect(), 64);
+        for _ in 0..60 {
+            schedule.step(&handle);
+        }
+        let epoch_before = handle.epoch();
+        let event = worker.poll(&handle, &trace).expect("trigger fires").clone();
+        assert!(event.adopted, "retrained tree must be adopted: {:?}", event.skipped);
+        assert!(event.timesteps > 0);
+        assert!(event.churn >= 0.2);
+        assert_eq!(event.train_seed, NeuroCutsConfig::smoke_test().seed.wrapping_add(1));
+        let stats = handle.stats();
+        assert_eq!(stats.retrains, 1);
+        assert!(handle.epoch() > epoch_before);
+        assert_eq!(stats.overlay_len, 0, "the swap folds the overlay");
+        assert_eq!(stats.log.total(), 0, "the swap resets the churn log");
+        // Published state is certified against a from-scratch recompile.
+        assert_eq!(find_rebuild_divergence(&handle, &trace), None);
+        // The cap holds: no further retrains even under more churn.
+        for _ in 0..60 {
+            schedule.step(&handle);
+        }
+        assert!(worker.poll(&handle, &trace).is_none(), "max_retrains reached");
+    }
+
+    #[test]
+    fn worker_skips_degenerate_snapshots_without_spinning() {
+        // 6 rules < smoke binth: NothingToLearn. The worker must record
+        // the skip and re-baseline instead of retrying every poll.
+        let rules =
+            RuleSet::from_ordered((0..6).map(|_| classbench::Rule::default_rule(0)).collect());
+        let tree = DecisionTree::new(&rules);
+        let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
+        let mut cfg = LifecycleConfig::new(NeuroCutsConfig::smoke_test());
+        cfg.trigger = RetrainTrigger { min_churn: 0.5, min_updates: 4, max_drift: 100.0 };
+        let mut worker = LifecycleWorker::new(cfg, &handle);
+        for i in 0..6 {
+            handle.insert(classbench::Rule::default_rule(10 + i));
+        }
+        let event = worker.poll(&handle, &[]).expect("trigger fires").clone();
+        assert!(!event.adopted);
+        assert!(event.skipped.is_some(), "degenerate snapshot surfaces as a skip");
+        assert!(worker.poll(&handle, &[]).is_none(), "re-baselined: no hot loop");
+    }
+
+    #[test]
+    fn timeline_runs_all_phases_and_stays_certified() {
+        let (handle, rules) = served_handle(65);
+        let mut cfg = LifecycleConfig::new(NeuroCutsConfig::smoke_test());
+        cfg.trigger = RetrainTrigger { min_churn: 0.2, min_updates: 16, max_drift: 100.0 };
+        cfg.max_retrains = 1;
+        let mut worker = LifecycleWorker::new(cfg, &handle);
+        let trace = generate_trace(&rules, &TraceConfig::new(128).with_seed(66));
+        let tl_cfg = TimelineConfig {
+            updates: 60,
+            readers: 1,
+            measure_ms: 20,
+            schedule_seed: 67,
+            check_every: 20,
+        };
+        let report = churn_retrain_timeline(&handle, &rules, &trace, &mut worker, &tl_cfg);
+        assert_eq!(report.phases.len(), 4);
+        assert_eq!(report.divergences, 0, "every checkpoint certified");
+        assert!(report.checks >= 4);
+        let retrain = &report.phases[2];
+        assert_eq!(retrain.phase, "retrain");
+        assert_eq!(retrain.retrains, 1, "the timeline's poll must adopt");
+        assert_eq!(report.phases[3].overlay, 0);
+    }
+}

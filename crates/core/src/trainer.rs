@@ -244,6 +244,23 @@ impl Trainer {
         Ok(TrainReport { history, best: self.env.best(), timesteps: self.timesteps })
     }
 
+    /// Train to completion and hand back the tree to deploy: the best
+    /// completed rollout when one exists, otherwise the greedy argmax
+    /// tree — the train→compile→serve glue the lifecycle worker and
+    /// the CLI share. Returns the tree, its stats, and the timesteps
+    /// consumed. Deterministic for a fixed (rules, config).
+    pub fn train_to_tree(&mut self) -> Result<(Arc<DecisionTree>, TreeStats, usize), TrainError> {
+        let report = self.train()?;
+        let timesteps = report.timesteps;
+        match report.best {
+            Some(best) => Ok((best.tree, best.stats, timesteps)),
+            None => {
+                let (tree, stats) = self.greedy_tree();
+                Ok((tree, stats, timesteps))
+            }
+        }
+    }
+
     /// Build one tree greedily (argmax actions) with the current
     /// policy — the deterministic "final" tree.
     pub fn greedy_tree(&self) -> (Arc<DecisionTree>, TreeStats) {

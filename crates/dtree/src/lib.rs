@@ -51,7 +51,9 @@ pub use flat::{FlatTree, StaleTreeError};
 pub use memory::MemoryModel;
 pub use node::{Node, NodeId, NodeKind, RuleId, RuleSpan};
 pub use replay::{find_rebuild_divergence, serve_during, ChurnSchedule};
-pub use serve::{ClassifierHandle, RebuildPolicy, Snapshot, UpdateStats};
+pub use serve::{
+    AdoptError, AdoptReport, ClassifierHandle, RebuildPolicy, RuleSnapshot, Snapshot, UpdateStats,
+};
 pub use space::NodeSpace;
 pub use stats::{average_lookup_cost, TreeStats};
 pub use store::RuleStore;

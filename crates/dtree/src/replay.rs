@@ -10,7 +10,6 @@
 //! the two entry points in lockstep instead of carrying diverging
 //! copies.
 
-use crate::flat::FlatTree;
 use crate::node::RuleId;
 use crate::serve::ClassifierHandle;
 use classbench::{Packet, Rule};
@@ -101,12 +100,16 @@ pub fn serve_during<R>(
 /// current snapshot and through a from-scratch `FlatTree::compile` of
 /// its tree; return the first packet where they disagree (`None` means
 /// bit-identical — the live-update correctness claim).
+///
+/// Delegates to [`ClassifierHandle::check_divergence`], which takes
+/// snapshot and recompile under **one** lock acquisition (two separate
+/// fetches could interleave with a concurrent update and report a false
+/// divergence) and adds a probe packet inside every pending overlay
+/// rule, so a snapshot taken mid-overlay is certified on the inserts it
+/// actually serves — this is the per-swap spot check of the lifecycle
+/// loop.
 pub fn find_rebuild_divergence(handle: &ClassifierHandle, trace: &[Packet]) -> Option<Packet> {
-    let snap = handle.snapshot();
-    let rebuilt = handle.with_tree(FlatTree::compile);
-    let mut got = vec![None; trace.len()];
-    snap.classify_batch(trace, &mut got);
-    trace.iter().zip(&got).find(|&(p, &g)| g != rebuilt.classify(p)).map(|(p, _)| *p)
+    handle.check_divergence(trace)
 }
 
 #[cfg(test)]

@@ -46,7 +46,7 @@ use crate::flat::FlatTree;
 use crate::node::RuleId;
 use crate::tree::DecisionTree;
 use crate::updates::{self, UpdateError, UpdateLog};
-use classbench::{Packet, Rule};
+use classbench::{Dim, Packet, Rule, RuleSet};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -192,6 +192,9 @@ struct State {
     overlay: Vec<(RuleId, Rule)>,
     log: UpdateLog,
     rebuilds: u64,
+    retrains: u64,
+    total_inserted: usize,
+    total_deleted: usize,
     published: Arc<Snapshot>,
 }
 
@@ -200,14 +203,147 @@ struct State {
 pub struct UpdateStats {
     /// Current epoch (number of published snapshots since creation).
     pub epoch: u64,
-    /// Full recompiles triggered by the rebuild policy (or forced).
+    /// Full recompiles: policy-triggered, [`ClassifierHandle::force_rebuild`],
+    /// and [`ClassifierHandle::adopt`] swaps all count here — every path
+    /// that folds the overlay and resets the log is a rebuild.
     pub rebuilds: u64,
+    /// Retrained trees swapped in via [`ClassifierHandle::adopt`]
+    /// (a subset of `rebuilds`).
+    pub retrains: u64,
     /// In-place updates since the last recompile.
     pub log: UpdateLog,
+    /// Lifetime inserts, never reset by rebuilds — the churn-since-
+    /// baseline signal retrain triggers watch (`log` alone loses its
+    /// history on every rebuild).
+    pub total_inserted: usize,
+    /// Lifetime deletes, never reset by rebuilds.
+    pub total_deleted: usize,
     /// Active rules currently served.
     pub active_rules: usize,
     /// Rules currently in the overlay (not yet compiled).
     pub overlay_len: usize,
+}
+
+impl UpdateStats {
+    /// Lifetime updates of either kind (never reset by rebuilds).
+    pub fn lifetime_updates(&self) -> usize {
+        self.total_inserted + self.total_deleted
+    }
+}
+
+/// A frozen, priority-ordered copy of a handle's active rules, plus the
+/// bookkeeping needed to graft an externally built (retrained) tree
+/// back into the handle's id space ([`ClassifierHandle::adopt`]).
+///
+/// Rule `i` of [`Self::rules`] is handle rule `map[i]`; the order is a
+/// stable sort by descending priority, so equal priorities keep
+/// ascending handle-id order and the snapshot's (priority, lower-id)
+/// precedence is exactly the handle's.
+#[derive(Debug, Clone)]
+pub struct RuleSnapshot {
+    rules: RuleSet,
+    map: Vec<RuleId>,
+    generation: u64,
+    epoch: u64,
+}
+
+impl RuleSnapshot {
+    /// The frozen active rules, in priority order — ready to hand to a
+    /// trainer or tree builder.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Number of rules in the snapshot.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the snapshot holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `map[i]` = handle-arena id of snapshot rule `i`.
+    pub fn map(&self) -> &[RuleId] {
+        &self.map
+    }
+
+    /// The tree generation at snapshot time (updates applied since then
+    /// are reconciled by [`ClassifierHandle::adopt`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The published epoch at snapshot time.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// Why [`ClassifierHandle::adopt`] refused to swap a tree in. The
+/// handle's serving state is untouched on every error path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdoptError {
+    /// The template's rule arena does not match the snapshot's rules —
+    /// it was built for some other rule set (or a stale snapshot).
+    TemplateMismatch {
+        /// Rules the snapshot froze.
+        expected: usize,
+        /// Rules the template was built over.
+        got: usize,
+    },
+    /// The grafted tree failed its linear-scan spot check on this
+    /// packet; the swap was abandoned before publishing anything.
+    Diverged(Packet),
+}
+
+impl std::fmt::Display for AdoptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdoptError::TemplateMismatch { expected, got } => {
+                write!(f, "template was built over {got} rules but the snapshot froze {expected}")
+            }
+            AdoptError::Diverged(p) => {
+                write!(f, "grafted tree diverged from the linear scan at {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdoptError {}
+
+/// What an [`ClassifierHandle::adopt`] swap did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdoptReport {
+    /// The epoch the swapped-in tree was published at.
+    pub epoch: u64,
+    /// Rules inserted after the snapshot was taken, routed into the
+    /// grafted structure during the swap.
+    pub reconciled_inserts: usize,
+    /// Rules deleted after the snapshot was taken, dropped from the
+    /// grafted leaf lists during the swap.
+    pub reconciled_deletes: usize,
+    /// Leaf placements restored for snapshot-time rules: the template
+    /// builder may truncate rules covered by higher-precedence ones,
+    /// and a post-snapshot delete of a coverer makes those reachable
+    /// again (0 whenever no deletes needed reconciling).
+    pub repaired_placements: usize,
+    /// Packets the pre-publish linear-scan spot check verified.
+    pub spot_checked: usize,
+}
+
+/// A packet at the low corner of every dimension of `rule` — inside the
+/// rule whenever its ranges are non-empty. Differential checks add one
+/// per overlay rule so overlay-served inserts are actually exercised.
+fn probe_packet(rule: &Rule) -> Packet {
+    Packet::new(
+        rule.ranges[Dim::SrcIp.index()].lo,
+        rule.ranges[Dim::DstIp.index()].lo,
+        rule.ranges[Dim::SrcPort.index()].lo,
+        rule.ranges[Dim::DstPort.index()].lo,
+        rule.ranges[Dim::Proto.index()].lo,
+    )
 }
 
 /// The owner of a live classifier: the mutable [`DecisionTree`] plus
@@ -243,6 +379,9 @@ impl ClassifierHandle {
                 overlay: Vec::new(),
                 log: UpdateLog::default(),
                 rebuilds: 0,
+                retrains: 0,
+                total_inserted: 0,
+                total_deleted: 0,
                 published,
             }),
             epoch: AtomicU64::new(0),
@@ -269,6 +408,7 @@ impl ClassifierHandle {
         let mut s = self.state.write();
         let id = updates::insert_rule(&mut s.tree, rule.clone());
         s.log.inserted += 1;
+        s.total_inserted += 1;
         if s.policy.should_rebuild(&s.log, s.tree.num_active_rules()) {
             Self::rebuild_locked(&mut s);
         } else {
@@ -297,6 +437,7 @@ impl ClassifierHandle {
         let mut s = self.state.write();
         updates::delete_rule(&mut s.tree, id)?;
         s.log.deleted += 1;
+        s.total_deleted += 1;
         // Check the rebuild policy *first*: when this delete tips the
         // churn over the threshold, the recompile supersedes both the
         // overlay removal and the copy-on-write patch (whose clone
@@ -321,10 +462,154 @@ impl ClassifierHandle {
     }
 
     /// Recompile now regardless of churn (e.g. after a retrain).
+    ///
+    /// Counter semantics are identical to a policy-triggered rebuild:
+    /// the log resets, the overlay folds into the table, and
+    /// [`UpdateStats::rebuilds`] counts the recompile. Lifetime
+    /// counters ([`UpdateStats::total_inserted`]/`total_deleted`) are
+    /// never reset by either path.
     pub fn force_rebuild(&self) {
         let mut s = self.state.write();
         Self::rebuild_locked(&mut s);
         self.publish_locked(&mut s);
+    }
+
+    /// Freeze the current active rule set for an off-lock retrain. The
+    /// returned snapshot carries the id map [`ClassifierHandle::adopt`]
+    /// needs to graft a tree built over it back into this handle.
+    ///
+    /// Cheap relative to training: one pass over the arena under a read
+    /// lock (readers are unaffected, updates wait for the copy).
+    pub fn rule_snapshot(&self) -> RuleSnapshot {
+        let s = self.state.read();
+        let mut pairs: Vec<(RuleId, Rule)> = (0..s.tree.rules().len())
+            .filter(|&id| s.tree.is_active(id))
+            .map(|id| (id, s.tree.rule(id).clone()))
+            .collect();
+        // Stable sort by descending priority: exactly the order
+        // `RuleSet::new` imposes, with ascending handle id as the tie
+        // order — so snapshot-id precedence maps onto handle-id
+        // precedence and grafting preserves every tie-break.
+        pairs.sort_by_key(|(_, r)| std::cmp::Reverse(r.priority));
+        let map: Vec<RuleId> = pairs.iter().map(|&(id, _)| id).collect();
+        let rules = RuleSet::new(pairs.into_iter().map(|(_, r)| r).collect());
+        RuleSnapshot { rules, map, generation: s.tree.generation(), epoch: s.published.epoch }
+    }
+
+    /// Swap in an externally built tree (typically a background retrain
+    /// over [`Self::rule_snapshot`]) through the epoch-swap protocol:
+    ///
+    /// 1. graft the template's structure onto the live rule arena
+    ///    ([`DecisionTree::graft`]);
+    /// 2. reconcile updates that landed after the snapshot — deletes
+    ///    drop out of the grafted leaf lists, inserts route in, and any
+    ///    template truncation exposed by a delete is repaired, so the
+    ///    grafted tree serves exactly the *current* rule set;
+    /// 3. spot-check the graft against the linear-scan ground truth
+    ///    over `spot_check` plus one probe packet per pending overlay
+    ///    rule — a failure abandons the swap with the serving state
+    ///    untouched;
+    /// 4. recompile, fold the overlay, reset the churn log, and publish
+    ///    one new epoch — atomically from any reader's point of view.
+    ///
+    /// Readers never pause; updates wait (write lock) for the graft +
+    /// compile, the same stall a policy rebuild already imposes.
+    pub fn adopt(
+        &self,
+        template: &DecisionTree,
+        snap: &RuleSnapshot,
+        spot_check: &[Packet],
+    ) -> Result<AdoptReport, AdoptError> {
+        let mut s = self.state.write();
+        if template.rules() != snap.rules.rules() {
+            return Err(AdoptError::TemplateMismatch {
+                expected: snap.rules.len(),
+                got: template.rules().len(),
+            });
+        }
+        let mut grafted = DecisionTree::graft(template, &snap.map, &s.tree);
+        let mut in_snap = vec![false; s.tree.rules().len()];
+        for &id in &snap.map {
+            in_snap[id] = true;
+        }
+        // Post-snapshot deletes: the grafted active flags (copied from
+        // the live tree) already exclude them from matching and
+        // compilation; dropping them from the leaf lists is the same
+        // hygiene `delete_rule` applies.
+        let mut deletes = 0usize;
+        for &id in &snap.map {
+            if !grafted.is_active(id) {
+                updates::route_remove(&mut grafted, id);
+                deletes += 1;
+            }
+        }
+        // Post-snapshot inserts route in; and once any snapshot rule
+        // was deleted, leaves the template truncated under that rule's
+        // cover may be missing rules that are now reachable again, so
+        // every snapshot rule gets the full routing guarantee too. With
+        // zero deletes every truncation is still covered by an active
+        // rule and snapshot rules are known-placed, so only the new
+        // inserts need routing.
+        let mut inserts = 0usize;
+        let mut repaired = 0usize;
+        for (id, &snapped) in in_snap.iter().enumerate() {
+            if !grafted.is_active(id) {
+                continue;
+            }
+            if !snapped {
+                updates::ensure_rule(&mut grafted, id);
+                inserts += 1;
+            } else if deletes > 0 {
+                repaired += updates::ensure_rule(&mut grafted, id);
+            }
+        }
+        // Certify before anything is published: the graft must agree
+        // with the linear-scan ground truth over the caller's trace and
+        // a probe inside every overlay-served insert.
+        let diverged = spot_check
+            .iter()
+            .copied()
+            .chain(s.overlay.iter().map(|(_, r)| probe_packet(r)))
+            .find(|p| grafted.classify(p) != grafted.linear_classify(p));
+        if let Some(p) = diverged {
+            return Err(AdoptError::Diverged(p));
+        }
+        let spot_checked = spot_check.len() + s.overlay.len();
+        s.tree = grafted;
+        Self::rebuild_locked(&mut s);
+        s.retrains += 1;
+        self.publish_locked(&mut s);
+        Ok(AdoptReport {
+            epoch: s.published.epoch,
+            reconciled_inserts: inserts,
+            reconciled_deletes: deletes,
+            repaired_placements: repaired,
+            spot_checked,
+        })
+    }
+
+    /// Differential certification under one consistent view: a single
+    /// read-lock acquisition grabs the published snapshot, recompiles
+    /// the tree from scratch, and synthesises one probe packet inside
+    /// every pending overlay rule; the comparison then runs lock-free.
+    /// Returns the first diverging packet (`None` = certified). The
+    /// probes matter: a snapshot taken mid-overlay serves inserts the
+    /// compiled table does not know about, and an arbitrary trace may
+    /// never hit them.
+    pub fn check_divergence(&self, trace: &[Packet]) -> Option<Packet> {
+        let (snap, rebuilt, probes) = {
+            let s = self.state.read();
+            let probes: Vec<Packet> = s.overlay.iter().map(|(_, r)| probe_packet(r)).collect();
+            (s.published.clone(), FlatTree::compile(&s.tree), probes)
+        };
+        let mut got = vec![None; trace.len()];
+        snap.classify_batch(trace, &mut got);
+        for (p, g) in trace.iter().zip(&got) {
+            if *g != rebuilt.classify(p) {
+                return Some(*p);
+            }
+        }
+        probes.into_iter().find(|p| snap.classify(p) != rebuilt.classify(p))
     }
 
     /// Current update counters.
@@ -333,7 +618,10 @@ impl ClassifierHandle {
         UpdateStats {
             epoch: s.published.epoch,
             rebuilds: s.rebuilds,
+            retrains: s.retrains,
             log: s.log,
+            total_inserted: s.total_inserted,
+            total_deleted: s.total_deleted,
             active_rules: s.tree.num_active_rules(),
             overlay_len: s.overlay.len(),
         }
@@ -567,6 +855,254 @@ mod tests {
             assert!(!snap.flat().is_stale(t));
             assert!(snap.flat().classify_checked(t, &p).is_ok());
         });
+    }
+
+    #[test]
+    fn force_rebuild_counter_semantics_match_the_policy_path() {
+        // Satellite: a manual rebuild must read exactly like a policy
+        // rebuild — log reset, overlay folded, `rebuilds` incremented —
+        // while the lifetime counters keep the full history.
+        let (tree, rules) = built_tree(46);
+        let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
+        let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
+        for i in 0..6 {
+            handle.insert(Rule::default_rule(top + 1 + i));
+        }
+        handle.delete(3).unwrap();
+        let before = handle.stats();
+        assert_eq!(before.log, UpdateLog { inserted: 6, deleted: 1 });
+        handle.force_rebuild();
+        let after = handle.stats();
+        assert_eq!(after.log, UpdateLog::default(), "manual rebuild must reset the log");
+        assert_eq!(after.overlay_len, 0);
+        assert_eq!(after.rebuilds, before.rebuilds + 1, "manual rebuilds must be counted");
+        assert_eq!(after.total_inserted, 6, "lifetime counters survive the rebuild");
+        assert_eq!(after.total_deleted, 1);
+        assert_eq!(after.lifetime_updates(), 7);
+        // The policy path reads identically: a policy-triggered rebuild
+        // leaves the same reset log and the next counter value.
+        let (tree2, _) = built_tree(46);
+        let policy = RebuildPolicy { max_churn: 0.001, min_updates: 1 };
+        let h2 = ClassifierHandle::new(tree2, policy);
+        h2.insert(Rule::default_rule(top + 50));
+        let s2 = h2.stats();
+        assert_eq!(s2.log, UpdateLog::default());
+        assert_eq!(s2.rebuilds, 1);
+        assert_eq!(s2.total_inserted, 1);
+    }
+
+    #[test]
+    fn emptied_classifier_stays_finite_and_recovers() {
+        // Satellite: deleting every rule must not wedge the handle or
+        // the policy — churn stays finite, an empty tree compiles, and
+        // the classifier accepts new rules afterwards.
+        let rules = classbench::RuleSet::from_ordered(vec![
+            Rule::default_rule(0),
+            Rule::default_rule(0),
+            Rule::default_rule(0),
+            Rule::default_rule(0),
+            Rule::default_rule(0),
+        ]);
+        let tree = DecisionTree::new(&rules);
+        let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
+        for id in 0..5 {
+            handle.delete(id).unwrap();
+        }
+        let s = handle.stats();
+        assert_eq!(s.active_rules, 0);
+        assert!(handle.churn().is_finite(), "zero active rules must not yield NaN/inf churn");
+        assert_eq!(handle.churn(), 5.0);
+        let p = Packet::new(1, 2, 3, 4, 6);
+        assert_eq!(handle.snapshot().classify(&p), None);
+        // An empty tree recompiles without panicking, and the rebuild
+        // resets the churn signal instead of latching it.
+        handle.force_rebuild();
+        assert_eq!(handle.churn(), 0.0);
+        assert_eq!(handle.snapshot().classify(&p), None);
+        let id = handle.insert(Rule::default_rule(1));
+        assert_eq!(handle.snapshot().classify(&p), Some(id));
+    }
+
+    #[test]
+    fn policy_rebuild_fires_once_on_an_emptied_classifier() {
+        let rules = classbench::RuleSet::from_ordered(vec![
+            Rule::default_rule(0),
+            Rule::default_rule(0),
+            Rule::default_rule(0),
+            Rule::default_rule(0),
+            Rule::default_rule(0),
+        ]);
+        let tree = DecisionTree::new(&rules);
+        let policy = RebuildPolicy { max_churn: 0.5, min_updates: 3 };
+        let handle = ClassifierHandle::new(tree, policy);
+        for id in 0..5 {
+            handle.delete(id).unwrap();
+        }
+        let s = handle.stats();
+        assert!(s.rebuilds >= 1, "crossing the churn threshold must rebuild");
+        assert!(
+            s.log.total() < policy.min_updates,
+            "the log resets after each rebuild instead of permanently re-triggering"
+        );
+        assert_eq!(s.total_deleted, 5);
+    }
+
+    #[test]
+    fn rule_snapshot_freezes_priority_ordered_rules() {
+        let (tree, rules) = built_tree(47);
+        let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
+        let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
+        handle.insert(Rule::default_rule(top + 9));
+        handle.delete(2).unwrap();
+        let snap = handle.rule_snapshot();
+        assert_eq!(snap.len(), handle.stats().active_rules);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.epoch(), handle.epoch());
+        // Priority-ordered, and every entry maps back to the live rule
+        // it was copied from.
+        for i in 0..snap.len() {
+            if i > 0 {
+                assert!(snap.rules().rule(i - 1).priority >= snap.rules().rule(i).priority);
+            }
+            let handle_id = snap.map()[i];
+            handle.with_tree(|t| {
+                assert!(t.is_active(handle_id));
+                assert_eq!(t.rule(handle_id), snap.rules().rule(i));
+            });
+        }
+    }
+
+    #[test]
+    fn adopt_swaps_in_an_externally_built_tree() {
+        let (tree, rules) = built_tree(48);
+        let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
+        let trace = generate_trace(&rules, &TraceConfig::new(300).with_seed(49));
+        let snap = handle.rule_snapshot();
+        // "Retrain" out of band: a differently shaped tree over the
+        // frozen snapshot (stands in for a Trainer run).
+        let mut template = DecisionTree::new(snap.rules());
+        for k in template.cut_node(template.root(), Dim::DstIp, 16) {
+            if !template.is_terminal(k, 8) {
+                template.cut_node(k, Dim::SrcIp, 4);
+            }
+        }
+        let epoch_before = handle.epoch();
+        let report = handle.adopt(&template, &snap, &trace).expect("clean adopt");
+        assert_eq!(report.epoch, epoch_before + 1, "one atomic epoch swap");
+        assert_eq!(report.reconciled_inserts, 0);
+        assert_eq!(report.reconciled_deletes, 0);
+        assert_eq!(report.spot_checked, trace.len());
+        let s = handle.stats();
+        assert_eq!(s.retrains, 1);
+        assert_eq!(s.rebuilds, 1, "an adopt is also a rebuild");
+        assert_eq!(s.overlay_len, 0);
+        assert_eq!(s.log, UpdateLog::default(), "adopt folds the churn log atomically");
+        // The handle now serves the template's structure over its own
+        // rule ids, bit-identical to a recompile.
+        handle.with_tree(|t| {
+            assert_eq!(t.node(t.root()).kind.children().len(), 16, "template shape adopted");
+        });
+        assert_snapshot_matches_rebuild(&handle, &trace);
+        assert_eq!(handle.check_divergence(&trace), None);
+    }
+
+    #[test]
+    fn adopt_reconciles_post_snapshot_updates() {
+        let (tree, rules) = built_tree(50);
+        let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
+        let trace = generate_trace(&rules, &TraceConfig::new(300).with_seed(51));
+        let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
+        let snap = handle.rule_snapshot();
+        // Updates land while the "retrain" is in flight.
+        let late: Vec<RuleId> =
+            (0..3).map(|i| handle.insert(Rule::default_rule(top + 1 + i))).collect();
+        handle.delete(0).unwrap();
+        handle.delete(7).unwrap();
+        let mut template = DecisionTree::new(snap.rules());
+        template.cut_node(template.root(), Dim::SrcIp, 8);
+        let report = handle.adopt(&template, &snap, &trace).expect("clean adopt");
+        assert_eq!(report.reconciled_inserts, 3, "post-snapshot inserts routed in");
+        assert_eq!(report.reconciled_deletes, 2, "post-snapshot deletes dropped");
+        assert_eq!(
+            report.spot_checked,
+            trace.len() + 3,
+            "overlay-served inserts get probe packets in the spot check"
+        );
+        // Late inserts are served, deleted rules are not.
+        let p = Packet::new(1, 2, 3, 4, 6);
+        let got = handle.snapshot().classify(&p);
+        assert_eq!(got, Some(late[2]), "highest-priority late insert must win");
+        handle.with_tree(|t| {
+            assert!(!t.is_active(0));
+            assert!(!t.is_active(7));
+        });
+        assert_snapshot_matches_rebuild(&handle, &trace);
+        assert_eq!(handle.check_divergence(&trace), None);
+    }
+
+    #[test]
+    fn adopt_rejects_a_template_built_for_other_rules() {
+        let (tree, _) = built_tree(52);
+        let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
+        let snap = handle.rule_snapshot();
+        let other = generate_rules(&GeneratorConfig::new(ClassifierFamily::Fw, 60).with_seed(53));
+        let template = DecisionTree::new(&other);
+        let epoch = handle.epoch();
+        match handle.adopt(&template, &snap, &[]) {
+            Err(AdoptError::TemplateMismatch { expected, got }) => {
+                assert_eq!(expected, snap.len());
+                assert_eq!(got, 60);
+            }
+            other => panic!("expected TemplateMismatch, got {other:?}"),
+        }
+        assert_eq!(handle.epoch(), epoch, "a rejected adopt publishes nothing");
+    }
+
+    #[test]
+    fn adopt_spot_check_blocks_a_divergent_template() {
+        // A template whose leaf lists secretly dropped a live rule must
+        // be caught by the pre-publish linear-scan spot check and leave
+        // the serving state untouched.
+        let (tree, _) = built_tree(54);
+        let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
+        let snap = handle.rule_snapshot();
+        let mut template = DecisionTree::new(snap.rules());
+        template.cut_node(template.root(), Dim::SrcIp, 8);
+        // Sabotage: deactivating in the template removes rule 0 from
+        // its leaves but leaves the arena content (checked by adopt)
+        // intact — the graft then misses a rule that is live in the
+        // handle.
+        updates::delete_rule(&mut template, 0).unwrap();
+        let victim = snap.rules().rule(0);
+        let probe = Packet::new(
+            victim.ranges[Dim::SrcIp.index()].lo,
+            victim.ranges[Dim::DstIp.index()].lo,
+            victim.ranges[Dim::SrcPort.index()].lo,
+            victim.ranges[Dim::DstPort.index()].lo,
+            victim.ranges[Dim::Proto.index()].lo,
+        );
+        let epoch = handle.epoch();
+        match handle.adopt(&template, &snap, &[probe]) {
+            Err(AdoptError::Diverged(p)) => assert_eq!(p, probe),
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+        assert_eq!(handle.epoch(), epoch, "a failed spot check publishes nothing");
+        assert_eq!(handle.stats().retrains, 0);
+    }
+
+    #[test]
+    fn check_divergence_probes_overlay_served_inserts() {
+        // With an empty trace, certification still exercises pending
+        // overlay rules through synthesised probe packets — a snapshot
+        // taken mid-overlay is certified on the inserts it serves.
+        let (tree, rules) = built_tree(58);
+        let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
+        let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
+        let mut r = Rule::default_rule(top + 1);
+        r.ranges[Dim::Proto.index()] = DimRange::exact(17);
+        handle.insert(r);
+        assert_eq!(handle.stats().overlay_len, 1);
+        assert_eq!(handle.check_divergence(&[]), None);
     }
 
     #[test]

@@ -171,6 +171,42 @@ impl DecisionTree {
         &self.store
     }
 
+    /// Rebuild a live tree's *structure* from an externally built
+    /// `template` (e.g. a freshly retrained tree) while keeping the
+    /// live tree `onto`'s rule arena, ids, and active flags.
+    ///
+    /// `map[i]` is the `onto`-arena id of template rule `i`: the
+    /// template is built over a snapshot of `onto`'s active rules in
+    /// priority order ([`crate::serve::ClassifierHandle::rule_snapshot`]),
+    /// and the graft copies the template's node arena verbatim while
+    /// remapping every leaf rule list through `map`. Because the
+    /// snapshot order is a stable sort by descending priority, equal
+    /// priorities keep ascending-handle-id order, so the template's
+    /// (priority, lower-id) precedence maps exactly onto the live
+    /// arena's — leaf lists stay in serving precedence order.
+    ///
+    /// The grafted tree's generation starts one past `onto`'s, so every
+    /// [`crate::FlatTree`] compiled from the old tree is immediately
+    /// detectable as stale.
+    ///
+    /// # Panics
+    /// Panics if `map` does not cover the template's rules exactly or
+    /// names ids outside `onto`'s arena.
+    pub fn graft(template: &DecisionTree, map: &[RuleId], onto: &DecisionTree) -> DecisionTree {
+        assert_eq!(template.store.len(), map.len(), "map must cover every template rule");
+        assert!(map.iter().all(|&id| id < onto.store.len()), "map id outside the target arena");
+        DecisionTree {
+            store: Arc::clone(&onto.store),
+            active: onto.active.clone(),
+            num_active: onto.num_active,
+            nodes: template.nodes.clone(),
+            pool: template.pool.iter().map(|&r| map[r]).collect(),
+            root: template.root,
+            sep_cache: vec![0; template.nodes.len()],
+            generation: onto.generation + 1,
+        }
+    }
+
     /// Monotonic mutation counter: any expansion, truncation, or rule
     /// update advances it. Compare with [`crate::FlatTree::generation`]
     /// to detect stale compiled snapshots.

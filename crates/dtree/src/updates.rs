@@ -50,6 +50,14 @@ impl UpdateLog {
     /// Fraction of the current active rules that changed; the rebuild
     /// policy in the paper retrains "when enough small updates
     /// accumulate".
+    ///
+    /// The `active_rules == 0` edge (every rule deleted) clamps the
+    /// denominator to 1, so the ratio is always finite: an emptied
+    /// classifier reads as "`total` rules' worth of churn" rather than
+    /// NaN/inf. That trips any sane threshold as soon as the policy's
+    /// `min_updates` gate is met — one rebuild fires, the log resets,
+    /// and the ratio returns to 0 instead of wedging the policy in a
+    /// permanently-triggered (or never-triggered) state.
     pub fn churn(&self, active_rules: usize) -> f64 {
         self.total() as f64 / active_rules.max(1) as f64
     }
@@ -65,6 +73,15 @@ impl UpdateLog {
 /// correct; picking the smallest keeps partitions balanced).
 pub fn insert_rule(tree: &mut DecisionTree, rule: Rule) -> RuleId {
     let id = tree.push_rule(rule);
+    route_insert(tree, id);
+    id
+}
+
+/// Route an already-appended arena rule into every leaf whose space it
+/// intersects — the body of [`insert_rule`], shared with the adoption
+/// path ([`crate::serve::ClassifierHandle::adopt`]), which re-routes
+/// rules that landed after a retrain snapshot was taken.
+pub(crate) fn route_insert(tree: &mut DecisionTree, id: RuleId) {
     let mut stack: Vec<NodeId> = vec![tree.root()];
     while let Some(nid) = stack.pop() {
         if !tree.node(nid).space.intersects_rule(tree.rule(id)) {
@@ -86,7 +103,84 @@ pub fn insert_rule(tree: &mut DecisionTree, rule: Rule) -> RuleId {
             }
         }
     }
-    id
+}
+
+/// Remove `id` from every leaf list it appears in, leaving the active
+/// flag alone (the flag half of deletion belongs to [`delete_rule`] and
+/// the adoption path, which own the accounting).
+pub(crate) fn route_remove(tree: &mut DecisionTree, id: RuleId) {
+    let mut stack: Vec<NodeId> = vec![tree.root()];
+    while let Some(nid) = stack.pop() {
+        if !tree.node(nid).space.intersects_rule(tree.rule(id)) {
+            continue;
+        }
+        if tree.node(nid).is_leaf() {
+            tree.leaf_remove(nid, id);
+        } else {
+            // Every non-leaf kind descends all children: partition
+            // children share the parent's space (the rule may sit in
+            // any of them), and cut/split children that don't
+            // intersect the rule are pruned by the check above.
+            stack.extend(tree.node(nid).kind.children().iter().copied());
+        }
+    }
+}
+
+/// Guarantee the routing invariant for one active rule: every leaf a
+/// matching packet can reach must list it. Cut/split nodes check every
+/// intersecting child; a partition node completes the children that
+/// already hold the rule somewhere (repairing per-leaf truncation holes
+/// without duplicating the rule across partitions) and, when none does,
+/// routes it into the emptiest child exactly like [`insert_rule`].
+/// Returns the number of leaf lists the rule had to be added to
+/// (0 = the rule was already fully routed).
+pub(crate) fn ensure_rule(tree: &mut DecisionTree, id: RuleId) -> usize {
+    ensure_under(tree, tree.root(), id)
+}
+
+fn ensure_under(tree: &mut DecisionTree, nid: NodeId, id: RuleId) -> usize {
+    if !tree.node(nid).space.intersects_rule(tree.rule(id)) {
+        return 0;
+    }
+    match tree.node(nid).kind.clone() {
+        NodeKind::Leaf => {
+            if tree.rules_at(nid).contains(&id) {
+                0
+            } else {
+                tree.leaf_insert_sorted(nid, id);
+                1
+            }
+        }
+        NodeKind::Partition { children } => {
+            let holders: Vec<NodeId> =
+                children.iter().copied().filter(|&c| subtree_holds(tree, c, id)).collect();
+            if holders.is_empty() {
+                let target = children
+                    .into_iter()
+                    .min_by_key(|&c| tree.node(c).num_rules())
+                    .expect("partition node with no children");
+                ensure_under(tree, target, id)
+            } else {
+                holders.into_iter().map(|c| ensure_under(tree, c, id)).sum()
+            }
+        }
+        other => other.children().iter().map(|&c| ensure_under(tree, c, id)).sum(),
+    }
+}
+
+/// True when any leaf under `nid` lists `id`.
+fn subtree_holds(tree: &DecisionTree, nid: NodeId, id: RuleId) -> bool {
+    let mut stack: Vec<NodeId> = vec![nid];
+    while let Some(n) = stack.pop() {
+        if tree.node(n).is_leaf() {
+            if tree.rules_at(n).contains(&id) {
+                return true;
+            }
+        } else {
+            stack.extend(tree.node(n).kind.children().iter().copied());
+        }
+    }
+    false
 }
 
 /// Delete a rule: mark it inactive and remove it from every leaf list.
@@ -108,21 +202,7 @@ pub fn delete_rule(tree: &mut DecisionTree, id: RuleId) -> Result<(), UpdateErro
         return Err(UpdateError::InactiveRule(id));
     }
     tree.deactivate_rule(id);
-    let mut stack: Vec<NodeId> = vec![tree.root()];
-    while let Some(nid) = stack.pop() {
-        if !tree.node(nid).space.intersects_rule(tree.rule(id)) {
-            continue;
-        }
-        if tree.node(nid).is_leaf() {
-            tree.leaf_remove(nid, id);
-        } else {
-            // Every non-leaf kind descends all children: partition
-            // children share the parent's space (the rule may sit in
-            // any of them), and cut/split children that don't
-            // intersect the rule are pruned by the check above.
-            stack.extend(tree.node(nid).kind.children().iter().copied());
-        }
-    }
+    route_remove(tree, id);
     Ok(())
 }
 
@@ -284,6 +364,82 @@ mod tests {
         for p in &trace {
             assert_eq!(t.classify(p), t.linear_classify(p));
         }
+    }
+
+    #[test]
+    fn churn_stays_finite_with_zero_active_rules() {
+        // Deleting every rule must never produce a NaN/inf churn ratio
+        // that wedges (or permanently triggers) the rebuild policy: the
+        // denominator clamps to 1 and the ratio reads as `total`.
+        let mut log = UpdateLog::default();
+        assert_eq!(log.churn(0), 0.0);
+        log.deleted = 5;
+        assert!(log.churn(0).is_finite());
+        assert_eq!(log.churn(0), 5.0);
+        // A reset log on an empty classifier reads as zero churn again:
+        // the trigger state clears, it does not latch.
+        assert_eq!(UpdateLog::default().churn(0), 0.0);
+    }
+
+    #[test]
+    fn delete_every_rule_leaves_a_consistent_empty_tree() {
+        let mut t = built_tree();
+        let all: Vec<RuleId> = (0..t.rules().len()).collect();
+        for id in all {
+            delete_rule(&mut t, id).unwrap();
+        }
+        assert_eq!(t.num_active_rules(), 0);
+        let trace = generate_trace(
+            &generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 120).with_seed(4)),
+            &TraceConfig::new(100),
+        );
+        for p in &trace {
+            assert_eq!(t.classify(p), None, "empty classifier must match nothing");
+            assert_eq!(t.linear_classify(p), None);
+        }
+        // The emptied tree still accepts inserts and serves them.
+        let id = insert_rule(&mut t, new_rule(7));
+        let p = classbench::Packet::new(0x0a000001, 0, 0, 8080, 6);
+        assert_eq!(t.classify(&p), Some(id));
+        assert_tree_valid(&t, 200, 43);
+    }
+
+    #[test]
+    fn ensure_rule_repairs_missing_leaf_placements() {
+        let mut t = built_tree();
+        let hi = t.rules().iter().map(|r| r.priority).max().unwrap() + 1;
+        let id = insert_rule(&mut t, new_rule(hi));
+        // Fully routed already: ensure is a no-op.
+        assert_eq!(ensure_rule(&mut t, id), 0);
+        // Knock the rule out of its leaves (keeping it active), then
+        // ensure must restore every placement.
+        route_remove(&mut t, id);
+        let p = classbench::Packet::new(0x0a000001, 0, 0, 8080, 6);
+        assert_ne!(t.classify(&p), Some(id), "rule is unreachable after removal");
+        assert!(ensure_rule(&mut t, id) > 0);
+        assert_eq!(t.classify(&p), Some(id));
+        assert_tree_valid(&t, 300, 44);
+    }
+
+    #[test]
+    fn ensure_rule_respects_partition_ownership() {
+        // A rule already held by one partition child must not be
+        // duplicated into its siblings, while a rule held by none lands
+        // in exactly the emptiest child.
+        let rs = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 60).with_seed(6));
+        let mut t = DecisionTree::new(&rs);
+        let all = t.rules_at(t.root()).to_vec();
+        let (a, b) = all.split_at(all.len() / 3);
+        t.partition_node(t.root(), vec![a.to_vec(), b.to_vec()]);
+        let hi = t.rules().iter().map(|r| r.priority).max().unwrap() + 1;
+        let id = insert_rule(&mut t, new_rule(hi));
+        let placed: Vec<usize> =
+            t.node(t.root()).kind.children().iter().map(|&c| t.node(c).num_rules()).collect();
+        assert_eq!(ensure_rule(&mut t, id), 0, "already routed: no extra placements");
+        let after: Vec<usize> =
+            t.node(t.root()).kind.children().iter().map(|&c| t.node(c).num_rules()).collect();
+        assert_eq!(placed, after, "ensure must not duplicate across partition children");
+        assert_tree_valid(&t, 300, 45);
     }
 
     #[test]
