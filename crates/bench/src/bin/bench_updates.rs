@@ -79,7 +79,7 @@ fn main() {
     let mut failures = 0usize;
     for name in &algos {
         let tree = nc_bench::build_baseline(name, &rules);
-        let policy = RebuildPolicy { max_churn, min_updates: 8 };
+        let policy = RebuildPolicy { max_churn, min_updates: 8, max_overlay: 256 };
         let handle = ClassifierHandle::new(tree, policy);
 
         let mut schedule =

@@ -7,7 +7,8 @@ use classbench::{
 };
 use dtree::{
     find_rebuild_divergence, run_engine, run_live_engine, serve_during, ChurnSchedule,
-    ClassifierHandle, DecisionTree, EngineConfig, FlatTree, RebuildPolicy, TreeStats,
+    ClassifierHandle, DecisionTree, EngineConfig, FaultInjector, FaultSchedule, FlatTree,
+    RebuildPolicy, TreeStats, FAULT_POINTS,
 };
 use neurocuts::{
     churn_retrain_timeline, retrain_snapshot, LifecycleConfig, LifecycleWorker, NeuroCutsConfig,
@@ -43,21 +44,58 @@ subcommands:
   update-bench --tree TREE.json --rules FILE [--updates N] [--trace N]
                [--threads T] [--churn C] [--seed S]
                [--auto-retrain true] [--retrain-churn C] [--timesteps N]
+               [--fault-schedule SPEC]
       replay an insert/delete churn schedule through the live
       ClassifierHandle while engine readers serve concurrently;
       reports updates/sec applied and Mpps sustained during churn.
       with --auto-retrain true, a background lifecycle worker watches
-      the churn and hot-swaps a freshly retrained tree mid-replay
+      the churn and hot-swaps a freshly retrained tree mid-replay.
+      --fault-schedule injects deterministic faults, e.g.
+      \"retrain-panic@0;update-burst@100,400\" (points: retrain-panic,
+      retrain-slow, adopt-corruption, update-burst; @N = the N-th
+      evaluation fires); the run prints the per-attempt health
+      timeline and the final HealthReport
   lifecycle-bench --rules FILE [--updates N] [--trace N] [--timesteps N]
                   [--readers R] [--retrain-churn C] [--seed S]
+                  [--fault-schedule SPEC]
       the full churn → retrain → hot-swap loop: train an initial
       classifier, churn it under concurrent readers, let the
       background lifecycle worker retrain and verify-swap the
       optimised tree, and compare the result against a fresh train on
       the final rules; exits non-zero on any divergence or if no swap
-      was adopted
+      was adopted. --fault-schedule (same SPEC as update-bench) arms
+      injected faults across the whole loop and reports recovery
   stats    --tree TREE.json
       print a saved tree's statistics";
+
+/// Parse `--fault-schedule` into a shared injector (`None` when the
+/// flag is absent or the spec arms nothing).
+fn parse_fault_schedule(args: &Args) -> Result<Option<std::sync::Arc<FaultInjector>>, String> {
+    match args.get("fault-schedule") {
+        Some(spec) => {
+            let schedule = FaultSchedule::parse(spec)?;
+            if schedule.is_empty() {
+                return Ok(None);
+            }
+            eprintln!("fault schedule armed: {schedule}");
+            Ok(Some(std::sync::Arc::new(schedule.injector())))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Per-point firing report after a fault-injected run.
+fn print_fault_outcome(faults: &FaultInjector) {
+    for point in FAULT_POINTS {
+        println!(
+            "fault {:<16} fired {}/{} (evaluated {} times)",
+            point.name(),
+            faults.fired(point),
+            faults.schedule().armed(point).len(),
+            faults.evaluated(point)
+        );
+    }
+}
 
 fn read_rules(path: &str) -> Result<RuleSet, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -314,9 +352,10 @@ pub fn update_bench(argv: &[String]) -> Result<(), String> {
     let auto_retrain: bool = args.parse_or("auto-retrain", false)?;
     let retrain_churn: f64 = args.parse_or("retrain-churn", 0.25)?;
     let train_timesteps: usize = args.parse_or("timesteps", 3_000)?;
+    let faults = parse_fault_schedule(&args)?;
     let trace = generate_trace(&rules, &TraceConfig::new(n).with_seed(seed));
 
-    let policy = RebuildPolicy { max_churn, min_updates: 8 };
+    let policy = RebuildPolicy { max_churn, min_updates: 8, max_overlay: 256 };
     let handle = ClassifierHandle::new(tree, policy);
     eprintln!(
         "live handle: {} rules, epoch {}, rebuild at {:.0}% churn",
@@ -328,10 +367,14 @@ pub fn update_bench(argv: &[String]) -> Result<(), String> {
     let live: Vec<usize> =
         (0..rules.len()).filter(|&id| handle.with_tree(|t| t.is_active(id))).collect();
     let mut schedule = ChurnSchedule::new(rules.rules().to_vec(), live, seed ^ 0x5eed);
+    if let Some(faults) = &faults {
+        schedule = schedule.with_faults(faults.clone());
+    }
     let worker = auto_retrain.then(|| {
         let mut lc = LifecycleConfig::new(NeuroCutsConfig::small(train_timesteps).with_seed(seed));
         lc.trigger =
             RetrainTrigger { min_churn: retrain_churn, min_updates: 32, max_drift: f64::INFINITY };
+        lc.faults = faults.clone();
         LifecycleWorker::new(lc, &handle)
     });
     let stop = std::sync::atomic::AtomicBool::new(false);
@@ -389,9 +432,21 @@ pub fn update_bench(argv: &[String]) -> Result<(), String> {
                     e.spot_checked,
                     e.epoch
                 ),
-                Some(why) => println!("  seed {} skipped: {why}", e.train_seed),
+                Some(why) => println!(
+                    "  seed {} skipped: {why} (failures {}, backoff {}ms{}{})",
+                    e.train_seed,
+                    e.failures_after,
+                    e.backoff_ms,
+                    if e.fallback_rebuild { ", fallback rebuild" } else { "" },
+                    if e.degraded { ", degraded" } else { "" }
+                ),
             }
         }
+    }
+    println!("updates rejected  {} (admission control)", schedule.rejected());
+    println!("health            {}", handle.health());
+    if let Some(faults) = &faults {
+        print_fault_outcome(faults);
     }
 
     // Correctness gate: the final snapshot must equal a full recompile.
@@ -437,6 +492,7 @@ pub fn lifecycle_bench(argv: &[String]) -> Result<(), String> {
         return Err("--retrain-churn must be a positive fraction".into());
     }
     let seed: u64 = args.parse_or("seed", 0)?;
+    let faults = parse_fault_schedule(&args)?;
     let trace = generate_trace(&rules, &TraceConfig::new(n).with_seed(seed));
     let train_cfg = NeuroCutsConfig::small(timesteps).with_seed(seed);
 
@@ -448,6 +504,7 @@ pub fn lifecycle_bench(argv: &[String]) -> Result<(), String> {
     let mut lc = LifecycleConfig::new(train_cfg.clone());
     lc.trigger =
         RetrainTrigger { min_churn: retrain_churn, min_updates: 32, max_drift: f64::INFINITY };
+    lc.faults = faults.clone();
     let mut worker = LifecycleWorker::new(lc, &handle);
     let tl = TimelineConfig {
         updates,
@@ -455,6 +512,7 @@ pub fn lifecycle_bench(argv: &[String]) -> Result<(), String> {
         measure_ms: 400,
         schedule_seed: seed ^ 0x11fe,
         check_every: (updates / 8).max(1),
+        faults: faults.clone(),
     };
     let report = churn_retrain_timeline(&handle, &rules, &trace, &mut worker, &tl);
 
@@ -484,8 +542,20 @@ pub fn lifecycle_bench(argv: &[String]) -> Result<(), String> {
                 e.spot_checked,
                 e.epoch
             ),
-            Some(why) => println!("retrain (seed {}) skipped: {why}", e.train_seed),
+            Some(why) => println!(
+                "retrain (seed {}) skipped: {why} (failures {}, backoff {}ms{}{})",
+                e.train_seed,
+                e.failures_after,
+                e.backoff_ms,
+                if e.fallback_rebuild { ", fallback rebuild" } else { "" },
+                if e.degraded { ", degraded" } else { "" }
+            ),
         }
+    }
+    println!("updates rejected  {} (admission control)", report.rejected);
+    println!("health            {}", handle.health());
+    if let Some(faults) = &faults {
+        print_fault_outcome(faults);
     }
 
     // The staleness comparator: how does the auto-retrained classifier
@@ -505,10 +575,17 @@ pub fn lifecycle_bench(argv: &[String]) -> Result<(), String> {
     if report.divergences > 0 {
         return Err(format!("{} differential checks diverged", report.divergences));
     }
-    if lc_report.adopted() == 0 {
+    // Under fault injection a run may legitimately end degraded: the
+    // fallback rebuild *is* the recovery path, so it satisfies the
+    // "the loop did something" gate too.
+    if lc_report.adopted() == 0 && lc_report.fallback_rebuilds() == 0 {
         return Err("no retrain was adopted — raise --updates or lower --retrain-churn".into());
     }
-    println!("lifecycle verified: every epoch certified, {} swap(s) adopted", lc_report.adopted());
+    println!(
+        "lifecycle verified: every epoch certified, {} swap(s) adopted, {} fallback rebuild(s)",
+        lc_report.adopted(),
+        lc_report.fallback_rebuilds()
+    );
     Ok(())
 }
 

@@ -71,8 +71,9 @@ pub use actions::{Action, ActionSpace};
 pub use config::{NeuroCutsConfig, PartitionMode, RewardScaling};
 pub use env::{EpisodeState, NeuroCutsEnv, PendingDecision};
 pub use lifecycle::{
-    churn_retrain_timeline, drift_signal, retrain_snapshot, LifecycleConfig, LifecycleEvent,
-    LifecycleReport, LifecycleWorker, PhaseRow, RetrainTrigger, TimelineConfig, TimelineReport,
+    churn_retrain_timeline, drift_signal, retrain_snapshot, LifecycleConfig, LifecycleError,
+    LifecycleEvent, LifecycleReport, LifecycleWorker, PhaseRow, RetrainTrigger, RetryPolicy,
+    TimelineConfig, TimelineReport, WorkerHealth,
 };
 pub use obs::ObsEncoder;
 pub use reward::Objective;

@@ -36,8 +36,10 @@ use crate::config::NeuroCutsConfig;
 use crate::trainer::{TrainError, Trainer};
 use classbench::{Packet, RuleSet};
 use dtree::{
-    find_rebuild_divergence, serve_during, ChurnSchedule, ClassifierHandle, DecisionTree, TreeStats,
+    find_rebuild_divergence, serve_during, ChurnSchedule, ClassifierHandle, DecisionTree,
+    FaultInjector, FaultPoint, TreeStats,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -78,6 +80,112 @@ impl Default for RetrainTrigger {
     }
 }
 
+/// Bounded-retry exponential backoff for *transient* retrain failures
+/// (panics, deadline overruns, failed adoptions). Deterministic trainer
+/// refusals ([`TrainError`]) are not retried at all — the same snapshot
+/// fails the same way every time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive transient failures before the worker degrades to a
+    /// deterministic heuristic rebuild (fold-overlay recompile) so the
+    /// served shape never stays stale just because training is broken.
+    pub max_failures: u32,
+    /// Backoff after the first failure; doubles per consecutive
+    /// failure up to [`Self::max_backoff`].
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Per-attempt wall-clock deadline: a retrain running past it is a
+    /// [`LifecycleError::Timeout`] and its tree is discarded.
+    pub attempt_deadline: Duration,
+}
+
+impl RetryPolicy {
+    /// Degrade after 3 consecutive failures, backing off 100ms → 5s,
+    /// with a 60s per-attempt deadline.
+    pub fn default_policy() -> Self {
+        RetryPolicy {
+            max_failures: 3,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(5),
+            attempt_deadline: Duration::from_secs(60),
+        }
+    }
+
+    /// Backoff imposed after the `failures`-th consecutive failure
+    /// (1-based): `base · 2^(failures-1)`, capped at
+    /// [`Self::max_backoff`]. Zero failures back off nothing.
+    pub fn backoff_after(&self, failures: u32) -> Duration {
+        if failures == 0 {
+            return Duration::ZERO;
+        }
+        let shift = (failures - 1).min(16);
+        self.base_backoff.saturating_mul(1u32 << shift).min(self.max_backoff)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::default_policy()
+    }
+}
+
+/// Why one retrain attempt failed — the worker-level taxonomy layered
+/// over the trainer's [`TrainError`] and the handle's
+/// [`dtree::AdoptError`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifecycleError {
+    /// The trainer refused the snapshot (degenerate rule set, nothing
+    /// to learn). Deterministic: retrying the same snapshot cannot
+    /// succeed, so the worker skips and re-baselines instead of
+    /// burning retries.
+    Train(TrainError),
+    /// The retrain panicked; the payload message was captured by the
+    /// `catch_unwind` isolation and the worker survives.
+    Panicked(String),
+    /// The retrain ran past [`RetryPolicy::attempt_deadline`]; its
+    /// tree (if any) was discarded.
+    Timeout {
+        /// Wall-clock the attempt actually took (milliseconds).
+        elapsed_ms: u64,
+        /// The deadline it overran (milliseconds).
+        deadline_ms: u64,
+    },
+    /// Training succeeded but [`dtree::ClassifierHandle::adopt`]
+    /// refused the tree (spot-check divergence, stale snapshot, ...).
+    Adopt(dtree::AdoptError),
+}
+
+impl std::fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LifecycleError::Train(e) => write!(f, "train: {e}"),
+            LifecycleError::Panicked(msg) => write!(f, "retrain panicked: {msg}"),
+            LifecycleError::Timeout { elapsed_ms, deadline_ms } => {
+                write!(f, "retrain overran its deadline: {elapsed_ms}ms > {deadline_ms}ms")
+            }
+            LifecycleError::Adopt(e) => write!(f, "adopt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
+/// The worker's own health, mirrored into the handle's
+/// [`dtree::HealthReport`] after every attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerHealth {
+    /// Consecutive transient failures (0 when healthy).
+    pub consecutive_failures: u64,
+    /// True after [`RetryPolicy::max_failures`] consecutive failures
+    /// forced a heuristic fallback rebuild; cleared by the next
+    /// successful retrain.
+    pub degraded: bool,
+    /// True while a failure backoff is pending (polls return `None`
+    /// without evaluating the trigger).
+    pub in_backoff: bool,
+}
+
 /// The cheap tree-quality signal the worker watches: worst-case
 /// classification depth (Eq. 1) × bytes per rule. Depth is fixed by the
 /// structure while churn only mutates leaves, so the product moves with
@@ -98,13 +206,26 @@ pub struct LifecycleConfig {
     pub train: NeuroCutsConfig,
     /// Stop after this many retrain attempts (0 = unlimited).
     pub max_retrains: usize,
+    /// Failure handling: per-attempt deadline, bounded-retry backoff,
+    /// and the degradation threshold.
+    pub retry: RetryPolicy,
+    /// Optional fault injector (chaos harnesses): the worker evaluates
+    /// the retrain-side fault points around every attempt. `None` in
+    /// production.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl LifecycleConfig {
     /// A worker around the given training config with the default
-    /// trigger and no retrain cap.
+    /// trigger, default retry policy, no retrain cap, and no faults.
     pub fn new(train: NeuroCutsConfig) -> Self {
-        LifecycleConfig { trigger: RetrainTrigger::default_trigger(), train, max_retrains: 0 }
+        LifecycleConfig {
+            trigger: RetrainTrigger::default_trigger(),
+            train,
+            max_retrains: 0,
+            retry: RetryPolicy::default_policy(),
+            faults: None,
+        }
     }
 }
 
@@ -151,6 +272,18 @@ pub struct LifecycleEvent {
     /// Why the attempt did not publish (degenerate rule set, failed
     /// spot check, ...). `None` when adopted.
     pub skipped: Option<String>,
+    /// Consecutive transient failures after this attempt (0 on
+    /// success and on deterministic skips).
+    pub failures_after: u64,
+    /// True when this attempt left the worker degraded (heuristic
+    /// fallback in effect).
+    pub degraded: bool,
+    /// True when this attempt's failure crossed the degradation
+    /// threshold and forced the deterministic fold-overlay rebuild.
+    pub fallback_rebuild: bool,
+    /// Backoff imposed after this attempt (milliseconds; 0 on success
+    /// and deterministic skips).
+    pub backoff_ms: u64,
 }
 
 /// Everything a worker did over its lifetime.
@@ -169,6 +302,18 @@ impl LifecycleReport {
     pub fn adopted(&self) -> usize {
         self.events.iter().filter(|e| e.adopted).count()
     }
+
+    /// Attempts that failed transiently (panic, timeout, refused
+    /// adoption) — deterministic trainer skips are not failures.
+    pub fn failures(&self) -> usize {
+        self.events.iter().filter(|e| !e.adopted && e.failures_after > 0).count()
+    }
+
+    /// Failures that crossed the degradation threshold and forced the
+    /// deterministic fallback rebuild.
+    pub fn fallback_rebuilds(&self) -> usize {
+        self.events.iter().filter(|e| e.fallback_rebuild).count()
+    }
 }
 
 /// The off-hot-path self-optimisation worker (module docs). Drive it
@@ -182,6 +327,9 @@ pub struct LifecycleWorker {
     polls: usize,
     retrains: usize,
     events: Vec<LifecycleEvent>,
+    consecutive_failures: u32,
+    degraded: bool,
+    backoff_until: Option<Instant>,
 }
 
 impl LifecycleWorker {
@@ -196,6 +344,9 @@ impl LifecycleWorker {
             polls: 0,
             retrains: 0,
             events: Vec::new(),
+            consecutive_failures: 0,
+            degraded: false,
+            backoff_until: None,
         }
     }
 
@@ -209,14 +360,48 @@ impl LifecycleWorker {
         &self.events
     }
 
+    /// The worker's current health (failure streak, degraded flag,
+    /// pending backoff).
+    pub fn health(&self) -> WorkerHealth {
+        WorkerHealth {
+            consecutive_failures: self.consecutive_failures as u64,
+            degraded: self.degraded,
+            in_backoff: self.in_backoff(),
+        }
+    }
+
+    /// True while a failure backoff is pending: polls return `None`
+    /// without evaluating the trigger until it expires.
+    pub fn in_backoff(&self) -> bool {
+        self.backoff_until.is_some_and(|until| Instant::now() < until)
+    }
+
     /// Evaluate the trigger once and, when it fires, run one full
     /// retrain → verify → swap cycle on the calling thread (readers
     /// keep serving the old epoch throughout; updates only pause for
     /// the final graft + compile). Returns the recorded event when an
-    /// attempt ran, `None` when the trigger held.
+    /// attempt ran, `None` when the trigger held (or a failure backoff
+    /// is still pending).
     ///
     /// `spot_check` is the trace the pre-publish verification classifies
-    /// through both the grafted tree and the linear-scan ground truth.
+    /// through both the grafted tree and the linear-scan ground truth;
+    /// the worker extends it with one low-corner probe per snapshot
+    /// rule so a corrupted template cannot sneak past an unlucky trace.
+    ///
+    /// Failure handling (the self-healing contract):
+    /// - the trainer call is panic-isolated (`catch_unwind`) and
+    ///   deadline-checked ([`RetryPolicy::attempt_deadline`]);
+    /// - deterministic [`TrainError`]s skip and re-baseline (retrying
+    ///   the same degenerate snapshot every poll would spin);
+    /// - transient failures (panic/timeout/refused adoption) keep the
+    ///   baseline — the trigger re-fires after an exponential backoff —
+    ///   and after [`RetryPolicy::max_failures`] in a row the worker
+    ///   **degrades**: a deterministic fold-overlay recompile
+    ///   ([`dtree::ClassifierHandle::force_rebuild`]) keeps the served
+    ///   shape fresh, `degraded` stays set until a retrain succeeds;
+    /// - every failed attempt leaves the published epoch untouched
+    ///   (except the explicit fallback rebuild, which is its own
+    ///   single epoch).
     pub fn poll(
         &mut self,
         handle: &ClassifierHandle,
@@ -224,6 +409,9 @@ impl LifecycleWorker {
     ) -> Option<&LifecycleEvent> {
         self.polls += 1;
         if self.cfg.max_retrains > 0 && self.retrains >= self.cfg.max_retrains {
+            return None;
+        }
+        if self.in_backoff() {
             return None;
         }
         let stats = handle.stats();
@@ -255,35 +443,146 @@ impl LifecycleWorker {
             spot_checked: 0,
             adopted: false,
             skipped: None,
+            failures_after: 0,
+            degraded: self.degraded,
+            fallback_rebuild: false,
+            backoff_ms: 0,
         };
-        let started = Instant::now();
-        match retrain_snapshot(snap.rules(), &self.cfg.train, seed) {
-            Err(err) => event.skipped = Some(err.to_string()),
-            Ok((tree, template_stats, timesteps)) => {
-                event.timesteps = timesteps;
-                event.train_secs = started.elapsed().as_secs_f64();
-                event.template_stats = Some(template_stats);
-                match handle.adopt(&tree, &snap, spot_check) {
-                    Err(err) => event.skipped = Some(err.to_string()),
-                    Ok(report) => {
-                        event.adopted = true;
-                        event.epoch = report.epoch;
-                        event.reconciled_inserts = report.reconciled_inserts;
-                        event.reconciled_deletes = report.reconciled_deletes;
-                        event.spot_checked = report.spot_checked;
-                        let after = handle.with_tree(TreeStats::compute);
-                        event.depth_after = after.time;
-                        event.bytes_per_rule_after = after.bytes_per_rule;
-                    }
+        let outcome = self.attempt(handle, &snap, spot_check, seed, &mut event);
+        match outcome {
+            Ok(()) => {
+                // Success clears the whole failure state: streak,
+                // backoff, and the degraded flag.
+                self.consecutive_failures = 0;
+                self.degraded = false;
+                self.backoff_until = None;
+                event.degraded = false;
+                self.rebaseline(handle);
+                handle.note_worker_health(0, false, None);
+            }
+            Err(LifecycleError::Train(err)) => {
+                // Deterministic refusal: record the skip and
+                // re-baseline (a retry of the same snapshot fails the
+                // same way — this is not a transient failure).
+                event.skipped = Some(LifecycleError::Train(err).to_string());
+                event.failures_after = self.consecutive_failures as u64;
+                self.rebaseline(handle);
+                handle.note_worker_health(
+                    self.consecutive_failures as u64,
+                    self.degraded,
+                    event.skipped.clone(),
+                );
+            }
+            Err(err) => {
+                // Transient failure: keep the baseline so the trigger
+                // re-fires, back off exponentially, and degrade to the
+                // heuristic rebuild once the streak crosses the bound.
+                self.consecutive_failures += 1;
+                let backoff = self.cfg.retry.backoff_after(self.consecutive_failures);
+                self.backoff_until = Some(Instant::now() + backoff);
+                event.skipped = Some(err.to_string());
+                event.failures_after = self.consecutive_failures as u64;
+                event.backoff_ms = backoff.as_millis() as u64;
+                if self.consecutive_failures >= self.cfg.retry.max_failures {
+                    handle.force_rebuild();
+                    self.degraded = true;
+                    event.fallback_rebuild = true;
                 }
+                event.degraded = self.degraded;
+                handle.note_worker_health(
+                    self.consecutive_failures as u64,
+                    self.degraded,
+                    event.skipped.clone(),
+                );
             }
         }
-        // Re-baseline from the post-attempt state (also after a skip:
-        // retrying the same degenerate snapshot every poll would spin).
-        self.baseline_updates = handle.stats().lifetime_updates();
-        self.baseline_signal = drift_signal(&handle.with_tree(TreeStats::compute));
         self.events.push(event);
         self.events.last()
+    }
+
+    /// One retrain → verify → swap attempt, filling `event` on the way.
+    fn attempt(
+        &self,
+        handle: &ClassifierHandle,
+        snap: &dtree::RuleSnapshot,
+        spot_check: &[Packet],
+        seed: u64,
+        event: &mut LifecycleEvent,
+    ) -> Result<(), LifecycleError> {
+        let deadline = self.cfg.retry.attempt_deadline;
+        let faults = self.cfg.faults.clone();
+        let train = self.cfg.train.clone();
+        let snap_rules = snap.rules().clone();
+        let started = Instant::now();
+        // Panic isolation: a buggy (or fault-injected) trainer must
+        // not take the worker thread down. AssertUnwindSafe is sound
+        // here — everything the closure touches is owned by it, so an
+        // unwind cannot leave shared state half-mutated.
+        let trained = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(f) = &faults {
+                if f.should_fire(FaultPoint::RetrainPanic) {
+                    panic!("injected retrain panic (fault schedule)");
+                }
+                if f.should_fire(FaultPoint::RetrainSlow) {
+                    // Sleep decisively past the deadline so the slow
+                    // path deterministically classifies as a timeout.
+                    std::thread::sleep(deadline + deadline / 2);
+                }
+            }
+            retrain_snapshot(&snap_rules, &train, seed)
+        }));
+        let elapsed = started.elapsed();
+        let (tree, template_stats, timesteps) = match trained {
+            Err(payload) => return Err(LifecycleError::Panicked(panic_message(&*payload))),
+            Ok(_) if elapsed > deadline => {
+                return Err(LifecycleError::Timeout {
+                    elapsed_ms: elapsed.as_millis() as u64,
+                    deadline_ms: deadline.as_millis() as u64,
+                });
+            }
+            Ok(Err(err)) => return Err(LifecycleError::Train(err)),
+            Ok(Ok(result)) => result,
+        };
+        event.timesteps = timesteps;
+        event.train_secs = elapsed.as_secs_f64();
+        event.template_stats = Some(template_stats);
+        // Fault point: corrupt the trained template *before* adoption —
+        // the pre-publish spot check must catch it (the probes below
+        // include every snapshot rule's low corner, so the sabotaged
+        // rule cannot hide behind an unlucky trace).
+        let template = match &faults {
+            Some(f) if f.should_fire(FaultPoint::AdoptCorruption) => {
+                let mut sabotaged = (*tree).clone();
+                dtree::updates::delete_rule(&mut sabotaged, 0)
+                    .expect("template rule 0 exists: the trainer refuses empty rule sets");
+                Arc::new(sabotaged)
+            }
+            _ => tree,
+        };
+        let probes: Vec<Packet> = spot_check
+            .iter()
+            .copied()
+            .chain(snap.rules().rules().iter().map(|r| r.low_corner()))
+            .collect();
+        match handle.adopt(&template, snap, &probes) {
+            Err(err) => Err(LifecycleError::Adopt(err)),
+            Ok(report) => {
+                event.adopted = true;
+                event.epoch = report.epoch;
+                event.reconciled_inserts = report.reconciled_inserts;
+                event.reconciled_deletes = report.reconciled_deletes;
+                event.spot_checked = report.spot_checked;
+                let after = handle.with_tree(TreeStats::compute);
+                event.depth_after = after.time;
+                event.bytes_per_rule_after = after.bytes_per_rule;
+                Ok(())
+            }
+        }
+    }
+
+    fn rebaseline(&mut self, handle: &ClassifierHandle) {
+        self.baseline_updates = handle.stats().lifetime_updates();
+        self.baseline_signal = drift_signal(&handle.with_tree(TreeStats::compute));
     }
 
     /// Run as a background worker: poll every `interval` until `stop`
@@ -317,6 +616,18 @@ impl LifecycleWorker {
     /// Consume the worker into its report.
     pub fn into_report(self) -> LifecycleReport {
         LifecycleReport { events: self.events, polls: self.polls, retrains: self.retrains }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (panics carry
+/// `&str` or `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -372,6 +683,10 @@ pub struct TimelineReport {
     pub divergences: usize,
     /// Differential checks run.
     pub checks: usize,
+    /// Updates the handle's admission control refused during the churn
+    /// phase (duplicate draws, overlay backpressure races) — normal
+    /// operation, reported so harnesses can account for every step.
+    pub rejected: u64,
 }
 
 /// Knobs for [`churn_retrain_timeline`].
@@ -388,6 +703,10 @@ pub struct TimelineConfig {
     /// Run a differential check every this many updates (0 = only at
     /// phase boundaries).
     pub check_every: usize,
+    /// Optional fault injector shared with the worker: the churn phase
+    /// evaluates [`dtree::FaultPoint::UpdateBurst`] at every step so a
+    /// CLI `--fault-schedule` reaches the update side too.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for TimelineConfig {
@@ -398,6 +717,7 @@ impl Default for TimelineConfig {
             measure_ms: 300,
             schedule_seed: 7,
             check_every: 64,
+            faults: None,
         }
     }
 }
@@ -459,6 +779,9 @@ pub fn churn_retrain_timeline(
         (0..handle.stats().active_rules).collect(),
         cfg.schedule_seed,
     );
+    if let Some(faults) = &cfg.faults {
+        schedule = schedule.with_faults(faults.clone());
+    }
     let started = Instant::now();
     let (_, served) = serve_during(handle, trace, cfg.readers, || {
         for i in 0..cfg.updates {
@@ -472,10 +795,21 @@ pub fn churn_retrain_timeline(
     phases.push(row("churn", started.elapsed().as_secs_f64(), served, cfg.updates));
 
     // Phase 3: the background retrain — readers serve the old epoch
-    // while the worker trains, verifies, and swaps.
+    // while the worker trains, verifies, and swaps. Under fault
+    // injection one poll is not enough: failed attempts back off and
+    // retry, so poll until the worker either publishes (adopt or
+    // fallback rebuild) or genuinely has nothing left to do.
     let started = Instant::now();
-    let (_, served) =
-        serve_during(handle, trace, cfg.readers, || worker.poll(handle, trace).is_some());
+    let (_, served) = serve_during(handle, trace, cfg.readers, || loop {
+        let published = worker.poll(handle, trace).map(|e| e.adopted || e.fallback_rebuild);
+        match published {
+            Some(true) => break, // adopted, or degraded via fallback rebuild
+            Some(false) => {}    // failed or skipped attempt: pace set by backoff
+            None if !worker.in_backoff() => break, // trigger quiet, nothing pending
+            None => {}
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    });
     check(handle, &mut divergences, &mut checks);
     phases.push(row("retrain", started.elapsed().as_secs_f64(), served, 0));
 
@@ -487,7 +821,7 @@ pub fn churn_retrain_timeline(
     check(handle, &mut divergences, &mut checks);
     phases.push(row("steady", started.elapsed().as_secs_f64(), served, 0));
 
-    TimelineReport { phases, divergences, checks }
+    TimelineReport { phases, divergences, checks, rejected: schedule.rejected() }
 }
 
 #[cfg(test)]
@@ -528,7 +862,7 @@ mod tests {
         let trace = generate_trace(&rules, &TraceConfig::new(64).with_seed(61));
         assert!(worker.poll(&handle, &trace).is_none(), "no churn yet");
         for i in 0..8 {
-            handle.insert(classbench::Rule::default_rule(200_000 + i));
+            handle.insert(classbench::Rule::default_rule(200_000 + i)).unwrap();
         }
         assert!(worker.poll(&handle, &trace).is_none(), "below min_updates");
         assert_eq!(worker.retrains(), 0);
@@ -579,12 +913,188 @@ mod tests {
         cfg.trigger = RetrainTrigger { min_churn: 0.5, min_updates: 4, max_drift: 100.0 };
         let mut worker = LifecycleWorker::new(cfg, &handle);
         for i in 0..6 {
-            handle.insert(classbench::Rule::default_rule(10 + i));
+            handle.insert(classbench::Rule::default_rule(10 + i)).unwrap();
         }
         let event = worker.poll(&handle, &[]).expect("trigger fires").clone();
         assert!(!event.adopted);
         assert!(event.skipped.is_some(), "degenerate snapshot surfaces as a skip");
         assert!(worker.poll(&handle, &[]).is_none(), "re-baselined: no hot loop");
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_and_caps() {
+        let retry = RetryPolicy {
+            max_failures: 3,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(1),
+            attempt_deadline: Duration::from_secs(60),
+        };
+        assert_eq!(retry.backoff_after(0), Duration::ZERO);
+        assert_eq!(retry.backoff_after(1), Duration::from_millis(100));
+        assert_eq!(retry.backoff_after(2), Duration::from_millis(200));
+        assert_eq!(retry.backoff_after(3), Duration::from_millis(400));
+        assert_eq!(retry.backoff_after(4), Duration::from_millis(800));
+        assert_eq!(retry.backoff_after(5), Duration::from_secs(1), "capped");
+        assert_eq!(retry.backoff_after(60), Duration::from_secs(1), "shift is clamped");
+    }
+
+    /// Churn the handle past the worker's trigger threshold.
+    fn churn_past_trigger(handle: &ClassifierHandle, rules: &RuleSet, seed: u64, steps: usize) {
+        let mut schedule =
+            ChurnSchedule::new(rules.rules().to_vec(), (0..rules.len()).collect(), seed);
+        for _ in 0..steps {
+            schedule.step(handle);
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_retried_with_backoff() {
+        let (handle, rules) = served_handle(70);
+        let schedule = dtree::FaultSchedule::empty().arm(dtree::FaultPoint::RetrainPanic, 0);
+        let faults = Arc::new(schedule.injector());
+        let mut cfg = LifecycleConfig::new(NeuroCutsConfig::smoke_test());
+        cfg.trigger = RetrainTrigger { min_churn: 0.2, min_updates: 16, max_drift: 100.0 };
+        cfg.retry = RetryPolicy {
+            max_failures: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+            attempt_deadline: Duration::from_secs(60),
+        };
+        cfg.faults = Some(faults.clone());
+        let mut worker = LifecycleWorker::new(cfg, &handle);
+        churn_past_trigger(&handle, &rules, 71, 60);
+        let trace = generate_trace(&rules, &TraceConfig::new(64).with_seed(72));
+
+        let epoch_before = handle.epoch();
+        let event = worker.poll(&handle, &trace).expect("attempt runs").clone();
+        assert!(!event.adopted);
+        assert!(
+            event.skipped.as_deref().unwrap_or("").contains("injected retrain panic"),
+            "skipped = {:?}",
+            event.skipped
+        );
+        assert_eq!(event.failures_after, 1);
+        assert!(!event.degraded, "one failure is below the degradation bound");
+        assert_eq!(handle.epoch(), epoch_before, "a failed attempt publishes nothing");
+        assert_eq!(faults.fired(dtree::FaultPoint::RetrainPanic), 1);
+        // The failure is mirrored into the handle's health report.
+        let health = handle.health();
+        assert_eq!(health.consecutive_failures, 1);
+        assert!(health.last_error.as_deref().unwrap_or("").contains("panicked"));
+        // Backoff gates the next poll...
+        assert!(worker.in_backoff());
+        assert!(worker.poll(&handle, &trace).is_none(), "backoff holds the trigger");
+        std::thread::sleep(Duration::from_millis(15));
+        // ...and once it expires the retry succeeds (occurrence 1 of
+        // the panic point is not armed) and clears the failure state.
+        let event = worker.poll(&handle, &trace).expect("retry runs").clone();
+        assert!(event.adopted, "retry must succeed: {:?}", event.skipped);
+        assert_eq!(event.failures_after, 0);
+        assert!(!worker.health().degraded);
+        assert_eq!(handle.health().consecutive_failures, 0);
+        assert_eq!(find_rebuild_divergence(&handle, &trace), None);
+    }
+
+    #[test]
+    fn repeated_failures_degrade_to_heuristic_rebuild_then_recover() {
+        let (handle, rules) = served_handle(74);
+        let mut schedule = dtree::FaultSchedule::empty();
+        for occ in 0..3 {
+            schedule = schedule.arm(dtree::FaultPoint::RetrainPanic, occ);
+        }
+        let faults = Arc::new(schedule.injector());
+        let mut cfg = LifecycleConfig::new(NeuroCutsConfig::smoke_test());
+        cfg.trigger = RetrainTrigger { min_churn: 0.2, min_updates: 16, max_drift: 100.0 };
+        cfg.retry = RetryPolicy {
+            max_failures: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            attempt_deadline: Duration::from_secs(60),
+        };
+        cfg.faults = Some(faults);
+        let mut worker = LifecycleWorker::new(cfg, &handle);
+        churn_past_trigger(&handle, &rules, 75, 60);
+        let trace = generate_trace(&rules, &TraceConfig::new(64).with_seed(76));
+
+        let mut fallback_seen = false;
+        for want_failures in 1..=3u64 {
+            while worker.in_backoff() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let event = worker.poll(&handle, &trace).expect("attempt runs").clone();
+            assert!(!event.adopted);
+            assert_eq!(event.failures_after, want_failures);
+            if want_failures == 3 {
+                assert!(event.fallback_rebuild, "3rd failure crosses the bound");
+                assert!(event.degraded);
+                fallback_seen = true;
+            }
+        }
+        assert!(fallback_seen);
+        // Degradation kept serving fresh: the fallback folded the
+        // overlay and reset the churn log deterministically.
+        assert_eq!(handle.stats().overlay_len, 0);
+        assert!(handle.health().degraded);
+        assert_eq!(find_rebuild_divergence(&handle, &trace), None);
+        // The baseline was kept, so the trigger re-fires after the
+        // backoff; the 4th attempt (no fault armed) succeeds and
+        // clears the degraded flag.
+        while worker.in_backoff() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let event = worker.poll(&handle, &trace).expect("recovery attempt").clone();
+        assert!(event.adopted, "recovery retrain must adopt: {:?}", event.skipped);
+        assert!(!event.degraded, "success clears the degraded flag");
+        assert!(!handle.health().degraded);
+        assert_eq!(handle.health().consecutive_failures, 0);
+    }
+
+    #[test]
+    fn slow_retrain_times_out_without_publishing() {
+        let (handle, rules) = served_handle(78);
+        let schedule = dtree::FaultSchedule::empty().arm(dtree::FaultPoint::RetrainSlow, 0);
+        let faults = Arc::new(schedule.injector());
+        let mut cfg = LifecycleConfig::new(NeuroCutsConfig::smoke_test());
+        cfg.trigger = RetrainTrigger { min_churn: 0.2, min_updates: 16, max_drift: 100.0 };
+        cfg.retry = RetryPolicy {
+            max_failures: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            attempt_deadline: Duration::from_millis(20),
+        };
+        cfg.faults = Some(faults);
+        let mut worker = LifecycleWorker::new(cfg, &handle);
+        churn_past_trigger(&handle, &rules, 79, 60);
+        let trace = generate_trace(&rules, &TraceConfig::new(64).with_seed(80));
+        let epoch_before = handle.epoch();
+        let event = worker.poll(&handle, &trace).expect("attempt runs").clone();
+        assert!(!event.adopted);
+        assert!(event.skipped.as_deref().unwrap_or("").contains("deadline"));
+        assert_eq!(event.failures_after, 1);
+        assert_eq!(handle.epoch(), epoch_before, "a timed-out attempt publishes nothing");
+    }
+
+    #[test]
+    fn corrupted_template_is_caught_by_the_spot_check() {
+        let (handle, rules) = served_handle(82);
+        let schedule = dtree::FaultSchedule::empty().arm(dtree::FaultPoint::AdoptCorruption, 0);
+        let faults = Arc::new(schedule.injector());
+        let mut cfg = LifecycleConfig::new(NeuroCutsConfig::smoke_test());
+        cfg.trigger = RetrainTrigger { min_churn: 0.2, min_updates: 16, max_drift: 100.0 };
+        cfg.retry.base_backoff = Duration::from_millis(1);
+        cfg.retry.max_backoff = Duration::from_millis(4);
+        cfg.faults = Some(faults);
+        let mut worker = LifecycleWorker::new(cfg, &handle);
+        churn_past_trigger(&handle, &rules, 83, 60);
+        // Even with an EMPTY caller trace the sabotage cannot slip
+        // through: the worker's own low-corner probes cover every
+        // snapshot rule, including the one the corruption dropped.
+        let epoch_before = handle.epoch();
+        let event = worker.poll(&handle, &[]).expect("attempt runs").clone();
+        assert!(!event.adopted);
+        assert!(event.skipped.as_deref().unwrap_or("").contains("adopt"), "{:?}", event.skipped);
+        assert_eq!(handle.epoch(), epoch_before, "a refused adoption publishes nothing");
+        assert_eq!(handle.stats().retrains, 0);
     }
 
     #[test]
@@ -601,6 +1111,7 @@ mod tests {
             measure_ms: 20,
             schedule_seed: 67,
             check_every: 20,
+            faults: None,
         };
         let report = churn_retrain_timeline(&handle, &rules, &trace, &mut worker, &tl_cfg);
         assert_eq!(report.phases.len(), 4);

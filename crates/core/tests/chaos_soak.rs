@@ -1,0 +1,348 @@
+//! Chaos soak: the self-healing claims under injected faults.
+//!
+//! The fault-injection facility (`dtree::faults`) arms every fault
+//! class at least twice and the tests here pin the recovery contract:
+//!
+//! 1. **Isolation** — an injected retrain panic, deadline overrun, or
+//!    corrupted template never unwinds past the worker and never
+//!    publishes: the served epoch (and the exact snapshot `Arc`) is
+//!    byte-identical across every failed non-fallback attempt.
+//! 2. **Bounded retry** — consecutive transient failures back off and,
+//!    at the retry bound, degrade to the deterministic fold-overlay
+//!    rebuild so the served shape stays fresh even while training is
+//!    broken; the next successful retrain clears the degraded flag.
+//! 3. **Admission under storms** — injected update bursts hit the
+//!    overlay bound and force fold-rebuild backpressure instead of
+//!    unbounded overlay growth.
+//! 4. **Certified serving throughout** — at every checkpoint, faulted
+//!    or not, the published snapshot classifies bit-identically to a
+//!    from-scratch recompile (`find_rebuild_divergence`).
+//!
+//! The deterministic test drives `poll` synchronously so each fault
+//! lands on a known attempt. The free-running test races churn, two
+//! readers and a background worker under a **seeded** schedule; the
+//! seed comes from `NC_CHAOS_SEED` (CI passes the run number) and is
+//! printed so any failure replays exactly.
+
+use classbench::{
+    generate_rules, generate_trace, ClassifierFamily, Dim, GeneratorConfig, RuleSet, TraceConfig,
+};
+use dtree::{
+    find_rebuild_divergence, serve_during, ChurnSchedule, ClassifierHandle, DecisionTree,
+    FaultInjector, FaultPoint, FaultSchedule, RebuildPolicy, FAULT_POINTS,
+};
+use neurocuts::{LifecycleConfig, LifecycleWorker, NeuroCutsConfig, RetrainTrigger, RetryPolicy};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn served_handle(seed: u64, policy: RebuildPolicy) -> (ClassifierHandle, RuleSet) {
+    let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 150).with_seed(seed));
+    let mut tree = DecisionTree::new(&rules);
+    for k in tree.cut_node(tree.root(), Dim::SrcIp, 8) {
+        if !tree.is_terminal(k, 8) {
+            tree.cut_node(k, Dim::DstIp, 4);
+        }
+    }
+    (ClassifierHandle::new(tree, policy), rules)
+}
+
+fn churn_past_trigger(handle: &ClassifierHandle, rules: &RuleSet, seed: u64, steps: usize) {
+    let mut schedule = ChurnSchedule::new(rules.rules().to_vec(), (0..rules.len()).collect(), seed);
+    for _ in 0..steps {
+        schedule.step(handle);
+    }
+}
+
+fn lifecycle_config(faults: &Arc<FaultInjector>, retry: RetryPolicy) -> LifecycleConfig {
+    let mut cfg = LifecycleConfig::new(NeuroCutsConfig::smoke_test());
+    cfg.trigger = RetrainTrigger { min_churn: 0.2, min_updates: 16, max_drift: 100.0 };
+    cfg.retry = retry;
+    cfg.faults = Some(faults.clone());
+    cfg
+}
+
+/// Poll until the pending backoff expires and an attempt actually runs.
+fn poll_past_backoff(
+    worker: &mut LifecycleWorker,
+    handle: &ClassifierHandle,
+    trace: &[classbench::Packet],
+) -> neurocuts::LifecycleEvent {
+    for _ in 0..1_000 {
+        if worker.in_backoff() {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        }
+        if let Some(event) = worker.poll(handle, trace) {
+            return event.clone();
+        }
+        panic!("trigger went cold while a retry was still owed");
+    }
+    panic!("backoff never expired");
+}
+
+/// One shared injector walks every fault class at least twice, each on
+/// a known attempt, while `poll` is driven synchronously.
+#[test]
+fn every_fault_class_fires_twice_and_the_worker_heals() {
+    // Attempt map (per-point occurrence counters are independent):
+    //   worker A: a1 panic@0, a2 panic@1,           -> isolated failures
+    //             a3 corrupt@0, a4 corrupt@1,       -> spot check refuses
+    //             (a4 = 4th failure = bound -> fallback rebuild, degraded)
+    //             a5 clean                          -> adopts, clears
+    //   worker B: b1 slow@3, b2 slow@4              -> timeouts; 2nd hits
+    //             (slow evals 0..3 happened in a3..a5)   the bound again
+    //   churn  C: update-burst@10,25                -> overlay backpressure
+    let schedule = FaultSchedule::empty()
+        .arm(FaultPoint::RetrainPanic, 0)
+        .arm(FaultPoint::RetrainPanic, 1)
+        .arm(FaultPoint::AdoptCorruption, 0)
+        .arm(FaultPoint::AdoptCorruption, 1)
+        .arm(FaultPoint::RetrainSlow, 3)
+        .arm(FaultPoint::RetrainSlow, 4)
+        .arm(FaultPoint::UpdateBurst, 10)
+        .arm(FaultPoint::UpdateBurst, 25);
+    let faults = Arc::new(schedule.injector());
+
+    // --- Worker A: panics and corrupted templates, then recovery. ---
+    let (handle, rules) = served_handle(90, RebuildPolicy::default_policy());
+    let trace = generate_trace(&rules, &TraceConfig::new(128).with_seed(91));
+    let retry = RetryPolicy {
+        max_failures: 4,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(8),
+        attempt_deadline: Duration::from_secs(120),
+    };
+    let mut worker = LifecycleWorker::new(lifecycle_config(&faults, retry), &handle);
+    churn_past_trigger(&handle, &rules, 92, 60);
+
+    // a1..a3: three failures (two panics, one refused adoption), none
+    // of which may touch the published state.
+    for (attempt, expect) in
+        [(1u64, "injected retrain panic"), (2, "injected retrain panic"), (3, "adopt:")]
+    {
+        let epoch_before = handle.epoch();
+        let snap_before = handle.snapshot();
+        let event = poll_past_backoff(&mut worker, &handle, &trace);
+        assert!(!event.adopted, "attempt {attempt} must fail");
+        assert!(
+            event.skipped.as_deref().unwrap_or("").contains(expect),
+            "attempt {attempt}: skipped = {:?}, wanted {expect:?}",
+            event.skipped
+        );
+        assert_eq!(event.failures_after, attempt);
+        assert!(!event.fallback_rebuild, "attempt {attempt} is below the retry bound");
+        assert_eq!(handle.epoch(), epoch_before, "failed attempt {attempt} published an epoch");
+        assert!(
+            Arc::ptr_eq(&snap_before, &handle.snapshot()),
+            "failed attempt {attempt} replaced the served snapshot"
+        );
+        assert_eq!(handle.health().consecutive_failures, attempt, "health mirror");
+        assert_eq!(find_rebuild_divergence(&handle, &trace), None);
+    }
+
+    // a4: the 4th consecutive failure crosses the bound — the worker
+    // degrades and force-publishes the deterministic fold-rebuild.
+    let epoch_before = handle.epoch();
+    let event = poll_past_backoff(&mut worker, &handle, &trace);
+    assert!(!event.adopted);
+    assert!(event.fallback_rebuild, "4th failure must trigger the heuristic fallback");
+    assert!(event.degraded);
+    assert!(handle.epoch() > epoch_before, "the fallback rebuild publishes");
+    assert_eq!(handle.stats().overlay_len, 0, "the fallback folds the overlay");
+    let health = handle.health();
+    assert!(health.degraded, "degradation is mirrored into the handle");
+    assert_eq!(health.epoch_lag, 0, "the fallback resets the update log");
+    assert_eq!(find_rebuild_divergence(&handle, &trace), None);
+
+    // a5: faults exhausted — the retry succeeds and clears everything.
+    let event = poll_past_backoff(&mut worker, &handle, &trace);
+    assert!(event.adopted, "clean retry must adopt: {:?}", event.skipped);
+    assert!(!event.degraded, "success clears the degraded flag");
+    assert_eq!(event.failures_after, 0);
+    let health = handle.health();
+    assert_eq!(health.consecutive_failures, 0);
+    assert!(!health.degraded);
+    assert_eq!(find_rebuild_divergence(&handle, &trace), None);
+    assert_eq!(faults.fired(FaultPoint::RetrainPanic), 2);
+    assert_eq!(faults.fired(FaultPoint::AdoptCorruption), 2);
+
+    // --- Worker B: deadline overruns on a fresh handle. The tight
+    // deadline makes both armed slow occurrences deterministic
+    // timeouts; the 2nd hits the (smaller) bound and falls back.
+    let (handle, rules) = served_handle(93, RebuildPolicy::default_policy());
+    let trace = generate_trace(&rules, &TraceConfig::new(128).with_seed(94));
+    let retry = RetryPolicy {
+        max_failures: 2,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(8),
+        attempt_deadline: Duration::from_millis(250),
+    };
+    let mut worker = LifecycleWorker::new(lifecycle_config(&faults, retry), &handle);
+    churn_past_trigger(&handle, &rules, 95, 60);
+
+    let epoch_before = handle.epoch();
+    let snap_before = handle.snapshot();
+    let event = poll_past_backoff(&mut worker, &handle, &trace);
+    assert!(!event.adopted);
+    assert!(
+        event.skipped.as_deref().unwrap_or("").contains("overran its deadline"),
+        "skipped = {:?}",
+        event.skipped
+    );
+    assert_eq!(handle.epoch(), epoch_before, "a timed-out attempt publishes nothing");
+    assert!(Arc::ptr_eq(&snap_before, &handle.snapshot()));
+
+    let event = poll_past_backoff(&mut worker, &handle, &trace);
+    assert!(event.fallback_rebuild, "2nd timeout crosses max_failures=2");
+    assert!(worker.health().degraded);
+    assert_eq!(handle.stats().overlay_len, 0, "degraded mode still folds the overlay");
+    assert_eq!(find_rebuild_divergence(&handle, &trace), None);
+    assert_eq!(faults.fired(FaultPoint::RetrainSlow), 2);
+
+    // --- Churn C: injected update bursts against a tiny overlay bound
+    // force fold-rebuild backpressure instead of unbounded growth.
+    let policy =
+        RebuildPolicy { max_churn: f64::INFINITY, min_updates: usize::MAX, max_overlay: 8 };
+    let (handle, rules) = served_handle(96, policy);
+    let trace = generate_trace(&rules, &TraceConfig::new(128).with_seed(97));
+    let mut churn = ChurnSchedule::new(rules.rules().to_vec(), (0..rules.len()).collect(), 98)
+        .with_faults(faults.clone());
+    for step in 0..60 {
+        churn.step(&handle);
+        let health = handle.health();
+        assert!(
+            health.overlay_len <= 8,
+            "overlay {} outgrew its bound at step {step}",
+            health.overlay_len
+        );
+    }
+    let health = handle.health();
+    assert!(
+        health.backpressure_rebuilds >= 1,
+        "bursts against an 8-slot overlay must force backpressure folds: {health}"
+    );
+    assert_eq!(find_rebuild_divergence(&handle, &trace), None);
+    assert_eq!(faults.fired(FaultPoint::UpdateBurst), 2);
+
+    // The whole schedule ran: every fault class fired exactly its two
+    // armed occurrences.
+    assert!(faults.exhausted(), "every armed occurrence must have fired");
+    for point in FAULT_POINTS {
+        assert_eq!(faults.fired(point), 2, "{point} must fire twice");
+    }
+}
+
+/// Free-running chaos: churn + two readers + a background worker while
+/// a *seeded* schedule fires faults at unplanned moments. Serving must
+/// stay certified at every checkpoint no matter what lands when.
+///
+/// Replay any failure with `NC_CHAOS_SEED=<printed seed>`.
+#[test]
+fn seeded_free_running_soak_never_serves_a_divergent_packet() {
+    const STEPS: usize = 3_000;
+    const CHECK_EVERY: usize = 500;
+
+    let seed: u64 =
+        std::env::var("NC_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xC4A0_5EED);
+    let schedule = FaultSchedule::seeded(seed, 2, 4, (STEPS / 4) as u64);
+    println!("chaos soak: NC_CHAOS_SEED={seed} schedule [{schedule}]");
+    let faults = Arc::new(schedule.injector());
+
+    let (handle, rules) = served_handle(seed ^ 0xA, RebuildPolicy::default_policy());
+    let trace = generate_trace(&rules, &TraceConfig::new(256).with_seed(seed ^ 0xB));
+
+    let mut cfg = LifecycleConfig::new(NeuroCutsConfig::smoke_test());
+    cfg.trigger = RetrainTrigger { min_churn: 0.3, min_updates: 400, max_drift: 100.0 };
+    // A deadline this tight can time out even an honest retrain on a
+    // loaded machine — which is fine: the soak asserts *serving* and
+    // *recovery accounting*, not adoption, and a spurious timeout just
+    // exercises the same failure path as the injected one.
+    cfg.retry = RetryPolicy {
+        max_failures: 3,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(20),
+        attempt_deadline: Duration::from_secs(2),
+    };
+    cfg.faults = Some(faults.clone());
+    let worker = LifecycleWorker::new(cfg, &handle);
+
+    let stop = AtomicBool::new(false);
+    let (report, checkpoints, served) = std::thread::scope(|scope| {
+        let worker_thread = {
+            let (handle, trace, stop) = (&handle, &trace, &stop);
+            scope.spawn(move || worker.run(handle, trace, stop, Duration::from_millis(5)))
+        };
+        let mut churn =
+            ChurnSchedule::new(rules.rules().to_vec(), (0..rules.len()).collect(), seed)
+                .with_faults(faults.clone());
+        let (checkpoints, served) = serve_during(&handle, &trace, 2, || {
+            let mut checkpoints = Vec::new();
+            for i in 0..STEPS {
+                churn.step(&handle);
+                if (i + 1) % CHECK_EVERY == 0 {
+                    checkpoints.push((i + 1, find_rebuild_divergence(&handle, &trace)));
+                }
+            }
+            checkpoints
+        });
+        stop.store(true, Ordering::Relaxed);
+        (worker_thread.join().expect("worker thread survives every fault"), checkpoints, served)
+    });
+
+    for point in FAULT_POINTS {
+        println!(
+            "chaos soak: {point} fired {}/{} (evaluated {})",
+            faults.fired(point),
+            faults.schedule().armed(point).len(),
+            faults.evaluated(point)
+        );
+    }
+
+    // Serving never diverged, at any checkpoint, faults or not.
+    assert_eq!(checkpoints.len(), STEPS / CHECK_EVERY);
+    for (applied, divergence) in &checkpoints {
+        assert!(
+            divergence.is_none(),
+            "seed {seed}: published snapshot diverged from a recompile at update {applied}"
+        );
+    }
+    assert!(served > 0, "readers must have classified packets throughout");
+    assert!(report.polls > 0, "worker never polled");
+
+    // The update-side fault class is deterministic: the churn thread
+    // evaluates every step, and the seeded window sits inside STEPS.
+    assert_eq!(
+        faults.fired(FaultPoint::UpdateBurst),
+        2,
+        "seed {seed}: both seeded update bursts sit inside the churn window"
+    );
+
+    // Recovery accounting stays coherent: the handle's health report
+    // mirrors the worker's last attempt, and a degraded worker must
+    // have actually published its fallback rebuild.
+    let health = handle.health();
+    if let Some(last) = report.events.last() {
+        assert_eq!(health.consecutive_failures, last.failures_after, "seed {seed}: health mirror");
+        assert_eq!(health.degraded, last.degraded, "seed {seed}: degraded mirror");
+    } else {
+        assert_eq!(health.consecutive_failures, 0);
+    }
+    if health.degraded {
+        assert!(
+            report.fallback_rebuilds() > 0,
+            "seed {seed}: degraded without a fallback rebuild on record"
+        );
+    }
+    for event in report.events.iter().filter(|e| e.fallback_rebuild) {
+        assert!(event.failures_after > 0, "seed {seed}: fallback without a failure streak");
+    }
+
+    // Still live after the storm: updates admit (or correctly refuse a
+    // duplicate) and the final snapshot is certified.
+    match handle.insert(rules.rules()[0].clone()) {
+        Ok(_) | Err(dtree::UpdateError::DuplicateRule(_)) => {}
+        Err(err) => panic!("seed {seed}: unexpected admission error: {err}"),
+    }
+    assert_eq!(find_rebuild_divergence(&handle, &trace), None);
+}

@@ -65,7 +65,7 @@ fn five_thousand_updates_with_background_retrains_stay_bounded_and_certified() {
     let worker = LifecycleWorker::new(cfg.clone(), &handle);
 
     let stop = AtomicBool::new(false);
-    let (report, checkpoints) = std::thread::scope(|scope| {
+    let (report, checkpoints, rejected) = std::thread::scope(|scope| {
         let worker_thread = {
             let (handle, trace, stop) = (&handle, &trace, &stop);
             scope.spawn(move || worker.run(handle, trace, stop, Duration::from_millis(20)))
@@ -87,7 +87,7 @@ fn five_thousand_updates_with_background_retrains_stay_bounded_and_certified() {
             checkpoints
         });
         stop.store(true, Ordering::Relaxed);
-        (worker_thread.join().expect("worker thread"), checkpoints)
+        (worker_thread.join().expect("worker thread"), checkpoints, schedule.rejected() as usize)
     });
 
     // Claim 1+2: bounded state and a certified snapshot at every
@@ -111,8 +111,8 @@ fn five_thousand_updates_with_background_retrains_stay_bounded_and_certified() {
     let last = &checkpoints[checkpoints.len() - 1].1;
     assert_eq!(
         last.total_inserted + last.total_deleted,
-        UPDATES,
-        "lifetime counters must see every applied update"
+        UPDATES - rejected,
+        "lifetime counters must see every admitted update ({rejected} rejected as duplicates)"
     );
 
     // The worker really ran and really swapped.
@@ -147,7 +147,12 @@ fn five_thousand_updates_with_background_retrains_stay_bounded_and_certified() {
         assert_eq!(scratch_timesteps, event.timesteps);
     }
 
-    // And the final state is still live: updates and lookups work.
-    handle.insert(rules.rules()[0].clone());
+    // And the final state is still live: updates and lookups work
+    // (the donor may still be active, in which case admission control
+    // correctly reports the duplicate instead of silently accepting).
+    match handle.insert(rules.rules()[0].clone()) {
+        Ok(_) | Err(dtree::UpdateError::DuplicateRule(_)) => {}
+        Err(err) => panic!("unexpected admission error: {err}"),
+    }
     assert_eq!(find_rebuild_divergence(&handle, &trace), None);
 }

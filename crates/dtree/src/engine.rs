@@ -334,7 +334,7 @@ mod tests {
         let (before, r1) = run_live_engine(&handle, &trace, EngineConfig::new(2).with_passes(2));
         assert_eq!(r1.min_epoch, 0);
         let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
-        let id = handle.insert(classbench::Rule::default_rule(top + 1));
+        let id = handle.insert(classbench::Rule::default_rule(top + 1)).unwrap();
         let (after, r2) = run_live_engine(&handle, &trace, EngineConfig::new(2).with_passes(2));
         assert!(r2.min_epoch >= 1, "workers must serve the new epoch");
         assert!(after.iter().all(|&m| m == Some(id)), "shadowing insert must win everywhere");
@@ -364,7 +364,7 @@ mod tests {
             });
             let mut inserted = Vec::new();
             for i in 0..30 {
-                inserted.push(h.insert(classbench::Rule::default_rule(top + 1 + i)));
+                inserted.push(h.insert(classbench::Rule::default_rule(top + 1 + i)).unwrap());
                 if i % 3 == 0 {
                     h.delete(inserted[inserted.len() - 1]).unwrap();
                 }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod flat;
 pub mod memory;
 pub mod node;
@@ -47,12 +48,14 @@ pub use engine::{
     classify_sharded, classify_sharded_live, run_engine, run_live_engine, EngineConfig,
     EngineReport, LiveEngineReport,
 };
+pub use faults::{FaultInjector, FaultPoint, FaultSchedule, FAULT_POINTS};
 pub use flat::{FlatTree, StaleTreeError};
 pub use memory::MemoryModel;
 pub use node::{Node, NodeId, NodeKind, RuleId, RuleSpan};
 pub use replay::{find_rebuild_divergence, serve_during, ChurnSchedule};
 pub use serve::{
-    AdoptError, AdoptReport, ClassifierHandle, RebuildPolicy, RuleSnapshot, Snapshot, UpdateStats,
+    AdoptError, AdoptReport, ClassifierHandle, HealthReport, RebuildPolicy, RuleSnapshot, Snapshot,
+    UpdateStats,
 };
 pub use space::NodeSpace;
 pub use stats::{average_lookup_cost, TreeStats};

@@ -60,19 +60,28 @@ pub struct RebuildPolicy {
     /// Never recompile before this many updates have been applied,
     /// so tiny classifiers don't thrash on every single update.
     pub min_updates: usize,
+    /// Hard bound on the insert overlay. An insert that would grow the
+    /// overlay past this folds everything into a recompile instead
+    /// (backpressure, counted in [`HealthReport::backpressure_rebuilds`])
+    /// — an update storm can never make per-lookup overlay scans grow
+    /// without limit, whatever the churn fraction says.
+    pub max_overlay: usize,
 }
 
 impl RebuildPolicy {
-    /// Recompile at 10% churn, but not before 8 updates.
+    /// Recompile at 10% churn, but not before 8 updates; overlay hard
+    /// bound 256.
     pub fn default_policy() -> Self {
-        RebuildPolicy { max_churn: 0.10, min_updates: 8 }
+        RebuildPolicy { max_churn: 0.10, min_updates: 8, max_overlay: 256 }
     }
 
     /// Never recompile automatically (updates stay incremental until
     /// [`ClassifierHandle::force_rebuild`] is called). Useful for tests
-    /// that exercise the patch/overlay path exclusively.
+    /// that exercise the patch/overlay path exclusively — which is why
+    /// the overlay bound is also lifted; production policies should
+    /// keep a finite `max_overlay`.
     pub fn never() -> Self {
-        RebuildPolicy { max_churn: f64::INFINITY, min_updates: usize::MAX }
+        RebuildPolicy { max_churn: f64::INFINITY, min_updates: usize::MAX, max_overlay: usize::MAX }
     }
 
     /// True when the log has accumulated enough churn to rebuild.
@@ -196,6 +205,61 @@ struct State {
     total_inserted: usize,
     total_deleted: usize,
     published: Arc<Snapshot>,
+    /// Overlay-bound folds forced instead of unbounded growth.
+    backpressure_rebuilds: u64,
+    /// Most recent update/adopt error (sticky; health reporting).
+    last_error: Option<String>,
+    /// Lifecycle-worker view, pushed via [`ClassifierHandle::note_worker_health`].
+    worker_failures: u64,
+    worker_degraded: bool,
+}
+
+/// A point-in-time health view of a live classifier: the failure side
+/// of the serving story, queryable from the engine and the CLI. The
+/// worker-side fields (`consecutive_failures`, `degraded`) are pushed
+/// by the lifecycle worker through
+/// [`ClassifierHandle::note_worker_health`]; the rest the handle tracks
+/// itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Consecutive transient retrain failures of the attached lifecycle
+    /// worker (0 when healthy or no worker attached).
+    pub consecutive_failures: u64,
+    /// The worker degraded to heuristic fold-rebuilds after exhausting
+    /// its retry budget; cleared by the next successful retrain.
+    pub degraded: bool,
+    /// Rules currently served from the overlay.
+    pub overlay_len: usize,
+    /// The policy's hard overlay bound.
+    pub overlay_cap: usize,
+    /// Published epochs since the last full fold — how many incremental
+    /// updates the compiled table is behind the rule arena (0 right
+    /// after any rebuild/adopt).
+    pub epoch_lag: u64,
+    /// Folds forced by the overlay bound rather than the churn policy.
+    pub backpressure_rebuilds: u64,
+    /// The most recent update/adopt/retrain error, if any (sticky).
+    pub last_error: Option<String>,
+}
+
+impl std::fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "failures {} degraded {} overlay {}/{} epoch_lag {} backpressure {} last_error {}",
+            self.consecutive_failures,
+            self.degraded,
+            self.overlay_len,
+            if self.overlay_cap == usize::MAX {
+                "inf".to_string()
+            } else {
+                self.overlay_cap.to_string()
+            },
+            self.epoch_lag,
+            self.backpressure_rebuilds,
+            self.last_error.as_deref().unwrap_or("none"),
+        )
+    }
 }
 
 /// Aggregate counters of a handle's update history.
@@ -296,6 +360,14 @@ pub enum AdoptError {
     /// The grafted tree failed its linear-scan spot check on this
     /// packet; the swap was abandoned before publishing anything.
     Diverged(Packet),
+    /// The snapshot's id map does not fit this handle's arena — it was
+    /// frozen from some *other* handle (previously a `graft` panic).
+    ForeignSnapshot {
+        /// Largest handle id the snapshot maps onto.
+        max_id: RuleId,
+        /// This handle's arena size.
+        arena: usize,
+    },
 }
 
 impl std::fmt::Display for AdoptError {
@@ -306,6 +378,9 @@ impl std::fmt::Display for AdoptError {
             }
             AdoptError::Diverged(p) => {
                 write!(f, "grafted tree diverged from the linear scan at {p}")
+            }
+            AdoptError::ForeignSnapshot { max_id, arena } => {
+                write!(f, "snapshot maps rule id {max_id} but the handle arena holds {arena}")
             }
         }
     }
@@ -383,6 +458,10 @@ impl ClassifierHandle {
                 total_inserted: 0,
                 total_deleted: 0,
                 published,
+                backpressure_rebuilds: 0,
+                last_error: None,
+                worker_failures: 0,
+                worker_degraded: false,
             }),
             epoch: AtomicU64::new(0),
         }
@@ -404,12 +483,39 @@ impl ClassifierHandle {
     /// Insert a rule: applied to the tree in place (§4), served from
     /// the overlay until the next recompile. Publishes a new snapshot
     /// before returning. Returns the new rule's stable id.
-    pub fn insert(&self, rule: Rule) -> RuleId {
+    ///
+    /// Admission control rejects malformed rules (inverted, degenerate
+    /// or out-of-span ranges — [`updates::validate_rule`]) and exact
+    /// duplicates of an active rule (same ranges and priority; the
+    /// error carries the existing id) without touching the serving
+    /// state or publishing an epoch. An insert that would grow the
+    /// overlay past [`RebuildPolicy::max_overlay`] still lands, but
+    /// folds the overlay into a recompile instead of growing it
+    /// (backpressure, visible in [`Self::health`]).
+    pub fn insert(&self, rule: Rule) -> Result<RuleId, UpdateError> {
         let mut s = self.state.write();
+        if let Err(err) = updates::validate_rule(&rule) {
+            s.last_error = Some(err.to_string());
+            return Err(err);
+        }
+        if let Some(existing) =
+            (0..s.tree.rules().len()).find(|&id| s.tree.is_active(id) && *s.tree.rule(id) == rule)
+        {
+            let err = UpdateError::DuplicateRule(existing);
+            s.last_error = Some(err.to_string());
+            return Err(err);
+        }
         let id = updates::insert_rule(&mut s.tree, rule.clone());
         s.log.inserted += 1;
         s.total_inserted += 1;
         if s.policy.should_rebuild(&s.log, s.tree.num_active_rules()) {
+            Self::rebuild_locked(&mut s);
+        } else if s.overlay.len() >= s.policy.max_overlay {
+            // Overlay at its hard bound: fold everything (the new rule
+            // is already in the tree) instead of growing the per-lookup
+            // scan — the OverlayFull backpressure signal.
+            s.backpressure_rebuilds += 1;
+            s.last_error = Some(UpdateError::OverlayFull { cap: s.policy.max_overlay }.to_string());
             Self::rebuild_locked(&mut s);
         } else {
             // Keep the overlay precedence-sorted so lookups take the
@@ -424,7 +530,7 @@ impl ClassifierHandle {
             s.overlay.insert(pos, (id, rule));
         }
         self.publish_locked(&mut s);
-        id
+        Ok(id)
     }
 
     /// Delete a rule: applied to the tree in place, then either dropped
@@ -435,7 +541,10 @@ impl ClassifierHandle {
     /// touching the serving state.
     pub fn delete(&self, id: RuleId) -> Result<(), UpdateError> {
         let mut s = self.state.write();
-        updates::delete_rule(&mut s.tree, id)?;
+        if let Err(err) = updates::delete_rule(&mut s.tree, id) {
+            s.last_error = Some(err.to_string());
+            return Err(err);
+        }
         s.log.deleted += 1;
         s.total_deleted += 1;
         // Check the rebuild policy *first*: when this delete tips the
@@ -521,11 +630,26 @@ impl ClassifierHandle {
         spot_check: &[Packet],
     ) -> Result<AdoptReport, AdoptError> {
         let mut s = self.state.write();
+        // A snapshot from a different handle (or one whose arena ids
+        // outrun ours) would index out of bounds below; reject it as a
+        // typed error instead of panicking under the write lock.
+        if snap.map.len() != snap.rules.len()
+            || snap.map.iter().any(|&id| id >= s.tree.rules().len())
+        {
+            let err = AdoptError::ForeignSnapshot {
+                max_id: snap.map.iter().copied().max().unwrap_or(0),
+                arena: s.tree.rules().len(),
+            };
+            s.last_error = Some(err.to_string());
+            return Err(err);
+        }
         if template.rules() != snap.rules.rules() {
-            return Err(AdoptError::TemplateMismatch {
+            let err = AdoptError::TemplateMismatch {
                 expected: snap.rules.len(),
                 got: template.rules().len(),
-            });
+            };
+            s.last_error = Some(err.to_string());
+            return Err(err);
         }
         let mut grafted = DecisionTree::graft(template, &snap.map, &s.tree);
         let mut in_snap = vec![false; s.tree.rules().len()];
@@ -572,7 +696,9 @@ impl ClassifierHandle {
             .chain(s.overlay.iter().map(|(_, r)| probe_packet(r)))
             .find(|p| grafted.classify(p) != grafted.linear_classify(p));
         if let Some(p) = diverged {
-            return Err(AdoptError::Diverged(p));
+            let err = AdoptError::Diverged(p);
+            s.last_error = Some(err.to_string());
+            return Err(err);
         }
         let spot_checked = spot_check.len() + s.overlay.len();
         s.tree = grafted;
@@ -624,6 +750,43 @@ impl ClassifierHandle {
             total_deleted: s.total_deleted,
             active_rules: s.tree.num_active_rules(),
             overlay_len: s.overlay.len(),
+        }
+    }
+
+    /// A point-in-time health report for operators and the CLI: the
+    /// lifecycle worker's failure streak and degraded flag (pushed via
+    /// [`Self::note_worker_health`]), overlay occupancy against its
+    /// bound, epoch lag (updates published since the last recompile —
+    /// how far the compiled table trails the live rule set), rebuilds
+    /// forced by overlay backpressure, and the last recorded error.
+    pub fn health(&self) -> HealthReport {
+        let s = self.state.read();
+        HealthReport {
+            consecutive_failures: s.worker_failures,
+            degraded: s.worker_degraded,
+            overlay_len: s.overlay.len(),
+            overlay_cap: s.policy.max_overlay,
+            epoch_lag: s.log.total() as u64,
+            backpressure_rebuilds: s.backpressure_rebuilds,
+            last_error: s.last_error.clone(),
+        }
+    }
+
+    /// Record the lifecycle worker's view of its own health so
+    /// [`Self::health`] reports one merged picture. `last_error` is
+    /// sticky: `None` leaves the previous record in place (errors are
+    /// diagnostics, not state — only a new error overwrites).
+    pub fn note_worker_health(
+        &self,
+        consecutive_failures: u64,
+        degraded: bool,
+        last_error: Option<String>,
+    ) {
+        let mut s = self.state.write();
+        s.worker_failures = consecutive_failures;
+        s.worker_degraded = degraded;
+        if last_error.is_some() {
+            s.last_error = last_error;
         }
     }
 
@@ -711,7 +874,7 @@ mod tests {
 
         let mut r = Rule::default_rule(top + 1);
         r.ranges[Dim::Proto.index()] = DimRange::exact(6);
-        let id = handle.insert(r);
+        let id = handle.insert(r).unwrap();
         assert_eq!(handle.stats().overlay_len, 1);
         assert_eq!(handle.stats().rebuilds, 0);
 
@@ -745,7 +908,7 @@ mod tests {
         let (tree, rules) = built_tree(34);
         let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
         let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
-        let id = handle.insert(Rule::default_rule(top + 5));
+        let id = handle.insert(Rule::default_rule(top + 5)).unwrap();
         assert_eq!(handle.stats().overlay_len, 1);
         handle.delete(id).unwrap();
         assert_eq!(handle.stats().overlay_len, 0, "overlay delete must not touch the flat");
@@ -758,13 +921,13 @@ mod tests {
         let (tree, rules) = built_tree(36);
         let n = tree.num_active_rules();
         // 10% churn at min_updates 4: the 15th update on 150 rules.
-        let policy = RebuildPolicy { max_churn: 0.10, min_updates: 4 };
+        let policy = RebuildPolicy { max_churn: 0.10, min_updates: 4, max_overlay: 256 };
         let handle = ClassifierHandle::new(tree, policy);
         let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
         let mut rebuilds_seen = 0;
         for i in 0..40 {
             let before = handle.stats();
-            handle.insert(Rule::default_rule(top + 1 + i));
+            handle.insert(Rule::default_rule(top + 1 + i)).unwrap();
             let after = handle.stats();
             if after.rebuilds > before.rebuilds {
                 rebuilds_seen += 1;
@@ -779,7 +942,7 @@ mod tests {
 
     #[test]
     fn policy_decision_matches_churn_arithmetic() {
-        let policy = RebuildPolicy { max_churn: 0.10, min_updates: 8 };
+        let policy = RebuildPolicy { max_churn: 0.10, min_updates: 8, max_overlay: 256 };
         let mut log = UpdateLog::default();
         assert!(!policy.should_rebuild(&log, 100));
         log.inserted = 7;
@@ -798,13 +961,13 @@ mod tests {
         let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
         assert_eq!(handle.epoch(), 0);
         assert_eq!(handle.snapshot().epoch(), 0);
-        handle.insert(Rule::default_rule(9_999));
+        handle.insert(Rule::default_rule(9_999)).unwrap();
         assert_eq!(handle.epoch(), 1);
         handle.delete(0).unwrap();
         assert_eq!(handle.epoch(), 2);
         // An old snapshot keeps serving, but its epoch reveals it.
         let old = handle.snapshot();
-        handle.insert(Rule::default_rule(10_000));
+        handle.insert(Rule::default_rule(10_000)).unwrap();
         assert!(old.epoch() < handle.epoch());
         assert_eq!(handle.snapshot().epoch(), handle.epoch());
     }
@@ -815,7 +978,7 @@ mod tests {
         let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
         let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
         for i in 0..5 {
-            handle.insert(Rule::default_rule(top + 1 + i));
+            handle.insert(Rule::default_rule(top + 1 + i)).unwrap();
         }
         assert_eq!(handle.stats().overlay_len, 5);
         handle.force_rebuild();
@@ -836,7 +999,7 @@ mod tests {
         let (tree, rules) = built_tree(44);
         let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
         let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
-        handle.insert(Rule::default_rule(top + 1));
+        handle.insert(Rule::default_rule(top + 1)).unwrap();
         handle.delete(0).unwrap();
         let snap = handle.snapshot();
         let p = Packet::new(1, 2, 3, 4, 6);
@@ -866,7 +1029,7 @@ mod tests {
         let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
         let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
         for i in 0..6 {
-            handle.insert(Rule::default_rule(top + 1 + i));
+            handle.insert(Rule::default_rule(top + 1 + i)).unwrap();
         }
         handle.delete(3).unwrap();
         let before = handle.stats();
@@ -882,9 +1045,9 @@ mod tests {
         // The policy path reads identically: a policy-triggered rebuild
         // leaves the same reset log and the next counter value.
         let (tree2, _) = built_tree(46);
-        let policy = RebuildPolicy { max_churn: 0.001, min_updates: 1 };
+        let policy = RebuildPolicy { max_churn: 0.001, min_updates: 1, max_overlay: 256 };
         let h2 = ClassifierHandle::new(tree2, policy);
-        h2.insert(Rule::default_rule(top + 50));
+        h2.insert(Rule::default_rule(top + 50)).unwrap();
         let s2 = h2.stats();
         assert_eq!(s2.log, UpdateLog::default());
         assert_eq!(s2.rebuilds, 1);
@@ -919,7 +1082,7 @@ mod tests {
         handle.force_rebuild();
         assert_eq!(handle.churn(), 0.0);
         assert_eq!(handle.snapshot().classify(&p), None);
-        let id = handle.insert(Rule::default_rule(1));
+        let id = handle.insert(Rule::default_rule(1)).unwrap();
         assert_eq!(handle.snapshot().classify(&p), Some(id));
     }
 
@@ -933,7 +1096,7 @@ mod tests {
             Rule::default_rule(0),
         ]);
         let tree = DecisionTree::new(&rules);
-        let policy = RebuildPolicy { max_churn: 0.5, min_updates: 3 };
+        let policy = RebuildPolicy { max_churn: 0.5, min_updates: 3, max_overlay: 256 };
         let handle = ClassifierHandle::new(tree, policy);
         for id in 0..5 {
             handle.delete(id).unwrap();
@@ -952,7 +1115,7 @@ mod tests {
         let (tree, rules) = built_tree(47);
         let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
         let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
-        handle.insert(Rule::default_rule(top + 9));
+        handle.insert(Rule::default_rule(top + 9)).unwrap();
         handle.delete(2).unwrap();
         let snap = handle.rule_snapshot();
         assert_eq!(snap.len(), handle.stats().active_rules);
@@ -1015,7 +1178,7 @@ mod tests {
         let snap = handle.rule_snapshot();
         // Updates land while the "retrain" is in flight.
         let late: Vec<RuleId> =
-            (0..3).map(|i| handle.insert(Rule::default_rule(top + 1 + i))).collect();
+            (0..3).map(|i| handle.insert(Rule::default_rule(top + 1 + i)).unwrap()).collect();
         handle.delete(0).unwrap();
         handle.delete(7).unwrap();
         let mut template = DecisionTree::new(snap.rules());
@@ -1100,21 +1263,25 @@ mod tests {
         let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
         let mut r = Rule::default_rule(top + 1);
         r.ranges[Dim::Proto.index()] = DimRange::exact(17);
-        handle.insert(r);
+        handle.insert(r).unwrap();
         assert_eq!(handle.stats().overlay_len, 1);
         assert_eq!(handle.check_divergence(&[]), None);
     }
 
     #[test]
     fn duplicate_priorities_tiebreak_by_id_across_overlay_and_table() {
-        // Two identical-priority full-wildcard rules: one compiled, one
-        // in the overlay. The compiled one has the lower id, so it must
-        // keep winning — the merge tie-break is (priority, lower id),
-        // same as the arena and the linear scan.
+        // Two identical-priority rules covering the probe: one
+        // compiled, one in the overlay (its SrcIp range narrowed so
+        // admission control does not flag it as an exact duplicate).
+        // The compiled one has the lower id, so it must keep winning —
+        // the merge tie-break is (priority, lower id), same as the
+        // arena and the linear scan.
         let rules = classbench::RuleSet::new(vec![Rule::default_rule(7)]);
         let tree = DecisionTree::new(&rules);
         let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
-        let dup = handle.insert(Rule::default_rule(7));
+        let mut twin = Rule::default_rule(7);
+        twin.ranges[Dim::SrcIp.index()] = DimRange::new(0, 1 << 16);
+        let dup = handle.insert(twin).unwrap();
         let p = Packet::new(1, 1, 1, 1, 1);
         let snap = handle.snapshot();
         assert_eq!(snap.classify(&p), Some(0), "lower id must win the tie");
@@ -1122,5 +1289,171 @@ mod tests {
         // Delete the compiled one: now the overlay rule wins.
         handle.delete(0).unwrap();
         assert_eq!(handle.snapshot().classify(&p), Some(dup));
+    }
+
+    #[test]
+    fn admission_rejects_malformed_and_duplicate_rules_without_publishing() {
+        let (tree, rules) = built_tree(60);
+        let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
+        let epoch = handle.epoch();
+        let stats = handle.stats();
+
+        // Inverted range.
+        let mut inverted = Rule::default_rule(9_000);
+        inverted.ranges[Dim::SrcPort.index()] = DimRange { lo: 80, hi: 10 };
+        match handle.insert(inverted) {
+            Err(UpdateError::InvertedRange { dim: Dim::SrcPort, lo: 80, hi: 10 }) => {}
+            other => panic!("expected InvertedRange, got {other:?}"),
+        }
+        // Degenerate (empty) range.
+        let mut empty = Rule::default_rule(9_001);
+        empty.ranges[Dim::DstIp.index()] = DimRange { lo: 7, hi: 7 };
+        assert!(matches!(handle.insert(empty), Err(UpdateError::InvalidRange { .. })));
+        // Out-of-span range.
+        let mut wide = Rule::default_rule(9_002);
+        wide.ranges[Dim::Proto.index()] = DimRange { lo: 0, hi: 300 };
+        assert!(matches!(
+            handle.insert(wide),
+            Err(UpdateError::InvalidRange { dim: Dim::Proto, lo: 0, hi: 300 })
+        ));
+        // Exact duplicate of an active rule reports the existing id.
+        let twin = rules.rules()[3].clone();
+        assert_eq!(handle.insert(twin), Err(UpdateError::DuplicateRule(3)));
+
+        // None of the rejections touched the serving state.
+        assert_eq!(handle.epoch(), epoch, "rejected inserts publish nothing");
+        let after = handle.stats();
+        assert_eq!(after.total_inserted, stats.total_inserted);
+        assert_eq!(after.active_rules, stats.active_rules);
+        assert_eq!(after.overlay_len, 0);
+        // But the health report remembers the last rejection.
+        let health = handle.health();
+        assert!(health.last_error.as_deref().unwrap_or("").contains("already active"));
+        // A deleted rule's twin is admissible again: duplicates are
+        // checked against *active* rules only.
+        handle.delete(3).unwrap();
+        handle.insert(rules.rules()[3].clone()).unwrap();
+    }
+
+    #[test]
+    fn overlay_bound_forces_fold_rebuild_backpressure() {
+        let (tree, rules) = built_tree(62);
+        let policy =
+            RebuildPolicy { max_churn: f64::INFINITY, min_updates: usize::MAX, max_overlay: 4 };
+        let handle = ClassifierHandle::new(tree, policy);
+        let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
+        for i in 0..4 {
+            handle.insert(Rule::default_rule(top + 1 + i)).unwrap();
+        }
+        assert_eq!(handle.stats().overlay_len, 4);
+        assert_eq!(handle.stats().rebuilds, 0);
+        // The 5th insert would overflow the overlay: it still lands,
+        // but folds everything into a recompile instead.
+        let id = handle.insert(Rule::default_rule(top + 9)).unwrap();
+        let s = handle.stats();
+        assert_eq!(s.overlay_len, 0, "backpressure folds the overlay");
+        assert_eq!(s.rebuilds, 1);
+        let health = handle.health();
+        assert_eq!(health.backpressure_rebuilds, 1);
+        assert_eq!(health.overlay_cap, 4);
+        assert!(health.last_error.as_deref().unwrap_or("").contains("overlay reached its bound"));
+        // The folded insert is served.
+        let p = Packet::new(1, 2, 3, 4, 6);
+        assert_eq!(handle.snapshot().classify(&p), Some(id));
+        let trace = generate_trace(&rules, &TraceConfig::new(200).with_seed(63));
+        assert_snapshot_matches_rebuild(&handle, &trace);
+    }
+
+    #[test]
+    fn health_report_tracks_overlay_epoch_lag_and_worker_state() {
+        let (tree, rules) = built_tree(64);
+        let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
+        let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
+        let h0 = handle.health();
+        assert_eq!(h0.consecutive_failures, 0);
+        assert!(!h0.degraded);
+        assert_eq!(h0.overlay_len, 0);
+        assert_eq!(h0.epoch_lag, 0);
+        assert_eq!(h0.last_error, None);
+
+        handle.insert(Rule::default_rule(top + 1)).unwrap();
+        handle.delete(0).unwrap();
+        let h1 = handle.health();
+        assert_eq!(h1.overlay_len, 1);
+        assert_eq!(h1.epoch_lag, 2, "one insert + one delete since the last recompile");
+
+        handle.note_worker_health(3, true, Some("injected retrain panic".into()));
+        let h2 = handle.health();
+        assert_eq!(h2.consecutive_failures, 3);
+        assert!(h2.degraded);
+        assert_eq!(h2.last_error.as_deref(), Some("injected retrain panic"));
+        // `None` leaves the sticky last_error in place.
+        handle.note_worker_health(0, false, None);
+        let h3 = handle.health();
+        assert_eq!(h3.consecutive_failures, 0);
+        assert!(!h3.degraded);
+        assert_eq!(h3.last_error.as_deref(), Some("injected retrain panic"));
+        // A rebuild clears the epoch lag.
+        handle.force_rebuild();
+        assert_eq!(handle.health().epoch_lag, 0);
+        // Display formats every field (inf cap for a never-policy).
+        let line = handle.health().to_string();
+        assert!(line.contains("overlay 0/inf"), "got {line}");
+    }
+
+    #[test]
+    fn overlay_inserted_rule_deleted_before_compile_never_reaches_the_flat() {
+        // Satellite: an id that lives only in the overlay and dies
+        // before any recompile must never appear in a FlatTree — the
+        // delete drops it from the overlay without cloning the flat,
+        // and the eventual fold excludes it.
+        let (tree, rules) = built_tree(66);
+        let handle = ClassifierHandle::new(tree, RebuildPolicy::never());
+        let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
+        let keep_lo = handle.insert(Rule::default_rule(top + 1)).unwrap();
+        let victim = handle.insert(Rule::default_rule(top + 2)).unwrap();
+        let keep_hi = handle.insert(Rule::default_rule(top + 3)).unwrap();
+        let flat_before = handle.snapshot().flat() as *const FlatTree as usize;
+        handle.delete(victim).unwrap();
+        let snap = handle.snapshot();
+        // The delete was overlay-only: the compiled tree was neither
+        // patched nor recompiled (same allocation), and the overlay
+        // dropped exactly the victim.
+        assert_eq!(snap.flat() as *const FlatTree as usize, flat_before, "flat must be untouched");
+        assert_eq!(handle.stats().overlay_len, 2);
+        let p = Packet::new(1, 2, 3, 4, 6);
+        assert_eq!(snap.classify(&p), Some(keep_hi), "surviving overlay rules keep serving");
+        // After the fold, the victim id is gone from the compiled tree
+        // too: classify never returns it, the survivors win.
+        handle.force_rebuild();
+        let folded = handle.snapshot();
+        assert_eq!(folded.classify(&p), Some(keep_hi));
+        handle.delete(keep_hi).unwrap();
+        assert_eq!(handle.snapshot().classify(&p), Some(keep_lo), "victim must not resurface");
+        let trace = generate_trace(&rules, &TraceConfig::new(200).with_seed(67));
+        assert_snapshot_matches_rebuild(&handle, &trace);
+    }
+
+    #[test]
+    fn adopt_rejects_a_foreign_snapshot_without_panicking() {
+        // A snapshot from a *different* handle whose arena ids outrun
+        // ours used to index out of bounds inside adopt; now it is a
+        // typed error that leaves the epoch untouched.
+        let (big_tree, _) = built_tree(68);
+        let big = ClassifierHandle::new(big_tree, RebuildPolicy::never());
+        let foreign = big.rule_snapshot();
+        let small_rules = classbench::RuleSet::new(vec![Rule::default_rule(1)]);
+        let small = ClassifierHandle::new(DecisionTree::new(&small_rules), RebuildPolicy::never());
+        let template = DecisionTree::new(foreign.rules());
+        let epoch = small.epoch();
+        match small.adopt(&template, &foreign, &[]) {
+            Err(AdoptError::ForeignSnapshot { max_id, arena }) => {
+                assert!(max_id >= arena);
+                assert_eq!(arena, 1);
+            }
+            other => panic!("expected ForeignSnapshot, got {other:?}"),
+        }
+        assert_eq!(small.epoch(), epoch, "a rejected adopt publishes nothing");
+        assert!(small.health().last_error.as_deref().unwrap_or("").contains("arena"));
     }
 }

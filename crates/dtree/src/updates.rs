@@ -9,16 +9,50 @@
 
 use crate::node::{NodeId, NodeKind, RuleId};
 use crate::tree::DecisionTree;
-use classbench::Rule;
+use classbench::{Dim, Rule, DIMS};
 use serde::{Deserialize, Serialize};
 
-/// Why an update could not be applied.
+/// Why an update could not be applied — the admission-control taxonomy
+/// live update streams surface instead of panicking. Every variant
+/// leaves the serving state untouched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdateError {
     /// The rule id is outside the tree's arena.
     UnknownRule(RuleId),
     /// The rule was already deleted by an earlier update.
     InactiveRule(RuleId),
+    /// A dimension range with `lo > hi` — the half-open `[lo, hi)`
+    /// convention means the bounds are inverted, not merely empty.
+    InvertedRange {
+        /// The offending dimension.
+        dim: Dim,
+        /// The (inverted) lower bound.
+        lo: u64,
+        /// The (inverted) upper bound.
+        hi: u64,
+    },
+    /// A degenerate (`lo == hi`, matches nothing) or out-of-span
+    /// (`hi > 2^bits`) dimension range.
+    InvalidRange {
+        /// The offending dimension.
+        dim: Dim,
+        /// The lower bound.
+        lo: u64,
+        /// The upper bound.
+        hi: u64,
+    },
+    /// An insert identical (ranges and priority) to a rule that is
+    /// already active — the payload is the existing rule's id, so the
+    /// caller can reference it instead of double-inserting.
+    DuplicateRule(RuleId),
+    /// The insert overlay reached the rebuild policy's hard bound; the
+    /// handle folds the overlay into a recompile instead of growing it
+    /// (backpressure — recorded in the health report, the insert itself
+    /// still lands).
+    OverlayFull {
+        /// The policy's `max_overlay` cap.
+        cap: usize,
+    },
 }
 
 impl std::fmt::Display for UpdateError {
@@ -26,11 +60,41 @@ impl std::fmt::Display for UpdateError {
         match self {
             UpdateError::UnknownRule(id) => write!(f, "rule {id} does not exist in the arena"),
             UpdateError::InactiveRule(id) => write!(f, "rule {id} is not active"),
+            UpdateError::InvertedRange { dim, lo, hi } => {
+                write!(f, "{dim:?} range [{lo}, {hi}) has inverted bounds")
+            }
+            UpdateError::InvalidRange { dim, lo, hi } => {
+                write!(f, "{dim:?} range [{lo}, {hi}) is empty or exceeds the dimension span")
+            }
+            UpdateError::DuplicateRule(id) => {
+                write!(f, "an identical rule is already active as id {id}")
+            }
+            UpdateError::OverlayFull { cap } => {
+                write!(f, "insert overlay reached its bound of {cap}; fold-rebuild forced")
+            }
         }
     }
 }
 
 impl std::error::Error for UpdateError {}
+
+/// Admission control: reject malformed rules before they touch the
+/// tree. A rule is admissible when every dimension range is non-empty,
+/// correctly ordered, and within the dimension's span — the properties
+/// every other invariant in the serving path (probe packets, low-corner
+/// spot checks, interval routing) silently relies on.
+pub fn validate_rule(rule: &Rule) -> Result<(), UpdateError> {
+    for dim in DIMS {
+        let r = rule.range(dim);
+        if r.lo > r.hi {
+            return Err(UpdateError::InvertedRange { dim, lo: r.lo, hi: r.hi });
+        }
+        if r.lo == r.hi || r.hi > dim.span() {
+            return Err(UpdateError::InvalidRange { dim, lo: r.lo, hi: r.hi });
+        }
+    }
+    Ok(())
+}
 
 /// Running counters of in-place updates applied to a tree.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,11 +154,13 @@ pub(crate) fn route_insert(tree: &mut DecisionTree, id: RuleId) {
         match tree.node(nid).kind.clone() {
             NodeKind::Leaf => tree.leaf_insert_sorted(nid, id),
             NodeKind::Partition { children } => {
-                let target = children
-                    .into_iter()
-                    .min_by_key(|&c| tree.node(c).num_rules())
-                    .expect("partition node with no children");
-                stack.push(target);
+                // A childless partition cannot be reached by lookups
+                // either (classify consults children only), so there is
+                // nowhere to route — skip instead of panicking.
+                if let Some(target) = children.into_iter().min_by_key(|&c| tree.node(c).num_rules())
+                {
+                    stack.push(target);
+                }
             }
             other => {
                 // Cut / MultiCut / Split: descend into every child whose
@@ -155,11 +221,12 @@ fn ensure_under(tree: &mut DecisionTree, nid: NodeId, id: RuleId) -> usize {
             let holders: Vec<NodeId> =
                 children.iter().copied().filter(|&c| subtree_holds(tree, c, id)).collect();
             if holders.is_empty() {
-                let target = children
-                    .into_iter()
-                    .min_by_key(|&c| tree.node(c).num_rules())
-                    .expect("partition node with no children");
-                ensure_under(tree, target, id)
+                // Same childless-partition tolerance as `route_insert`:
+                // nothing to descend means nothing a lookup can reach.
+                match children.into_iter().min_by_key(|&c| tree.node(c).num_rules()) {
+                    Some(target) => ensure_under(tree, target, id),
+                    None => 0,
+                }
             } else {
                 holders.into_iter().map(|c| ensure_under(tree, c, id)).sum()
             }

@@ -1,0 +1,146 @@
+//! Admission-control property tests: `ClassifierHandle::insert` must
+//! classify *any* rule — inverted ranges, empty ranges, bounds past the
+//! dimension span, exact duplicates — into the right [`UpdateError`]
+//! variant, never panic, and leave the published state untouched when
+//! it refuses.
+
+use classbench::{
+    generate_rules, ClassifierFamily, Dim, DimRange, GeneratorConfig, Rule, RuleSet, DIMS,
+};
+use dtree::{ClassifierHandle, DecisionTree, RebuildPolicy, UpdateError};
+use proptest::prelude::*;
+
+fn seed_handle() -> ClassifierHandle {
+    let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 40).with_seed(7));
+    let mut tree = DecisionTree::new(&rules);
+    for k in tree.cut_node(tree.root(), Dim::SrcIp, 4) {
+        let _ = k;
+    }
+    ClassifierHandle::new(tree, RebuildPolicy::default_policy())
+}
+
+/// Decode one drawn `(a, b, kind)` triple into a range for `dim`:
+/// kinds 0–2 are degenerate (inverted / empty / past the span), the
+/// rest are well-formed ranges inside the span.
+fn decode_range(dim: Dim, a: u64, b: u64, kind: u8) -> DimRange {
+    let span = dim.span();
+    match kind {
+        // Inverted: lo strictly above hi. Constructed field-by-field —
+        // `DimRange::new` debug-asserts against exactly this shape,
+        // which is why admission has to catch it at the API boundary.
+        0 => DimRange { lo: (a % span).max(b % span) + 1, hi: (a % span).min(b % span) },
+        // Empty: lo == hi.
+        1 => DimRange { lo: a % (span + 1), hi: a % (span + 1) },
+        // Past the span: hi beyond the dimension's value space.
+        2 => DimRange { lo: a % span, hi: span + 1 + (b % 1_000) },
+        // Full span.
+        3 => DimRange::full(dim),
+        // Well-formed sub-range.
+        _ => {
+            let lo = a % span;
+            DimRange { lo, hi: lo + 1 + (b % (span - lo)) }
+        }
+    }
+}
+
+/// The taxonomy the handle must report, re-derived independently:
+/// dimensions are checked in `DIMS` order, inverted wins over
+/// empty/overflow within one dimension.
+fn expected_error(rule: &Rule) -> Option<UpdateError> {
+    for dim in DIMS {
+        let r = rule.range(dim);
+        if r.lo > r.hi {
+            return Some(UpdateError::InvertedRange { dim, lo: r.lo, hi: r.hi });
+        }
+        if r.lo == r.hi || r.hi > dim.span() {
+            return Some(UpdateError::InvalidRange { dim, lo: r.lo, hi: r.hi });
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary (mostly malformed) rules: the exact error variant is
+    /// predictable, nothing panics, and a refusal changes nothing.
+    #[test]
+    fn prop_insert_classifies_any_rule_into_the_right_error(
+        draws in proptest::collection::vec(
+            (0u64..(1u64 << 33), 0u64..(1u64 << 33), 0u8..8), 5),
+        priority in -1000i32..1000)
+    {
+        let mut ranges = [DimRange::full(Dim::Proto); 5];
+        for (i, dim) in DIMS.into_iter().enumerate() {
+            let (a, b, kind) = draws[i];
+            ranges[i] = decode_range(dim, a, b, kind);
+        }
+        let rule = Rule::new(ranges, priority);
+
+        let handle = seed_handle();
+        let epoch_before = handle.epoch();
+        let stats_before = handle.stats();
+
+        match (handle.insert(rule.clone()), expected_error(&rule)) {
+            (Err(got), Some(want)) => {
+                prop_assert_eq!(got.clone(), want);
+                // A refusal is invisible to readers and to the stats...
+                prop_assert_eq!(handle.epoch(), epoch_before);
+                let stats = handle.stats();
+                prop_assert_eq!(stats.active_rules, stats_before.active_rules);
+                prop_assert_eq!(stats.total_inserted, stats_before.total_inserted);
+                // ...but not to the health report.
+                prop_assert_eq!(
+                    handle.health().last_error, Some(got.to_string()));
+            }
+            (Ok(id), None) => {
+                // Admitted: the id serves immediately.
+                prop_assert!(handle.epoch() > epoch_before);
+                prop_assert_eq!(
+                    handle.stats().total_inserted,
+                    stats_before.total_inserted + 1);
+                prop_assert!(handle.delete(id).is_ok());
+            }
+            (Err(UpdateError::DuplicateRule(_)), None) => {
+                // Legal only if the draw reproduced a seed rule exactly.
+                prop_assert!(handle.epoch() == epoch_before);
+            }
+            (got, want) => prop_assert!(
+                false, "admission mismatch: got {:?}, expected {:?}", got, want),
+        }
+    }
+
+    /// Exact duplicates of an *active* rule are always refused with the
+    /// surviving id; deleting the original re-opens admission.
+    #[test]
+    fn prop_duplicates_are_refused_while_active_and_admitted_after_delete(
+        draws in proptest::collection::vec(
+            (0u64..(1u64 << 33), 0u64..(1u64 << 33), 3u8..8), 5),
+        priority in 0i32..100_000)
+    {
+        let mut ranges = [DimRange::full(Dim::Proto); 5];
+        for (i, dim) in DIMS.into_iter().enumerate() {
+            let (a, b, kind) = draws[i];
+            ranges[i] = decode_range(dim, a, b, kind);
+        }
+        let rule = Rule::new(ranges, priority);
+        prop_assert_eq!(expected_error(&rule), None, "kinds 3.. are well-formed");
+
+        // Seed rules all carry negative priorities, so the drawn rule
+        // (priority >= 0) can never collide with them.
+        let seeds = RuleSet::from_ordered(
+            (0..8).map(|i| Rule::default_rule(-1 - i)).collect());
+        let handle = ClassifierHandle::new(
+            DecisionTree::new(&seeds), RebuildPolicy::default_policy());
+
+        let inserted = handle.insert(rule.clone());
+        prop_assert!(inserted.is_ok(), "well-formed rule refused: {:?}", inserted);
+        let id = inserted.unwrap();
+        // Re-inserting the identical rule must name the surviving copy.
+        prop_assert_eq!(
+            handle.insert(rule.clone()), Err(UpdateError::DuplicateRule(id)));
+        // The duplicate check only scans *active* rules.
+        prop_assert!(handle.delete(id).is_ok());
+        prop_assert!(handle.insert(rule.clone()).is_ok());
+    }
+}

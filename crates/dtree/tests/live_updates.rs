@@ -121,7 +121,10 @@ fn thousand_update_churn_is_rebuild_identical_under_concurrent_reads() {
     let mut tree = DecisionTree::new(&rules);
     let mut rng = ChaCha8Rng::seed_from_u64(0x11fe);
     random_expand_all_kinds(&mut tree, &mut rng, 12);
-    let handle = ClassifierHandle::new(tree, RebuildPolicy { max_churn: 0.08, min_updates: 6 });
+    let handle = ClassifierHandle::new(
+        tree,
+        RebuildPolicy { max_churn: 0.08, min_updates: 6, max_overlay: 256 },
+    );
 
     let probes = generate_trace(&rules, &TraceConfig::new(40).with_seed(62));
     let trace = generate_trace(&rules, &TraceConfig::new(500).with_seed(63));
@@ -150,7 +153,12 @@ fn thousand_update_churn_is_rebuild_identical_under_concurrent_reads() {
         while applied < 1000 {
             let do_insert = live.len() < 40 || rng.gen_range(0..5) < 3;
             if do_insert {
-                let id = handle.insert(random_insert(&mut rng, &donors, &handle));
+                // A random draw may exactly duplicate a live rule;
+                // admission rejects those without publishing, so they
+                // don't count as an applied update.
+                let Ok(id) = handle.insert(random_insert(&mut rng, &donors, &handle)) else {
+                    continue;
+                };
                 live.push(id);
             } else {
                 let idx = rng.gen_range(0..live.len());
@@ -199,7 +207,7 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc0de);
         random_expand_all_kinds(&mut tree, &mut rng, steps);
         let policy = if seed.is_multiple_of(2) {
-            RebuildPolicy { max_churn: 0.10, min_updates: 5 }
+            RebuildPolicy { max_churn: 0.10, min_updates: 5, max_overlay: 256 }
         } else {
             RebuildPolicy::never()
         };
@@ -218,8 +226,10 @@ proptest! {
         let mut live: Vec<usize> = (0..rules.len()).collect();
         for _ in 0..30 {
             if live.is_empty() || rng.gen_range(0..5) < 3 {
-                let id = handle.insert(random_insert(&mut rng, &donors, &handle));
-                live.push(id);
+                // Duplicate draws are rejected by admission control.
+                if let Ok(id) = handle.insert(random_insert(&mut rng, &donors, &handle)) {
+                    live.push(id);
+                }
             } else {
                 let idx = rng.gen_range(0..live.len());
                 let id = live.swap_remove(idx);
@@ -261,7 +271,7 @@ fn wildcard_insert_spans_partition_children_and_deletes_cleanly() {
     let probes = generate_trace(&rules, &TraceConfig::new(300).with_seed(71));
 
     let top = rules.rules().iter().map(|r| r.priority).max().unwrap();
-    let id = handle.insert(Rule::default_rule(top + 1));
+    let id = handle.insert(Rule::default_rule(top + 1)).unwrap();
     assert_snapshot_is_rebuild_identical(&handle, &probes);
     let snap = handle.snapshot();
     for p in &probes {
