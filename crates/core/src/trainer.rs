@@ -42,6 +42,12 @@ pub enum TrainError {
     /// A collection round produced zero experiences (every episode
     /// truncated before its first decision).
     EmptyBatch,
+    /// A policy checkpoint could not be restored: unparseable JSON or
+    /// a network shape that doesn't match this trainer's configuration.
+    BadCheckpoint(
+        /// What was wrong with the checkpoint.
+        String,
+    ),
 }
 
 impl std::fmt::Display for TrainError {
@@ -54,6 +60,7 @@ impl std::fmt::Display for TrainError {
                  ({rules} rules, binth {binth})"
             ),
             TrainError::EmptyBatch => write!(f, "rollout collection produced an empty batch"),
+            TrainError::BadCheckpoint(why) => write!(f, "cannot restore checkpoint: {why}"),
         }
     }
 }
@@ -288,13 +295,21 @@ impl Trainer {
 
     /// Restore a policy saved by [`Trainer::save_policy`].
     ///
-    /// # Panics
-    /// Panics if the checkpoint's shape doesn't match this trainer's
-    /// configuration.
-    pub fn load_policy(&mut self, json: &str) {
-        let net = PolicyValueNet::from_json(json).expect("valid checkpoint");
-        assert_eq!(net.config, self.net.config, "checkpoint shape mismatch");
+    /// Fails with [`TrainError::BadCheckpoint`] when the JSON doesn't
+    /// parse or the checkpoint's network shape doesn't match this
+    /// trainer's configuration; the current policy is untouched on
+    /// every error path.
+    pub fn load_policy(&mut self, json: &str) -> Result<(), TrainError> {
+        let net = PolicyValueNet::from_json(json)
+            .map_err(|e| TrainError::BadCheckpoint(format!("unparseable JSON: {e}")))?;
+        if net.config != self.net.config {
+            return Err(TrainError::BadCheckpoint(format!(
+                "network shape {:?} does not match trainer config {:?}",
+                net.config, self.net.config
+            )));
+        }
         self.net = net;
+        Ok(())
     }
 }
 
@@ -377,7 +392,7 @@ mod tests {
         let ckpt = trainer.save_policy();
         let (_, s1) = trainer.greedy_tree();
         let mut restored = Trainer::new(rules(64), NeuroCutsConfig::smoke_test()).unwrap();
-        restored.load_policy(&ckpt);
+        restored.load_policy(&ckpt).unwrap();
         let (_, s2) = restored.greedy_tree();
         assert_eq!(s1, s2);
     }

@@ -67,6 +67,7 @@ pub fn classify_sharded(
     out: &mut [Option<RuleId>],
     threads: usize,
 ) {
+    // nc-lint: allow(no-panic-in-serving, error-taxonomy, reason = "documented length-contract guard (see # Panics); misuse is a caller bug, not runtime input")
     assert_eq!(trace.len(), out.len(), "output slice must match the trace");
     let threads = threads.max(1);
     if threads == 1 || trace.len() < 2 {
@@ -159,6 +160,7 @@ pub fn classify_sharded_live(
     out: &mut [Option<RuleId>],
     threads: usize,
 ) {
+    // nc-lint: allow(no-panic-in-serving, error-taxonomy, reason = "documented length-contract guard (see # Panics); misuse is a caller bug, not runtime input")
     assert_eq!(trace.len(), out.len(), "output slice must match the trace");
     let threads = threads.max(1);
     if threads == 1 || trace.len() < 2 {

@@ -181,6 +181,7 @@ impl std::error::Error for StaleTreeError {}
 impl FlatTree {
     /// Compile a built tree. Deleted rules are dropped; node ids are
     /// renumbered breadth-first; lookup behaviour is preserved exactly.
+    // nc-lint: allow(no-panic-in-serving, reason = "compile-time construction: every table index is minted by this renumbering pass, not taken from runtime input")
     pub fn compile(tree: &DecisionTree) -> FlatTree {
         // Active rules in precedence order; remember original ids.
         let mut order: Vec<RuleId> =
@@ -337,6 +338,7 @@ impl FlatTree {
         flat
     }
 
+    // nc-lint: allow(no-panic-in-serving, reason = "new_id is indexed by arena ids the compile BFS just renumbered")
     fn push_children(&mut self, children: &[usize], new_id: &[u32]) -> u32 {
         let base = self.children.len() as u32;
         self.children.extend(children.iter().map(|&c| new_id[c]));
@@ -427,6 +429,7 @@ impl FlatTree {
     /// in the compiled table — e.g. it was inserted after compile). The
     /// caller must not retire the same id twice (the tree-side delete
     /// already errors on double deletes).
+    // nc-lint: allow(no-panic-in-serving, reason = "leaf table spans were minted by compile; the found rank bounds every slice by construction")
     pub fn patch_delete(&mut self, id: RuleId, generation: u64) -> usize {
         let Some(rank) = self.orig_ids.iter().position(|&o| o as usize == id) else {
             return 0;
@@ -482,6 +485,7 @@ impl FlatTree {
     /// "matched?" branch is almost always false until the winner. The
     /// fixed-width lane loops vectorise, and `chunks_exact` keeps the
     /// compares free of per-element bounds checks.
+    // nc-lint: kernel
     #[inline]
     fn leaf_scan(&self, start: u32, end: u32, packet: &Packet) -> Option<u32> {
         let mut pv = [0u32; LEAF_LANES];
@@ -509,6 +513,7 @@ impl FlatTree {
     }
 
     /// Advance a lookup at `id` by one node.
+    // nc-lint: kernel
     #[inline]
     fn step(&self, id: u32, packet: &Packet) -> Step {
         match self.nodes[id as usize] {
@@ -568,11 +573,13 @@ impl FlatTree {
     }
 
     /// The original arena rule id behind a table rank.
+    // nc-lint: kernel
     pub fn rank_to_id(&self, rank: u32) -> RuleId {
         self.orig_ids[rank as usize] as RuleId
     }
 
     /// The priority of the rule at a table rank.
+    // nc-lint: kernel
     pub fn rank_priority(&self, rank: u32) -> i32 {
         self.rule_prio[rank as usize]
     }
@@ -585,6 +592,7 @@ impl FlatTree {
     /// variants compiles to an indirect jump whose target is
     /// data-dependent and mispredicts every level, while "is it a
     /// Cut?" is predicted almost perfectly on cut-built trees.
+    // nc-lint: kernel
     fn classify_from(&self, mut id: u32, packet: &Packet) -> Option<u32> {
         loop {
             let node = &self.nodes[id as usize];
@@ -620,7 +628,9 @@ impl FlatTree {
     ///
     /// # Panics
     /// Panics if `packets` and `out` have different lengths.
+    // nc-lint: kernel
     pub fn classify_batch(&self, packets: &[Packet], out: &mut [Option<RuleId>]) {
+        // nc-lint: allow(no-panic-in-serving, error-taxonomy, reason = "documented length-contract guard (see # Panics); misuse is a caller bug, not runtime input")
         assert_eq!(packets.len(), out.len(), "output slice must match the batch");
         self.classify_batch_with(packets, |pi, rank| {
             out[pi] = rank.map(|rank| self.orig_ids[rank as usize] as RuleId);
@@ -632,6 +642,7 @@ impl FlatTree {
     /// no particular order. [`Self::classify_batch`] is this plus the
     /// rank-to-id mapping; the live-update layer consumes the ranks
     /// directly to merge against its overlay by precedence.
+    // nc-lint: kernel
     pub fn classify_batch_with<F: FnMut(usize, Option<u32>)>(
         &self,
         packets: &[Packet],
@@ -643,6 +654,7 @@ impl FlatTree {
             // Instead, wavefront the whole batch through each subtree
             // and merge per packet by rank (table order is precedence
             // order), which is exactly what the scalar path computes.
+            // nc-lint: allow(no-alloc-in-kernels, reason = "one amortised rank buffer per batch at a root partition, not per packet")
             let mut best = vec![NO_RANK; packets.len()];
             for &c in &self.children[start as usize..end as usize] {
                 self.classify_batch_ranks(c, packets, |pi, rank| {
@@ -671,13 +683,16 @@ impl FlatTree {
     /// one packet's root-to-leaf dependence chain. Finished packets
     /// (leaf reached, or interior partition resolved via the scalar
     /// path) simply drop out of the next round's frontier.
+    // nc-lint: kernel
     fn classify_batch_ranks<F: FnMut(usize, Option<u32>)>(
         &self,
         from: u32,
         packets: &[Packet],
         mut emit: F,
     ) {
+        // nc-lint: allow(no-alloc-in-kernels, reason = "one frontier allocation per batch, amortised over every packet in it")
         let mut frontier: Vec<(u32, u32)> = (0..packets.len() as u32).map(|i| (i, from)).collect();
+        // nc-lint: allow(no-alloc-in-kernels, reason = "second frontier buffer, swapped and reused across wavefront rounds")
         let mut next_round: Vec<(u32, u32)> = Vec::with_capacity(frontier.len());
         while !frontier.is_empty() {
             for &(pi, nid) in &frontier {

@@ -180,7 +180,9 @@ impl Snapshot {
     ///
     /// # Panics
     /// Panics if `packets` and `out` have different lengths.
+    // nc-lint: kernel
     pub fn classify_batch(&self, packets: &[Packet], out: &mut [Option<RuleId>]) {
+        // nc-lint: allow(no-panic-in-serving, error-taxonomy, reason = "documented length-contract guard (see # Panics); misuse is a caller bug, not runtime input")
         assert_eq!(packets.len(), out.len(), "output slice must match the batch");
         if self.overlay.is_empty() {
             self.flat.classify_batch(packets, out);
@@ -411,6 +413,7 @@ pub struct AdoptReport {
 /// A packet at the low corner of every dimension of `rule` — inside the
 /// rule whenever its ranges are non-empty. Differential checks add one
 /// per overlay rule so overlay-served inserts are actually exercised.
+// nc-lint: allow(no-panic-in-serving, reason = "Dim::index() is 0..NUM_DIMS over the fixed [DimRange; NUM_DIMS] array")
 fn probe_packet(rule: &Rule) -> Packet {
     Packet::new(
         rule.ranges[Dim::SrcIp.index()].lo,
@@ -654,6 +657,7 @@ impl ClassifierHandle {
         let mut grafted = DecisionTree::graft(template, &snap.map, &s.tree);
         let mut in_snap = vec![false; s.tree.rules().len()];
         for &id in &snap.map {
+            // nc-lint: allow(no-panic-in-serving, reason = "snapshot maps are minted by rule_snapshot from this arena; foreign snapshots were rejected above")
             in_snap[id] = true;
         }
         // Post-snapshot deletes: the grafted active flags (copied from

@@ -44,6 +44,7 @@ impl RuleStore {
     }
 
     /// Build a store from already-ordered rules.
+    // nc-lint: allow(no-panic-in-serving, reason = "d < NUM_DIMS over fixed column arrays; r < len by the loop bound")
     pub fn from_rules(rules: Vec<Rule>) -> Self {
         let mut store = RuleStore {
             lo: std::array::from_fn(|_| Vec::with_capacity(rules.len())),
@@ -76,12 +77,14 @@ impl RuleStore {
     }
 
     /// Borrow one rule.
+    // nc-lint: allow(no-panic-in-serving, reason = "arena accessor: RuleIds are dense indices minted by this store")
     #[inline]
     pub fn rule(&self, id: RuleId) -> &Rule {
         &self.rules[id]
     }
 
     /// Rule `id`'s half-open projection onto dimension column `d`.
+    // nc-lint: allow(no-panic-in-serving, reason = "d < NUM_DIMS and id < len per the SoA layout contract")
     #[inline]
     pub fn proj(&self, d: usize, id: RuleId) -> (u64, u64) {
         (self.lo[d][id], self.hi[d][id])
@@ -89,6 +92,7 @@ impl RuleStore {
 
     /// Append a rule (incremental updates). Callers own the id ordering
     /// contract: new rules get the next id regardless of priority.
+    // nc-lint: allow(no-panic-in-serving, reason = "d < NUM_DIMS over the fixed column arrays")
     pub fn push(&mut self, rule: Rule) -> RuleId {
         let id = self.rules.len();
         for d in 0..NUM_DIMS {
@@ -103,6 +107,7 @@ impl RuleStore {
     /// `space` in every dimension. Identical in result to
     /// [`NodeSpace::intersects_rule`]; evaluated without short-circuits
     /// so the column loads pipeline.
+    // nc-lint: kernel
     #[inline]
     pub fn intersects(&self, id: RuleId, space: &NodeSpace) -> bool {
         let mut ok = true;
@@ -116,6 +121,7 @@ impl RuleStore {
     /// True when rule `id`, clipped to `space`, covers all of `space`
     /// (the covered-rule truncation test). Identical in result to
     /// [`NodeSpace::covered_by_rule`].
+    // nc-lint: kernel
     #[inline]
     pub fn covers(&self, id: RuleId, space: &NodeSpace) -> bool {
         let mut ok = true;

@@ -99,6 +99,7 @@ pub fn validate_tree(tree: &DecisionTree, random_probes: usize, seed: u64) -> Ve
 }
 
 /// Panic with a readable report if the tree fails validation.
+// nc-lint: allow(error-taxonomy, reason = "panicking with a readable report is this validation helper's documented contract; callers wanting errors use validate_tree")
 pub fn assert_tree_valid(tree: &DecisionTree, random_probes: usize, seed: u64) {
     let violations = validate_tree(tree, random_probes, seed);
     assert!(

@@ -1,0 +1,121 @@
+//! Per-domain lint configuration.
+//!
+//! Each contract rule applies to a *domain*: a set of workspace-relative
+//! path prefixes (with optional carve-outs). [`LintConfig::workspace`]
+//! is the checked-in configuration for this repository; fixture tests
+//! build their own configs pointing at synthetic paths.
+
+/// A set of files described by include/exclude path prefixes.
+/// Paths are workspace-relative with `/` separators; an include of
+/// `crates/core/src/` covers the whole directory, an include of a full
+/// file path covers exactly that file.
+#[derive(Debug, Clone, Default)]
+pub struct Domain {
+    /// Prefixes a file must match one of.
+    pub include: Vec<String>,
+    /// Prefixes that carve files back out.
+    pub exclude: Vec<String>,
+}
+
+impl Domain {
+    /// Build a domain from include/exclude prefix lists.
+    pub fn new(include: &[&str], exclude: &[&str]) -> Domain {
+        Domain {
+            include: include.iter().map(|s| s.to_string()).collect(),
+            exclude: exclude.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// True when `rel` (workspace-relative, `/`-separated) is in the
+    /// domain.
+    pub fn contains(&self, rel: &str) -> bool {
+        self.include.iter().any(|p| rel.starts_with(p.as_str()))
+            && !self.exclude.iter().any(|p| rel.starts_with(p.as_str()))
+    }
+}
+
+/// The full lint configuration: rule domains plus the lock protocol.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Files covered by `no-panic-in-serving` (the hot serving domain).
+    pub serving: Domain,
+    /// Files covered by `determinism-purity`.
+    pub determinism: Domain,
+    /// Files covered by `error-taxonomy`.
+    pub taxonomy: Domain,
+    /// Lock receiver names participating in `lock-discipline`, in
+    /// declared acquisition order (acquiring an earlier lock while a
+    /// later one is held is a violation). Only these names are
+    /// analysed, so unrelated `.write()` methods (e.g. `fs::write`,
+    /// `io::Write`) never false-positive.
+    pub lock_order: Vec<String>,
+    /// Function names that must never be called while a `.write()`
+    /// guard on any configured lock is in scope (the trainer/retrain
+    /// entry points — training happens *before* the publish lock).
+    pub forbidden_under_write: Vec<String>,
+}
+
+impl LintConfig {
+    /// The checked-in configuration for this workspace. Domains mirror
+    /// the contracts established by earlier PRs:
+    ///
+    /// * serving: the branch-free epoch-swap serving path
+    ///   (`dtree::{flat, serve, engine, store}`) must be panic-free.
+    /// * determinism: training and retraining (`core` minus
+    ///   `lifecycle.rs`, `rl`, `nn`) must not read wall clocks or
+    ///   ambient randomness; `lifecycle.rs` is the single file where
+    ///   wall-clock time is allowed to enter.
+    /// * taxonomy: `dtree` and `core` public APIs report failures as
+    ///   typed errors, not panics.
+    /// * locks: `state` (the `ClassifierHandle` epoch-swap lock) is the
+    ///   only declared lock; retrain entry points are forbidden under
+    ///   its write guard.
+    pub fn workspace() -> LintConfig {
+        LintConfig {
+            serving: Domain::new(
+                &[
+                    "crates/dtree/src/flat.rs",
+                    "crates/dtree/src/serve.rs",
+                    "crates/dtree/src/engine.rs",
+                    "crates/dtree/src/store.rs",
+                ],
+                &[],
+            ),
+            determinism: Domain::new(
+                &["crates/core/src/", "crates/rl/src/", "crates/nn/src/"],
+                &["crates/core/src/lifecycle.rs"],
+            ),
+            taxonomy: Domain::new(&["crates/dtree/src/", "crates/core/src/"], &[]),
+            lock_order: vec!["state".to_string()],
+            forbidden_under_write: vec![
+                "train".to_string(),
+                "train_to_tree".to_string(),
+                "retrain_snapshot".to_string(),
+                "poll".to_string(),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_prefix_matching() {
+        let d = Domain::new(&["crates/core/src/"], &["crates/core/src/lifecycle.rs"]);
+        assert!(d.contains("crates/core/src/env.rs"));
+        assert!(!d.contains("crates/core/src/lifecycle.rs"));
+        assert!(!d.contains("crates/rl/src/ppo.rs"));
+    }
+
+    #[test]
+    fn workspace_config_shape() {
+        let c = LintConfig::workspace();
+        assert!(c.serving.contains("crates/dtree/src/flat.rs"));
+        assert!(!c.serving.contains("crates/dtree/src/tree.rs"));
+        assert!(c.determinism.contains("crates/rl/src/ppo.rs"));
+        assert!(!c.determinism.contains("crates/core/src/lifecycle.rs"));
+        assert_eq!(c.lock_order, ["state"]);
+    }
+}

@@ -1,0 +1,377 @@
+//! A hand-rolled Rust lexer: just enough fidelity for token-level
+//! contract checking.
+//!
+//! The lexer produces a flat stream of code tokens plus a separate list
+//! of line comments (the pragma carriers). It understands everything
+//! that would otherwise corrupt a naive scan — nested block comments,
+//! string/char/byte literals, raw strings with `#` fences, lifetimes vs
+//! char literals, raw identifiers — but deliberately does not build an
+//! AST: every rule in this workspace is expressible over tokens plus
+//! the light structure pass in [`crate::structure`].
+
+/// Token classification. Punctuation is emitted one character per
+/// token; multi-character operators (`::`, `->`) are recognised by the
+/// rules as adjacent pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Lifetime such as `'a` (without the quote in `text`).
+    Lifetime,
+    /// Numeric literal, including suffixes (`16usize`, `0xff`).
+    Num,
+    /// String or byte-string literal (raw or not); `text` is the raw
+    /// source slice including quotes.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text (for `Punct`, exactly one character).
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One `//` line comment. Block comments are skipped entirely: pragmas
+/// ride only on line comments, where attachment is unambiguous.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line number.
+    pub line: u32,
+    /// Text after the leading `//`, untrimmed (so `///` doc comments
+    /// arrive with a leading `/` and are never mistaken for pragmas).
+    pub text: String,
+    /// True when no code token precedes the comment on its line — a
+    /// standalone comment attaches to the *next* code line, a trailing
+    /// comment to its own.
+    pub own_line: bool,
+}
+
+/// Lexer output: code tokens and line comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens.
+    pub tokens: Vec<Tok>,
+    /// Line comments.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex a source file. Invalid UTF-8 is never seen (callers read with
+/// `fs::read_to_string`); malformed source degrades to best-effort
+/// tokens rather than an error — the linter runs on code that rustc
+/// has already accepted.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut out = Lexed::default();
+    let mut last_code_line: u32 = 0;
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..j].iter().collect(),
+                own_line: last_code_line != line,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if b[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Raw strings / byte strings / raw identifiers, keyed on a
+        // leading `r` or `b` before consuming a plain identifier.
+        if c == 'r' || c == 'b' {
+            if let Some((tok, next)) = lex_raw_or_byte(&b, i, &mut line) {
+                last_code_line = tok.line;
+                out.tokens.push(tok);
+                i = next;
+                continue;
+            }
+        }
+        if c == '_' || c.is_alphabetic() {
+            let start = i;
+            while i < n && (b[i] == '_' || b[i].is_alphanumeric()) {
+                i += 1;
+            }
+            last_code_line = line;
+            out.tokens.push(Tok { kind: TokKind::Ident, text: b[start..i].iter().collect(), line });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n
+                && (b[i] == '_'
+                    || b[i].is_alphanumeric()
+                    || (b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            last_code_line = line;
+            out.tokens.push(Tok { kind: TokKind::Num, text: b[start..i].iter().collect(), line });
+            continue;
+        }
+        if c == '"' {
+            let (text, next) = lex_string(&b, i, &mut line);
+            last_code_line = line;
+            out.tokens.push(Tok { kind: TokKind::Str, text, line });
+            i = next;
+            continue;
+        }
+        if c == '\'' {
+            let (tok, next) = lex_quote(&b, i, line);
+            last_code_line = line;
+            out.tokens.push(tok);
+            i = next;
+            continue;
+        }
+        // Single punctuation character.
+        last_code_line = line;
+        out.tokens.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    out
+}
+
+/// Handle `r"..."`, `r#"..."#`, `br"..."`, `b"..."`, `b'x'`, and raw
+/// identifiers `r#ident`. Returns `None` when the `r`/`b` at `i` is
+/// just the start of a plain identifier.
+fn lex_raw_or_byte(b: &[char], i: usize, line: &mut u32) -> Option<(Tok, usize)> {
+    let n = b.len();
+    let start_line = *line;
+    let mut j = i + 1;
+    if b[i] == 'b' && j < n && b[j] == 'r' {
+        j += 1;
+    }
+    // Raw identifier: r#ident (raw-string fences are `#` runs ending in
+    // a quote; an alphabetic after `#` means an identifier).
+    if b[i] == 'r'
+        && j < n
+        && b[j] == '#'
+        && j + 1 < n
+        && (b[j + 1] == '_' || b[j + 1].is_alphabetic())
+    {
+        let mut k = j + 1;
+        while k < n && (b[k] == '_' || b[k].is_alphanumeric()) {
+            k += 1;
+        }
+        let tok =
+            Tok { kind: TokKind::Ident, text: b[j + 1..k].iter().collect(), line: start_line };
+        return Some((tok, k));
+    }
+    // Raw string: optional `#` fence run then `"`.
+    let mut hashes = 0usize;
+    let mut k = j;
+    while k < n && b[k] == '#' {
+        hashes += 1;
+        k += 1;
+    }
+    if k < n && b[k] == '"' && (hashes > 0 || b[i] == 'r' || (b[i] == 'b' && j > i + 1)) {
+        // Scan to closing `"` + fence.
+        let mut m = k + 1;
+        'outer: while m < n {
+            if b[m] == '\n' {
+                *line += 1;
+                m += 1;
+                continue;
+            }
+            if b[m] == '"' {
+                let mut h = 0usize;
+                while h < hashes && m + 1 + h < n && b[m + 1 + h] == '#' {
+                    h += 1;
+                }
+                if h == hashes {
+                    m += 1 + hashes;
+                    break 'outer;
+                }
+            }
+            m += 1;
+        }
+        let tok =
+            Tok { kind: TokKind::Str, text: b[i..m.min(n)].iter().collect(), line: start_line };
+        return Some((tok, m.min(n)));
+    }
+    // Plain byte string b"..." or byte char b'x'.
+    if b[i] == 'b' && i + 1 < n && b[i + 1] == '"' {
+        let (text, next) = lex_string(b, i + 1, line);
+        let mut t = String::from("b");
+        t.push_str(&text);
+        return Some((Tok { kind: TokKind::Str, text: t, line: start_line }, next));
+    }
+    if b[i] == 'b' && i + 1 < n && b[i + 1] == '\'' {
+        let (tok, next) = lex_quote(b, i + 1, start_line);
+        return Some((tok, next));
+    }
+    None
+}
+
+/// Lex a `"..."` string starting at the opening quote; returns the
+/// source slice (quotes included) and the index past the closing quote.
+fn lex_string(b: &[char], i: usize, line: &mut u32) -> (String, usize) {
+    let n = b.len();
+    let mut j = i + 1;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    (b[i..j.min(n)].iter().collect(), j.min(n))
+}
+
+/// Disambiguate `'a'` (char literal) from `'a` (lifetime) at a `'`.
+fn lex_quote(b: &[char], i: usize, line: u32) -> (Tok, usize) {
+    let n = b.len();
+    // Escape => definitely a char literal.
+    if i + 1 < n && b[i + 1] == '\\' {
+        let mut j = i + 2;
+        // Skip the escape body up to the closing quote.
+        while j < n && b[j] != '\'' {
+            j += 1;
+        }
+        let j = (j + 1).min(n);
+        return (Tok { kind: TokKind::Char, text: b[i..j].iter().collect(), line }, j);
+    }
+    // Identifier-like run after the quote: lifetime unless a closing
+    // quote follows immediately.
+    if i + 1 < n && (b[i + 1] == '_' || b[i + 1].is_alphabetic()) {
+        let mut j = i + 1;
+        while j < n && (b[j] == '_' || b[j].is_alphanumeric()) {
+            j += 1;
+        }
+        if j < n && b[j] == '\'' {
+            return (Tok { kind: TokKind::Char, text: b[i..j + 1].iter().collect(), line }, j + 1);
+        }
+        return (Tok { kind: TokKind::Lifetime, text: b[i + 1..j].iter().collect(), line }, j);
+    }
+    // Any other single char literal, e.g. '0' ' ' '}'.
+    if i + 2 < n && b[i + 2] == '\'' {
+        return (Tok { kind: TokKind::Char, text: b[i..i + 3].iter().collect(), line }, i + 3);
+    }
+    (Tok { kind: TokKind::Punct, text: "'".into(), line }, i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("fn main() {\n    let x = 1;\n}\n");
+        assert!(l.tokens[0].is_ident("fn"));
+        assert!(l.tokens[1].is_ident("main"));
+        let x = l.tokens.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn strings_and_chars_hide_contents() {
+        let ids = idents(r#"let s = "fn unwrap()"; let c = 'x'; let lt: &'static str = s;"#);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+        let l = lex("let lt: &'a str = s; let c = 'b';");
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Char && t.text == "'b'"));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let src =
+            "let r = r#\"has \"quotes\" and unwrap()\"#; /* outer /* inner */ still */ let y = 2;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"still".to_string()));
+        assert!(ids.contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn comments_carry_text_and_placement() {
+        let l = lex("// standalone\nlet a = 1; // trailing\n");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].own_line);
+        assert_eq!(l.comments[0].text, " standalone");
+        assert!(!l.comments[1].own_line);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let l = lex("let s = \"a\nb\";\nlet t = 3;");
+        let t = l.tokens.iter().find(|t| t.is_ident("t")).unwrap();
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+}

@@ -1,0 +1,66 @@
+//! `nc-lint` binary: lint the workspace, print file:line diagnostics,
+//! optionally write a JSON report, and exit non-zero on violations.
+//!
+//! ```text
+//! nc-lint [--root DIR] [--json FILE]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root requires a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json requires a file path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: nc-lint [--root DIR] [--json FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let cfg = nc_lint::config::LintConfig::workspace();
+    let report = match nc_lint::lint_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nc-lint: error scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if report.files == 0 {
+        eprintln!(
+            "nc-lint: no .rs files found under {} — wrong --root? (refusing to report clean)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    print!("{}", report.render_text());
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("nc-lint: error writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("nc-lint: {msg}\nusage: nc-lint [--root DIR] [--json FILE]");
+    ExitCode::from(2)
+}

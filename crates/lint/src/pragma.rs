@@ -1,0 +1,290 @@
+//! The inline pragma system.
+//!
+//! Two directives ride on ordinary line comments:
+//!
+//! * `nc-lint: allow(rule[, rule...], reason = "...")` — suppress the
+//!   named rules. The reason is mandatory; allows that suppress nothing
+//!   are themselves violations (`unused-allow`), so stale pragmas
+//!   cannot accumulate.
+//! * `nc-lint: kernel` — mark the following function as a hot kernel:
+//!   it gains the `no-alloc-in-kernels` rule and, in exchange, its
+//!   slice indexing is accepted as bounds-by-construction (the
+//!   `no-panic-in-serving` indexing check skips kernel bodies).
+//!
+//! Attachment: a standalone comment applies to the next code line — or,
+//! when that line starts a `fn` item (attributes included), to the
+//! whole function span. A trailing comment applies to its own line.
+//! Doc comments (`///`, `//!`) are never parsed as pragmas.
+
+use crate::lexer::Lexed;
+use crate::report::Violation;
+use crate::structure::Structure;
+
+/// One parsed `allow` pragma with its resolved line scope.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rules this pragma suppresses.
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line of the pragma comment itself (where meta-violations point).
+    pub line: u32,
+    /// Inclusive line range the pragma covers.
+    pub scope: (u32, u32),
+    /// Per-rule "suppressed something" flags, parallel to `rules`.
+    pub used: Vec<bool>,
+}
+
+/// All pragmas found in one file.
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    /// Allow pragmas.
+    pub allows: Vec<Allow>,
+    /// Indices into `Structure::fns` of kernel-marked functions.
+    pub kernel_fns: Vec<usize>,
+}
+
+/// Parse and resolve every pragma in a file. Malformed pragmas,
+/// unknown rule names, and unresolvable attachments are reported as
+/// meta-violations rather than silently ignored.
+pub fn collect(
+    lexed: &Lexed,
+    st: &Structure,
+    registry: &[&'static str],
+    file: &str,
+) -> (Pragmas, Vec<Violation>) {
+    let mut out = Pragmas::default();
+    let mut viols = Vec::new();
+    for c in &lexed.comments {
+        let text = c.text.trim_start();
+        // `///` doc comments arrive with a leading `/`; never pragmas.
+        if text.starts_with('/') || text.starts_with('!') {
+            continue;
+        }
+        let Some(rest) = text.strip_prefix("nc-lint:") else { continue };
+        let rest = rest.trim();
+        if rest == "kernel" {
+            match resolve_fn(lexed, st, c.line, c.own_line) {
+                Some(fi) => out.kernel_fns.push(fi),
+                None => viols.push(meta(
+                    "malformed-pragma",
+                    file,
+                    c.line,
+                    "`nc-lint: kernel` must annotate a function",
+                )),
+            }
+            continue;
+        }
+        if let Some(inner) = rest.strip_prefix("allow") {
+            match parse_allow(inner.trim()) {
+                Ok((rules, reason)) => {
+                    for r in &rules {
+                        if !registry.contains(&r.as_str()) {
+                            viols.push(meta(
+                                "unknown-rule",
+                                file,
+                                c.line,
+                                &format!("unknown rule `{r}` in allow pragma"),
+                            ));
+                        }
+                    }
+                    let Some(scope) = resolve_scope(lexed, st, c.line, c.own_line) else {
+                        viols.push(meta(
+                            "malformed-pragma",
+                            file,
+                            c.line,
+                            "allow pragma attaches to no code",
+                        ));
+                        continue;
+                    };
+                    let used = vec![false; rules.len()];
+                    out.allows.push(Allow { rules, reason, line: c.line, scope, used });
+                }
+                Err(e) => viols.push(meta("malformed-pragma", file, c.line, &e)),
+            }
+            continue;
+        }
+        viols.push(meta(
+            "malformed-pragma",
+            file,
+            c.line,
+            &format!("unknown nc-lint directive `{rest}`"),
+        ));
+    }
+    (out, viols)
+}
+
+fn meta(rule: &'static str, file: &str, line: u32, msg: &str) -> Violation {
+    Violation { rule, file: file.to_string(), line, msg: msg.to_string() }
+}
+
+/// Parse the `(rule[, rule...], reason = "...")` tail of an allow.
+fn parse_allow(s: &str) -> Result<(Vec<String>, String), String> {
+    let s = s.strip_prefix('(').ok_or("allow pragma missing `(`")?;
+    let s = s.strip_suffix(')').ok_or("allow pragma missing closing `)`")?;
+    let mut rules = Vec::new();
+    let mut reason: Option<String> = None;
+    let b: Vec<char> = s.chars().collect();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_whitespace() || c == ',' {
+            i += 1;
+            continue;
+        }
+        if reason.is_some() {
+            return Err("reason must be the last item in an allow pragma".into());
+        }
+        // An identifier: either a rule name or the `reason` keyword.
+        let start = i;
+        while i < b.len() && (b[i] == '_' || b[i] == '-' || b[i].is_alphanumeric()) {
+            i += 1;
+        }
+        if i == start {
+            return Err(format!("unexpected `{c}` in allow pragma"));
+        }
+        let word: String = b[start..i].iter().collect();
+        if word == "reason" {
+            while i < b.len() && b[i].is_whitespace() {
+                i += 1;
+            }
+            if i >= b.len() || b[i] != '=' {
+                return Err("expected `=` after `reason`".into());
+            }
+            i += 1;
+            while i < b.len() && b[i].is_whitespace() {
+                i += 1;
+            }
+            if i >= b.len() || b[i] != '"' {
+                return Err("reason must be a quoted string".into());
+            }
+            i += 1;
+            let rstart = i;
+            while i < b.len() && b[i] != '"' {
+                i += 1;
+            }
+            if i >= b.len() {
+                return Err("unterminated reason string".into());
+            }
+            let r: String = b[rstart..i].iter().collect();
+            if r.trim().is_empty() {
+                return Err("reason must not be empty".into());
+            }
+            reason = Some(r);
+            i += 1;
+        } else {
+            rules.push(word);
+        }
+    }
+    if rules.is_empty() {
+        return Err("allow pragma names no rules".into());
+    }
+    match reason {
+        Some(r) => Ok((rules, r)),
+        None => Err("allow pragma requires `reason = \"...\"`".into()),
+    }
+}
+
+/// First code token strictly after `line`.
+fn next_code_token(lexed: &Lexed, line: u32) -> Option<usize> {
+    lexed.tokens.iter().position(|t| t.line > line)
+}
+
+/// Resolve an allow pragma's line scope.
+fn resolve_scope(lexed: &Lexed, st: &Structure, line: u32, own_line: bool) -> Option<(u32, u32)> {
+    if !own_line {
+        return Some((line, line));
+    }
+    let t = next_code_token(lexed, line)?;
+    // Directly above a fn item (including its attributes): scope is the
+    // whole function.
+    if let Some(f) = st.fns.iter().find(|f| f.item_start <= t && t <= f.fn_idx) {
+        let lo = lexed.tokens[f.item_start].line;
+        let hi = match f.body {
+            Some((_, close)) => lexed.tokens[close].line,
+            None => lexed.tokens[f.fn_idx].line,
+        };
+        return Some((lo, hi));
+    }
+    let l = lexed.tokens[t].line;
+    Some((l, l))
+}
+
+/// Resolve a kernel pragma to the function it annotates.
+fn resolve_fn(lexed: &Lexed, st: &Structure, line: u32, own_line: bool) -> Option<usize> {
+    if own_line {
+        let t = next_code_token(lexed, line)?;
+        st.fns.iter().position(|f| f.item_start <= t && t <= f.fn_idx)
+    } else {
+        // Trailing on a signature line.
+        st.fns.iter().position(|f| {
+            let lo = lexed.tokens[f.item_start].line;
+            let hi = f.body.map(|(o, _)| lexed.tokens[o].line).unwrap_or(lo);
+            lo <= line && line <= hi
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const REG: &[&str] = &["rule-a", "rule-b"];
+
+    fn run(src: &str) -> (Pragmas, Vec<Violation>) {
+        let l = lex(src);
+        let st = Structure::build(&l.tokens);
+        collect(&l, &st, REG, "test.rs")
+    }
+
+    #[test]
+    fn allow_scopes() {
+        let src = r#"
+// nc-lint: allow(rule-a, reason = "next line")
+let x = 1;
+let y = 2; // nc-lint: allow(rule-b, reason = "this line")
+// nc-lint: allow(rule-a, rule-b, reason = "whole fn")
+pub fn covered() {
+    let z = 3;
+}
+"#;
+        let (p, v) = run(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(p.allows.len(), 3);
+        assert_eq!(p.allows[0].scope, (3, 3));
+        assert_eq!(p.allows[1].scope, (4, 4));
+        assert_eq!(p.allows[2].scope, (6, 8));
+        assert_eq!(p.allows[2].rules, ["rule-a", "rule-b"]);
+    }
+
+    #[test]
+    fn kernel_attaches_to_fn() {
+        let src = "// nc-lint: kernel\n#[inline]\nfn hot() {}\nfn cold() {}";
+        let (p, v) = run(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(p.kernel_fns, [0]);
+    }
+
+    #[test]
+    fn malformed_pragmas_are_violations() {
+        for (src, needle) in [
+            ("// nc-lint: allow(rule-a)\nlet x = 1;", "requires `reason"),
+            ("// nc-lint: allow(reason = \"r\")\nlet x = 1;", "names no rules"),
+            ("// nc-lint: allow(rule-a, reason = \"\")\nlet x = 1;", "empty"),
+            ("// nc-lint: frobnicate\nlet x = 1;", "unknown nc-lint directive"),
+            ("// nc-lint: kernel\nlet x = 1;", "must annotate a function"),
+            ("// nc-lint: allow(rule-c, reason = \"r\")\nlet x = 1;", "unknown rule"),
+        ] {
+            let (_, v) = run(src);
+            assert_eq!(v.len(), 1, "{src}");
+            assert!(v[0].msg.contains(needle), "{src} -> {}", v[0].msg);
+        }
+    }
+
+    #[test]
+    fn doc_comments_are_not_pragmas() {
+        let (p, v) = run("/// nc-lint: kernel\nfn documented() {}\n//! nc-lint: allow(x)\n");
+        assert!(p.allows.is_empty() && p.kernel_fns.is_empty() && v.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Diagnostics and report rendering (text and hand-rolled JSON).
+
+use std::fmt;
+
+/// One finding, pointing at a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule name (a contract rule or one of the pragma meta-rules).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// Workspace-level run summary.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files: usize,
+    /// Total `allow` pragmas found (the self-check pins this so new
+    /// allows surface in review).
+    pub allows: usize,
+    /// Total `kernel` pragmas found.
+    pub kernels: usize,
+}
+
+impl Report {
+    /// Canonical ordering for deterministic output.
+    pub fn sort(&mut self) {
+        self.violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// Render the file:line diagnostics plus a one-line summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "nc-lint: {} file(s), {} violation(s), {} allow pragma(s), {} kernel(s)\n",
+            self.files,
+            self.violations.len(),
+            self.allows,
+            self.kernels
+        ));
+        out
+    }
+
+    /// Render the machine-readable JSON report. Hand-rolled: the lint
+    /// crate is std-only by design (it must build before the shims it
+    /// checks).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files\": {},\n", self.files));
+        out.push_str(&format!("  \"allows\": {},\n", self.allows));
+        out.push_str(&format!("  \"kernels\": {},\n", self.kernels));
+        out.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"msg\": {}}}{}\n",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.msg),
+                if i + 1 < self.violations.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escape a string as a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_and_json_render() {
+        let mut r = Report {
+            violations: vec![Violation {
+                rule: "no-panic-in-serving",
+                file: "crates/dtree/src/flat.rs".into(),
+                line: 7,
+                msg: "`.unwrap()` in serving domain".into(),
+            }],
+            files: 3,
+            allows: 2,
+            kernels: 1,
+        };
+        r.sort();
+        let text = r.render_text();
+        assert!(text.contains("crates/dtree/src/flat.rs:7: [no-panic-in-serving]"));
+        let json = r.render_json();
+        assert!(json.contains("\"files\": 3"));
+        assert!(json.contains("\"line\": 7"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,455 @@
+//! Token-level structure pass: function spans, `#[cfg(test)]` /
+//! `#[test]` exemption spans, `debug_assert!` interiors, and a brace
+//! map for lexical-scope queries.
+//!
+//! This is deliberately not an AST. Every question the rules ask —
+//! "which function contains this token", "is this token in test code",
+//! "where does the block enclosing this `let` end" — is answerable
+//! from matched delimiters plus a few keyword patterns.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One `fn` item found in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Function name.
+    pub name: String,
+    /// Token index of the item start (first attribute or visibility
+    /// token), used to attach function-scoped pragmas written above
+    /// the attributes.
+    pub item_start: usize,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// True for unrestricted `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// True when the signature has no `->` or returns `()`.
+    pub returns_unit: bool,
+    /// Token indices of the body `{` and its matching `}`; `None` for
+    /// bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Structure facts over one file's token stream.
+#[derive(Debug, Default)]
+pub struct Structure {
+    /// All functions, in source order.
+    pub fns: Vec<FnInfo>,
+    /// Token-index spans (inclusive) of test-only items: anything under
+    /// `#[cfg(test)]`, `#[test]`, or `#[should_panic]`.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Token-index spans (inclusive) of `debug_assert*!(...)` interiors.
+    pub debug_spans: Vec<(usize, usize)>,
+    /// For each token, the token index of the innermost enclosing `{`
+    /// (`usize::MAX` at top level).
+    pub enclosing_brace: Vec<usize>,
+    /// Map from `{` token index to its matching `}` token index.
+    pub brace_match: Vec<(usize, usize)>,
+}
+
+/// Rust keywords that can legitimately precede `[` without the bracket
+/// being an index expression (`match x { [a, b] => .. }` patterns,
+/// `return [0; 4]`, etc.).
+pub const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "in", "if", "else", "match", "return", "as", "ref", "move", "await", "loop",
+    "while", "for", "break", "continue", "unsafe", "dyn", "impl", "where", "use", "pub", "fn",
+    "static", "const", "type", "enum", "struct", "trait", "mod", "crate", "super",
+];
+
+impl Structure {
+    /// Build the structure facts for a token stream.
+    pub fn build(toks: &[Tok]) -> Structure {
+        let mut s =
+            Structure { enclosing_brace: vec![usize::MAX; toks.len()], ..Structure::default() };
+        s.build_braces(toks);
+        s.build_fns(toks);
+        s.build_test_spans(toks);
+        s.build_debug_spans(toks);
+        s
+    }
+
+    fn build_braces(&mut self, toks: &[Tok]) {
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            self.enclosing_brace[i] = stack.last().copied().unwrap_or(usize::MAX);
+            if t.is_punct('{') {
+                stack.push(i);
+            } else if t.is_punct('}') {
+                if let Some(open) = stack.pop() {
+                    self.brace_match.push((open, i));
+                }
+            }
+        }
+        self.brace_match.sort_unstable();
+    }
+
+    /// The matching `}` for a `{` token index.
+    pub fn close_of(&self, open: usize) -> Option<usize> {
+        self.brace_match
+            .binary_search_by_key(&open, |&(o, _)| o)
+            .ok()
+            .map(|k| self.brace_match[k].1)
+    }
+
+    fn build_fns(&mut self, toks: &[Tok]) {
+        let mut i = 0usize;
+        while i < toks.len() {
+            if !toks[i].is_ident("fn") {
+                i += 1;
+                continue;
+            }
+            // `fn` as a type (`fn(usize)`) has no following ident.
+            let name = match toks.get(i + 1) {
+                Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let (item_start, is_pub) = walk_back_item(toks, i);
+            // Locate the argument list: the first `(` at angle-bracket
+            // depth zero after the name, so `Fn(..) -> T` inside generic
+            // bounds is never mistaken for the argument list. A `>`
+            // preceded by `-` is an arrow, not a generic close.
+            let mut angle = 0i32;
+            let mut j = i + 2;
+            let mut args_open = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('<') {
+                    angle += 1;
+                } else if t.is_punct('>') && !toks[j - 1].is_punct('-') {
+                    angle -= 1;
+                } else if angle == 0 && t.is_punct('(') {
+                    args_open = Some(j);
+                    break;
+                } else if t.is_punct('{') || t.is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            // Matching `)` of the argument list.
+            let args_close = args_open.map(|o| {
+                let mut depth = 0i32;
+                let mut k = o;
+                while k < toks.len() {
+                    if toks[k].is_punct('(') {
+                        depth += 1;
+                    } else if toks[k].is_punct(')') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                k
+            });
+            // The return type, if any, starts immediately after `)`.
+            let returns_unit = match args_close {
+                Some(a)
+                    if toks.get(a + 1).map(|t| t.is_punct('-')).unwrap_or(false)
+                        && toks.get(a + 2).map(|t| t.is_punct('>')).unwrap_or(false) =>
+                {
+                    toks.get(a + 3).map(|t| t.is_punct('(')).unwrap_or(false)
+                        && toks.get(a + 4).map(|t| t.is_punct(')')).unwrap_or(false)
+                }
+                _ => true,
+            };
+            // Find the body `{` (or terminating `;`) at zero
+            // paren/bracket depth after the argument list.
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut j = args_close.map(|a| a + 1).unwrap_or(i + 1);
+            let mut body = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') {
+                    paren += 1;
+                } else if t.is_punct(')') {
+                    paren -= 1;
+                } else if t.is_punct('[') {
+                    bracket += 1;
+                } else if t.is_punct(']') {
+                    bracket -= 1;
+                } else if paren == 0 && bracket == 0 && t.is_punct('{') {
+                    body = Some((j, self.close_of(j).unwrap_or(toks.len() - 1)));
+                    break;
+                } else if paren == 0 && bracket == 0 && t.is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            self.fns.push(FnInfo { name, item_start, fn_idx: i, is_pub, returns_unit, body });
+            i += 1;
+        }
+    }
+
+    fn build_test_spans(&mut self, toks: &[Tok]) {
+        let mut i = 0usize;
+        while i + 1 < toks.len() {
+            if !(toks[i].is_punct('#') && toks[i + 1].is_punct('[')) {
+                i += 1;
+                continue;
+            }
+            // Collect idents inside the attribute group.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut names: Vec<&str> = Vec::new();
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.kind == TokKind::Ident {
+                    names.push(&t.text);
+                }
+                j += 1;
+            }
+            let is_test_attr = names.iter().any(|n| *n == "test" || *n == "should_panic");
+            if !is_test_attr {
+                i = j + 1;
+                continue;
+            }
+            // Span: from the `#` through the end of the annotated item
+            // (its first depth-0 `{` block, or the terminating `;`).
+            let mut k = j + 1;
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut end = toks.len().saturating_sub(1);
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.is_punct('(') {
+                    paren += 1;
+                } else if t.is_punct(')') {
+                    paren -= 1;
+                } else if t.is_punct('[') {
+                    bracket += 1;
+                } else if t.is_punct(']') {
+                    bracket -= 1;
+                } else if paren == 0 && bracket == 0 && t.is_punct('{') {
+                    end = self.close_of(k).unwrap_or(end);
+                    break;
+                } else if paren == 0 && bracket == 0 && t.is_punct(';') {
+                    end = k;
+                    break;
+                }
+                k += 1;
+            }
+            self.test_spans.push((i, end));
+            i = j + 1;
+        }
+    }
+
+    fn build_debug_spans(&mut self, toks: &[Tok]) {
+        let mut i = 0usize;
+        while i + 2 < toks.len() {
+            if toks[i].kind == TokKind::Ident
+                && toks[i].text.starts_with("debug_assert")
+                && toks[i + 1].is_punct('!')
+            {
+                // Macro body: match the delimiter after `!`.
+                let open = i + 2;
+                let (o, c) = (
+                    &toks[open].text,
+                    match toks[open].text.as_str() {
+                        "(" => ")",
+                        "[" => "]",
+                        _ => "}",
+                    },
+                );
+                let mut depth = 0i32;
+                let mut j = open;
+                while j < toks.len() {
+                    if toks[j].kind == TokKind::Punct && toks[j].text == *o {
+                        depth += 1;
+                    } else if toks[j].kind == TokKind::Punct && toks[j].text == c {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                self.debug_spans.push((i, j.min(toks.len() - 1)));
+                i = j;
+            }
+            i += 1;
+        }
+    }
+
+    /// True when token `i` lies in any test span.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= i && i <= b)
+    }
+
+    /// True when token `i` lies inside a `debug_assert*!` invocation.
+    pub fn in_debug(&self, i: usize) -> bool {
+        self.debug_spans.iter().any(|&(a, b)| a <= i && i <= b)
+    }
+
+    /// The innermost function whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnInfo> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.map(|(o, c)| o <= i && i <= c).unwrap_or(false))
+            .max_by_key(|f| f.body.unwrap().0)
+    }
+}
+
+/// Walk back from a `fn` keyword over visibility, qualifiers, and
+/// attribute groups to the start of the item. Returns the item-start
+/// token index and whether the item is unrestricted-`pub`.
+fn walk_back_item(toks: &[Tok], fn_idx: usize) -> (usize, bool) {
+    let mut i = fn_idx;
+    let mut is_pub = false;
+    while i > 0 {
+        let p = &toks[i - 1];
+        if p.kind == TokKind::Ident
+            && matches!(p.text.as_str(), "pub" | "const" | "unsafe" | "async" | "extern")
+        {
+            if p.text == "pub" {
+                // Unrestricted unless followed by a `(...)` qualifier.
+                is_pub = !toks.get(i).map(|t| t.is_punct('(')).unwrap_or(false);
+            }
+            i -= 1;
+        } else if p.kind == TokKind::Str {
+            // `extern "C"` ABI string.
+            i -= 1;
+        } else if p.is_punct(')') {
+            // `pub(crate)` / `pub(in path)` qualifier: walk to `(`.
+            let mut depth = 0i32;
+            let mut j = i - 1;
+            loop {
+                if toks[j].is_punct(')') {
+                    depth += 1;
+                } else if toks[j].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            if j > 0 && toks[j - 1].is_ident("pub") {
+                i = j - 1;
+            } else {
+                break;
+            }
+        } else if p.is_punct(']') {
+            // Attribute group: walk back to its `#`.
+            let mut depth = 0i32;
+            let mut j = i - 1;
+            loop {
+                if toks[j].is_punct(']') {
+                    depth += 1;
+                } else if toks[j].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            if j > 0 && toks[j - 1].is_punct('#') {
+                i = j - 1;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    (i, is_pub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fn_spans_and_signatures() {
+        let src = r#"
+pub fn unit_fn(x: usize) { let _ = x; }
+fn returns_val() -> usize { 3 }
+pub(crate) fn crate_fn() -> () {}
+pub fn generic<F: Fn(usize) -> bool>(f: F) -> bool { f(1) }
+pub fn callback<F: FnMut(usize) -> bool>(f: F) { f(1); }
+fn whered<F>(f: F) where F: Fn() -> bool { f(); }
+"#;
+        let l = lex(src);
+        let s = Structure::build(&l.tokens);
+        assert_eq!(s.fns.len(), 6);
+        assert!(s.fns[4].returns_unit, "arrow inside generic bounds is not a return type");
+        assert!(s.fns[5].returns_unit, "arrow inside where clause is not a return type");
+        assert!(s.fns[0].is_pub && s.fns[0].returns_unit);
+        assert!(!s.fns[1].is_pub && !s.fns[1].returns_unit);
+        assert!(!s.fns[2].is_pub, "pub(crate) is not unrestricted pub");
+        assert!(s.fns[2].returns_unit, "-> () is unit");
+        assert!(s.fns[3].is_pub && !s.fns[3].returns_unit, "closure arrow in generics ignored");
+    }
+
+    #[test]
+    fn test_spans_cover_mod_and_fn() {
+        let src = r#"
+fn live() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { y.unwrap(); }
+}
+"#;
+        let l = lex(src);
+        let s = Structure::build(&l.tokens);
+        let unwraps: Vec<usize> = l
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!s.in_test(unwraps[0]));
+        assert!(s.in_test(unwraps[1]));
+    }
+
+    #[test]
+    fn debug_assert_interior_exempt() {
+        let src = "fn f(v: &[u32]) { debug_assert!(v[0] > 1); let x = v[1]; }";
+        let l = lex(src);
+        let s = Structure::build(&l.tokens);
+        let brackets: Vec<usize> =
+            l.tokens.iter().enumerate().filter(|(_, t)| t.is_punct('[')).map(|(i, _)| i).collect();
+        // First index is inside the debug_assert, second is live code.
+        assert!(s.in_debug(brackets[1]));
+        assert!(!s.in_debug(brackets[2]));
+    }
+
+    #[test]
+    fn enclosing_fn_is_innermost() {
+        let src = "fn outer() { fn inner() { marker(); } }";
+        let l = lex(src);
+        let s = Structure::build(&l.tokens);
+        let m = l.tokens.iter().position(|t| t.is_ident("marker")).unwrap();
+        assert_eq!(s.enclosing_fn(m).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn attributes_fold_into_item_start() {
+        let src = "#[inline]\n#[must_use]\npub fn hot() -> usize { 1 }";
+        let l = lex(src);
+        let s = Structure::build(&l.tokens);
+        assert_eq!(s.fns[0].item_start, 0, "item starts at the first attribute");
+        assert!(s.fns[0].is_pub);
+    }
+}

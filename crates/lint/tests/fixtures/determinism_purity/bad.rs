@@ -1,0 +1,8 @@
+// Positive fixture: wall-clock and ambient randomness in the
+// determinism domain.
+pub fn rollout_seed() -> u64 {
+    let _t = std::time::Instant::now();
+    let _s = std::collections::hash_map::RandomState::new();
+    let _rng = thread_rng();
+    0
+}

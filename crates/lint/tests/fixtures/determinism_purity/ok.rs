@@ -1,0 +1,13 @@
+// Negative fixture: explicit seeding keeps rollouts reproducible;
+// tests may time things.
+pub fn rollout_seed(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

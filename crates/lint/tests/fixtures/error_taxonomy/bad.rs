@@ -1,0 +1,5 @@
+// Positive fixture: a pub fn with no way to report failure that
+// panics anyway.
+pub fn configure(n: usize) {
+    assert!(n > 0, "n must be positive");
+}

@@ -1,0 +1,16 @@
+// Negative fixture: failures surface as typed errors; debug_assert
+// and non-pub / value-returning functions are out of scope.
+pub fn configure(n: usize) -> Result<(), String> {
+    if n == 0 {
+        return Err("n must be positive".to_string());
+    }
+    Ok(())
+}
+
+pub fn checked(n: usize) {
+    debug_assert!(n > 0);
+}
+
+fn private_guard(n: usize) {
+    assert!(n > 0);
+}

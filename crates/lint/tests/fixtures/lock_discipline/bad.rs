@@ -1,0 +1,11 @@
+// Positive fixture: retraining under the publish write lock, plus a
+// re-entrant acquisition that would deadlock parking_lot.
+impl Handle {
+    pub fn adopt_wrong(&self) {
+        let mut s = self.state.write();
+        let tree = self.trainer.train_to_tree();
+        s.tree = tree;
+        let peek = self.state.read();
+        drop(peek);
+    }
+}

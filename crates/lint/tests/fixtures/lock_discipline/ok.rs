@@ -1,0 +1,13 @@
+// Negative fixture: train first, then take the write lock only for
+// the epoch-swap publish; an explicit drop ends the guard scope
+// before the next acquisition.
+impl Handle {
+    pub fn adopt_right(&self) {
+        let tree = self.trainer.train_to_tree();
+        let mut s = self.state.write();
+        s.tree = tree;
+        drop(s);
+        let peek = self.state.read();
+        let _ = peek.len();
+    }
+}

@@ -1,0 +1,9 @@
+// Positive fixture: a kernel-marked function that allocates and copies.
+// nc-lint: kernel
+pub fn hot(xs: &[u32]) -> Vec<u32> {
+    let copy = xs.to_vec();
+    let mut out = Vec::new();
+    out.extend(copy.iter().map(|v| v + 1));
+    let _label = format!("{} entries", out.len());
+    out
+}

@@ -1,0 +1,14 @@
+// Negative fixture: the kernel writes into caller-owned buffers;
+// allocation is fine outside kernel-marked functions, and
+// debug_assert interiors are exempt.
+// nc-lint: kernel
+pub fn hot(xs: &[u32], out: &mut [u32]) {
+    debug_assert!(out.to_vec().len() == xs.len());
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = x + 1;
+    }
+}
+
+pub fn cold(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec()
+}

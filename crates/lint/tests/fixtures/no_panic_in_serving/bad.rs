@@ -1,0 +1,12 @@
+// Positive fixture: every panic avenue the rule guards against.
+pub fn serve(xs: &[u32], i: usize) -> u32 {
+    let v = xs.first().unwrap();
+    if *v > 3 {
+        panic!("serving code must not reach this");
+    }
+    xs[i]
+}
+
+pub fn expecting(x: Option<u32>) -> u32 {
+    x.expect("serving code must not expect")
+}

@@ -1,0 +1,23 @@
+// Negative fixture: checked access in live code; tests and
+// debug_assert interiors are exempt by rule config.
+pub fn serve(xs: &[u32], i: usize) -> Option<u32> {
+    debug_assert!(xs[0] < u32::MAX);
+    xs.get(i).copied()
+}
+
+// nc-lint: kernel
+pub fn hot(xs: &[u32], i: usize) -> u32 {
+    xs[i % xs.len().max(1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwraps_fine_in_tests() {
+        let xs = [1u32, 2];
+        assert_eq!(xs[0], 1);
+        let _ = serve(&xs, 0).unwrap();
+    }
+}

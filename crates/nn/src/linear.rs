@@ -63,6 +63,7 @@ impl Linear {
     /// [`Linear::forward`] into a caller-owned buffer (resized and
     /// overwritten) — the allocation-free kernel behind the batched
     /// inference path. Bit-identical to `forward`.
+    // nc-lint: kernel
     pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
         x.matmul_nt_into(&self.w, out);
         for r in 0..out.rows {

@@ -100,6 +100,7 @@ impl Matrix {
     /// dot product, so results are **bit-identical** to the naive
     /// row-at-a-time kernel for every batch size — the determinism
     /// contract the vectorised collector's tests pin.
+    // nc-lint: kernel
     pub fn matmul_nt_into(&self, w: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, w.cols, "inner dimension mismatch");
         out.rows = self.rows;

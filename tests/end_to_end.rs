@@ -50,7 +50,7 @@ fn trained_policy_transfers_within_same_rules() {
     let (_, sa) = a.greedy_tree();
 
     let mut b = Trainer::new(rules, NeuroCutsConfig::smoke_test()).unwrap();
-    b.load_policy(&ckpt);
+    b.load_policy(&ckpt).unwrap();
     let (tb, sb) = b.greedy_tree();
     assert_eq!(sa, sb);
     assert_tree_valid(&tb, 300, 104);
