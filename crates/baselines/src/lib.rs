@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod classifier;
 pub mod common;
 pub mod cutsplit;
 pub mod efficuts;
@@ -28,6 +29,11 @@ pub mod hicuts;
 pub mod hypercuts;
 pub mod hypersplit;
 
+pub use classifier::{
+    build_baseline_classifier, build_baseline_compiled, Classifier, ClassifierStats,
+    CompiledClassifier, CutSplitClassifier, EffiCutsClassifier, HiCutsClassifier,
+    HyperCutsClassifier, HyperSplitClassifier, BASELINE_CLASSIFIERS,
+};
 pub use common::BuildLimits;
 pub use cutsplit::{build_cutsplit, CutSplitConfig};
 pub use efficuts::{build_efficuts, partition_by_largeness, EffiCutsConfig};

@@ -24,7 +24,6 @@
 
 use classbench::{generate_rules, generate_trace, ClassifierFamily, GeneratorConfig, TraceConfig};
 use dtree::{run_engine, EngineConfig, FlatTree};
-use std::time::Instant;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -39,28 +38,10 @@ struct Row {
     mpps: f64,
 }
 
-/// Time `f` (which classifies the whole trace once per call) with an
-/// adaptive pass count filling roughly `target_ms`, and return
-/// (ns/packet, Mpps). Takes the fastest of three trials: the box the
-/// benchmark runs on (CI, shared VMs) is noisy, and the minimum is
-/// the best estimator of the code's actual cost.
-fn measure<F: FnMut()>(trace_len: usize, target_ms: u64, mut f: F) -> (f64, f64) {
-    // Warm-up + calibration pass.
-    let start = Instant::now();
-    f();
-    let once = start.elapsed();
-    let passes =
-        ((target_ms as u128 * 1_000_000) / once.as_nanos().max(1)).clamp(1, 100_000) as usize;
-    let mut best_ns = f64::INFINITY;
-    for _ in 0..3 {
-        let start = Instant::now();
-        for _ in 0..passes {
-            f();
-        }
-        let ns = start.elapsed().as_nanos() as f64 / (trace_len * passes) as f64;
-        best_ns = best_ns.min(ns);
-    }
-    (best_ns, 1e3 / best_ns)
+/// Time one whole-trace classification pass: the shared adaptive
+/// fastest-of-three harness (see [`nc_bench::measure_ns`]).
+fn measure<F: FnMut()>(trace_len: usize, target_ms: u64, f: F) -> (f64, f64) {
+    nc_bench::measure_ns(trace_len, target_ms, f)
 }
 
 fn main() {

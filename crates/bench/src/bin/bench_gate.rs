@@ -35,8 +35,11 @@ use serde_json::Value;
 /// background retrain).
 const METRICS: [&str; 4] = ["steps_per_sec", "episodes_per_sec", "mpps", "sustained_mpps"];
 
-/// Identity fields used to label a row in failure messages.
-const ID_FIELDS: [&str; 6] = ["path", "algo", "hidden", "workers", "envs", "phase"];
+/// Identity fields used to label a row in failure messages. The
+/// `family`/`size`/`seed`/`skew` axes identify `bench_sweep` matrix
+/// cells and per-family summary rows.
+const ID_FIELDS: [&str; 10] =
+    ["path", "algo", "hidden", "workers", "envs", "phase", "family", "size", "seed", "skew"];
 
 fn scalar(v: &Value) -> String {
     if let Some(s) = v.as_str() {

@@ -1,0 +1,337 @@
+//! `bench_sweep` — the scenario-matrix emitter: every ClassBench
+//! family × ruleset size × generator seed × traffic skew × algorithm,
+//! one consolidated JSON, every cell verified.
+//!
+//! The figure binaries each reproduce one hand-picked slice of the
+//! paper's evaluation; this emitter runs the full matrix through the
+//! unified [`Classifier`] trait (NeuroCuts plus all five baselines)
+//! the way artifact-grade evaluations do: one harness, one output,
+//! nothing unverified. Per cell it records flat-batch throughput
+//! (Mpps), worst-case depth, bytes/rule, compiled footprint, and
+//! build time, and — before any number is written — checks **every
+//! sampled packet** of the cell's trace against the rule set's linear
+//! scan through both the scalar and the batched path. Any mismatch
+//! anywhere exits non-zero: the matrix can never outlive correctness.
+//!
+//! Scale is controlled by environment variables:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `NC_FAMILIES` | comma list of `acl,fw,ipc` | all three |
+//! | `NC_SIZES` | comma list of rules-per-classifier | `300,1000,10000` |
+//! | `NC_SEEDS` | comma list of generator seeds | `0,1` |
+//! | `NC_SKEWS` | comma list of traffic skews (`uniform`, `zipf[:EXP]`, `locality[:SETxBURST]`) | `uniform,zipf,locality` |
+//! | `NC_SWEEP_ALGOS` | comma list of algorithms | all six |
+//! | `NC_TIMESTEPS` | RL timesteps per NeuroCuts cell | 2000 |
+//! | `NC_BENCH_TRACE` | packets per cell (verified + measured) | 2048 |
+//! | `NC_BENCH_MS` | target measure time per cell (ms) | 80 |
+//! | `NC_BENCH_OUT` | output path | `BENCH_sweep.json` |
+//!
+//! Classifiers are built once per (family, size, seed) rule set and
+//! re-measured under every skew, so the traffic axis isolates the
+//! trace distribution rather than rebuild noise. The JSON carries a
+//! `cells` array (one row per matrix cell) and a `summary` array
+//! (median flat-batch Mpps per family × algorithm) that CI's
+//! `bench_gate` gates against the committed smoke baseline.
+
+use baselines::Classifier;
+use classbench::{
+    generate_rules, generate_skewed_trace, trace_hash, ClassifierFamily, GeneratorConfig, Packet,
+    RuleSet, SkewedTraceConfig, TrafficSkew,
+};
+use neurocuts::NeuroCutsConfig;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_list(name: &str, default: &str) -> Vec<String> {
+    let raw = std::env::var(name).unwrap_or_else(|_| default.to_string());
+    raw.split(',').map(|t| t.trim().to_string()).filter(|t| !t.is_empty()).collect()
+}
+
+/// One verified + measured matrix cell.
+struct Cell {
+    family: &'static str,
+    size: usize,
+    seed: u64,
+    skew: String,
+    algo: String,
+    mpps: f64,
+    ns_per_packet: f64,
+    depth: usize,
+    max_depth: usize,
+    nodes: usize,
+    bytes_per_rule: f64,
+    resident_bytes: usize,
+    build_secs: f64,
+    trace_hash: u64,
+    mismatches: usize,
+}
+
+/// Verify one classifier against the linear scan over `trace` through
+/// both lookup paths; returns the number of mismatching packets.
+fn verify_cell(c: &dyn Classifier, rules: &RuleSet, trace: &[Packet]) -> usize {
+    let truth: Vec<Option<usize>> = trace.iter().map(|p| rules.classify(p)).collect();
+    let mut batch = vec![None; trace.len()];
+    c.classify_batch(trace, &mut batch);
+    let mut bad = 0usize;
+    for (i, p) in trace.iter().enumerate() {
+        let scalar = c.classify(p);
+        if scalar != truth[i] || batch[i] != truth[i] {
+            if bad < 5 {
+                eprintln!(
+                    "MISMATCH {}: scalar {scalar:?} batch {:?} truth {:?} at {p}",
+                    c.name(),
+                    batch[i],
+                    truth[i]
+                );
+            }
+            bad += 1;
+        }
+    }
+    bad
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // All strings we emit are algorithm names / family tags / skew
+    // tags from fixed vocabularies; assert rather than escape.
+    assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || ":._-".contains(c)), "{s:?}");
+    s
+}
+
+fn main() {
+    let families: Vec<ClassifierFamily> = env_list("NC_FAMILIES", "acl,fw,ipc")
+        .iter()
+        .map(|t| {
+            ClassifierFamily::ALL
+                .into_iter()
+                .find(|f| f.tag() == t.as_str())
+                .unwrap_or_else(|| panic!("unknown family {t}"))
+        })
+        .collect();
+    let sizes: Vec<usize> = env_list("NC_SIZES", "300,1000,10000")
+        .iter()
+        .map(|t| t.parse().unwrap_or_else(|_| panic!("bad size {t}")))
+        .collect();
+    let seeds: Vec<u64> = env_list("NC_SEEDS", "0,1")
+        .iter()
+        .map(|t| t.parse().unwrap_or_else(|_| panic!("bad seed {t}")))
+        .collect();
+    let skew_tags = env_list("NC_SKEWS", "uniform,zipf,locality");
+    let skews: Vec<(String, TrafficSkew)> = skew_tags
+        .iter()
+        .map(|t| (t.clone(), TrafficSkew::parse(t).unwrap_or_else(|| panic!("unknown skew {t}"))))
+        .collect();
+    let algos = env_list("NC_SWEEP_ALGOS", &nc_bench::CLASSIFIER_NAMES.join(","));
+    let timesteps = env_usize("NC_TIMESTEPS", 2000);
+    let trace_len = env_usize("NC_BENCH_TRACE", 2048);
+    let target_ms = env_usize("NC_BENCH_MS", 80) as u64;
+    let out_path = std::env::var("NC_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+
+    let total_cells = families.len() * sizes.len() * seeds.len() * skews.len() * algos.len();
+    eprintln!(
+        "bench_sweep: {} families x {} sizes x {} seeds x {} skews x {} algorithms = {} cells, \
+         {trace_len} packets/cell",
+        families.len(),
+        sizes.len(),
+        seeds.len(),
+        skews.len(),
+        algos.len(),
+        total_cells
+    );
+
+    let mut cells: Vec<Cell> = Vec::with_capacity(total_cells);
+    let mut mismatches = 0usize;
+    for &family in &families {
+        for &size in &sizes {
+            for &seed in &seeds {
+                let cfg = GeneratorConfig::new(family, size).with_seed(seed);
+                let rules = generate_rules(&cfg);
+                eprintln!("== {} ({} rules, seed {seed})", cfg.label(), rules.len());
+
+                // Build each classifier once per rule set; NeuroCuts
+                // trains under the env-scaled budget with the cell's
+                // seed, so every cell is reproducible from its row.
+                let nc_cfg = NeuroCutsConfig::small(timesteps).with_seed(seed);
+                let classifiers: Vec<Box<dyn Classifier>> =
+                    algos.iter().map(|a| nc_bench::build_classifier(a, &rules, &nc_cfg)).collect();
+                for c in &classifiers {
+                    let s = c.stats();
+                    eprintln!(
+                        "   built {:<10} in {:>7.3}s  depth {:>3}  bytes/rule {:>9.1}  nodes {:>7}",
+                        c.name(),
+                        s.build_secs,
+                        s.depth(),
+                        s.tree.bytes_per_rule,
+                        s.tree.nodes
+                    );
+                }
+
+                for (tag, skew) in &skews {
+                    // The trace seed folds in the generator seed but
+                    // not the skew: the *same* seed under different
+                    // skews isolates the distribution change.
+                    let tcfg = SkewedTraceConfig::new(trace_len, *skew).with_seed(seed ^ 0x5eed);
+                    let trace = generate_skewed_trace(&rules, &tcfg);
+                    let thash = trace_hash(&trace);
+                    for c in &classifiers {
+                        let bad = verify_cell(c.as_ref(), &rules, &trace);
+                        mismatches += bad;
+                        let mut out = vec![None; trace.len()];
+                        let (ns, mpps) = nc_bench::measure_ns(trace.len(), target_ms, || {
+                            c.classify_batch(&trace, &mut out);
+                            std::hint::black_box(&out);
+                        });
+                        let s = c.stats();
+                        eprintln!(
+                            "   {:<10} {tag:<10} {mpps:>8.2} Mpps  ({ns:>7.1} ns/pkt)  {}",
+                            c.name(),
+                            if bad == 0 { "verified" } else { "MISMATCH" }
+                        );
+                        cells.push(Cell {
+                            family: family.tag(),
+                            size,
+                            seed,
+                            skew: tag.clone(),
+                            algo: c.name().to_string(),
+                            mpps,
+                            ns_per_packet: ns,
+                            depth: s.depth(),
+                            max_depth: s.tree.max_depth,
+                            nodes: s.tree.nodes,
+                            bytes_per_rule: s.tree.bytes_per_rule,
+                            resident_bytes: s.resident_bytes,
+                            build_secs: s.build_secs,
+                            trace_hash: thash,
+                            mismatches: bad,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-family x algorithm flat-batch summary (median over cells) —
+    // the rows CI's bench_gate tracks, plus a printed tradeoff table.
+    struct Summary {
+        family: &'static str,
+        algo: String,
+        cells: usize,
+        mpps: f64,
+        depth: f64,
+        bytes_per_rule: f64,
+        build_secs: f64,
+    }
+    let mut summaries: Vec<Summary> = Vec::new();
+    for &family in &families {
+        for algo in &algos {
+            let sel: Vec<&Cell> =
+                cells.iter().filter(|c| c.family == family.tag() && &c.algo == algo).collect();
+            if sel.is_empty() {
+                continue;
+            }
+            let med = |f: &dyn Fn(&Cell) -> f64| {
+                nc_bench::median(&sel.iter().map(|c| f(c)).collect::<Vec<f64>>())
+            };
+            summaries.push(Summary {
+                family: family.tag(),
+                algo: algo.clone(),
+                cells: sel.len(),
+                mpps: med(&|c| c.mpps),
+                depth: med(&|c| c.depth as f64),
+                bytes_per_rule: med(&|c| c.bytes_per_rule),
+                build_secs: med(&|c| c.build_secs),
+            });
+        }
+    }
+    eprintln!("\ntradeoff summary (median over cells, flat-batch path):");
+    eprintln!(
+        "{:<6} {:<10} {:>6} {:>10} {:>8} {:>12} {:>10}",
+        "family", "algo", "cells", "Mpps", "depth", "bytes/rule", "build s"
+    );
+    for s in &summaries {
+        eprintln!(
+            "{:<6} {:<10} {:>6} {:>10.2} {:>8.1} {:>12.1} {:>10.3}",
+            s.family, s.algo, s.cells, s.mpps, s.depth, s.bytes_per_rule, s.build_secs
+        );
+    }
+
+    if mismatches > 0 {
+        eprintln!("\nMISMATCH: {mismatches} packets diverged from the linear-scan ground truth");
+    } else {
+        eprintln!(
+            "\nall {} cells verified against the linear scan ({trace_len} packets each)",
+            cells.len()
+        );
+    }
+
+    // Hand-rolled JSON; strings come from fixed vocabularies (asserted
+    // escape-free), so no escaping machinery is needed.
+    let list = |v: &[String]| v.join(",");
+    let mut json = String::from("{\n  \"schema\": \"bench_sweep/v1\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"families\": \"{}\", \"sizes\": \"{}\", \"seeds\": \"{}\", \
+         \"skews\": \"{}\", \"algos\": \"{}\", \"timesteps\": {timesteps}, \
+         \"trace\": {trace_len}, \"ms\": {target_ms}}},\n",
+        families.iter().map(|f| f.tag().to_string()).collect::<Vec<_>>().join(","),
+        sizes.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(","),
+        seeds.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(","),
+        list(&skew_tags),
+        list(&algos),
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"family\": \"{}\", \"size\": {}, \"seed\": {}, \"skew\": \"{}\", \
+             \"algo\": \"{}\", \"mpps\": {:.3}, \"ns_per_packet\": {:.2}, \"depth\": {}, \
+             \"max_depth\": {}, \"nodes\": {}, \"bytes_per_rule\": {:.1}, \
+             \"resident_bytes\": {}, \"build_secs\": {:.4}, \"trace_hash\": \"{:016x}\", \
+             \"mismatches\": {}}}{}\n",
+            c.family,
+            c.size,
+            c.seed,
+            json_escape_free(&c.skew),
+            json_escape_free(&c.algo),
+            c.mpps,
+            c.ns_per_packet,
+            c.depth,
+            c.max_depth,
+            c.nodes,
+            c.bytes_per_rule,
+            c.resident_bytes,
+            c.build_secs,
+            c.trace_hash,
+            c.mismatches,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"summary\": [\n");
+    for (i, s) in summaries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"family\": \"{}\", \"algo\": \"{}\", \"path\": \"flat_batch\", \
+             \"cells\": {}, \"mpps\": {:.3}, \"depth\": {:.1}, \"bytes_per_rule\": {:.1}, \
+             \"build_secs\": {:.4}}}{}\n",
+            s.family,
+            json_escape_free(&s.algo),
+            s.cells,
+            s.mpps,
+            s.depth,
+            s.bytes_per_rule,
+            s.build_secs,
+            if i + 1 < summaries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"verified\": {{\"packets_per_cell\": {trace_len}, \"cells\": {}, \
+         \"mismatches\": {mismatches}}}\n}}\n",
+        cells.len()
+    ));
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
+
+    if mismatches > 0 {
+        eprintln!("correctness failure — numbers are not trustworthy");
+        std::process::exit(1);
+    }
+}

@@ -19,9 +19,11 @@
 
 #![warn(missing_docs)]
 
+use baselines::Classifier;
 use classbench::{generate_rules, ClassifierFamily, GeneratorConfig, RuleSet};
 use dtree::{DecisionTree, TreeStats};
-use neurocuts::{NeuroCutsConfig, Trainer};
+use neurocuts::{NeuroCutsClassifier, NeuroCutsConfig, Trainer};
+use std::time::Instant;
 
 /// One classifier of the evaluation suite.
 #[derive(Debug, Clone)]
@@ -74,19 +76,65 @@ pub fn suite() -> Vec<SuiteEntry> {
 /// The four hand-tuned baselines of §6, by name.
 pub const BASELINE_NAMES: [&str; 4] = ["HiCuts", "HyperCuts", "EffiCuts", "CutSplit"];
 
-/// Build one baseline by name on `rules`.
+/// All six [`Classifier`] implementations, sweep order: NeuroCuts
+/// first, then the baselines.
+pub const CLASSIFIER_NAMES: [&str; 6] =
+    ["NeuroCuts", "HiCuts", "HyperCuts", "HyperSplit", "EffiCuts", "CutSplit"];
+
+/// Build one baseline by name on `rules`, routed through the unified
+/// [`Classifier`] trait (every figure/ablation binary therefore rides
+/// the same build path the sweep measures).
 ///
 /// # Panics
 /// Panics on an unknown name.
 pub fn build_baseline(name: &str, rules: &RuleSet) -> DecisionTree {
-    match name {
-        "HiCuts" => baselines::build_hicuts(rules, &baselines::HiCutsConfig::default()),
-        "HyperCuts" => baselines::build_hypercuts(rules, &baselines::HyperCutsConfig::default()),
-        "HyperSplit" => baselines::build_hypersplit(rules, &baselines::HyperSplitConfig::default()),
-        "EffiCuts" => baselines::build_efficuts(rules, &baselines::EffiCutsConfig::default()),
-        "CutSplit" => baselines::build_cutsplit(rules, &baselines::CutSplitConfig::default()),
-        other => panic!("unknown baseline {other}"),
+    baselines::build_baseline_compiled(name, rules)
+        .unwrap_or_else(|| panic!("unknown baseline {name}"))
+        .into_tree()
+}
+
+/// Build one of the six [`Classifier`] implementations by name.
+/// NeuroCuts trains under `nc_cfg`; the baselines use their default
+/// configurations (the trait's `build`).
+///
+/// # Panics
+/// Panics on an unknown name or an untrainable rule set — the
+/// harnesses generate their own rule sets, so those are bugs here.
+pub fn build_classifier(
+    name: &str,
+    rules: &RuleSet,
+    nc_cfg: &NeuroCutsConfig,
+) -> Box<dyn Classifier> {
+    if name == "NeuroCuts" {
+        Box::new(NeuroCutsClassifier::train(rules, nc_cfg.clone()).expect("trainable rule set"))
+    } else {
+        baselines::build_baseline_classifier(name, rules)
+            .unwrap_or_else(|| panic!("unknown classifier {name}"))
     }
+}
+
+/// Time `f` (which processes `work_items` items per call) with an
+/// adaptive pass count filling roughly `target_ms` per trial, and
+/// return `(ns/item, M items/s)`. Takes the fastest of three trials:
+/// benchmark boxes (CI, shared VMs) are noisy, and the minimum is the
+/// best estimator of the code's actual cost.
+pub fn measure_ns<F: FnMut()>(work_items: usize, target_ms: u64, mut f: F) -> (f64, f64) {
+    // Warm-up + calibration pass.
+    let start = Instant::now();
+    f();
+    let once = start.elapsed();
+    let passes =
+        ((target_ms as u128 * 1_000_000) / once.as_nanos().max(1)).clamp(1, 100_000) as usize;
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..passes {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (work_items * passes) as f64;
+        best_ns = best_ns.min(ns);
+    }
+    (best_ns, 1e3 / best_ns)
 }
 
 /// The harness-scale NeuroCuts configuration: `small()` with the
@@ -198,5 +246,16 @@ mod tests {
     fn unknown_baseline_panics() {
         let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Acl, 10));
         let _ = build_baseline("TCAM", &rules);
+    }
+
+    #[test]
+    fn classifier_factory_covers_all_six() {
+        let rules = generate_rules(&GeneratorConfig::new(ClassifierFamily::Ipc, 60).with_seed(4));
+        let cfg = NeuroCutsConfig::smoke_test();
+        for name in CLASSIFIER_NAMES {
+            let c = build_classifier(name, &rules, &cfg);
+            assert_eq!(c.name(), name);
+            assert!(c.stats().depth() >= 1, "{name}");
+        }
     }
 }

@@ -49,4 +49,6 @@ pub use range::DimRange;
 pub use rule::Rule;
 pub use ruleset::RuleSet;
 pub use stats::RuleSetStats;
-pub use trace::{generate_trace, TraceConfig};
+pub use trace::{
+    generate_skewed_trace, generate_trace, trace_hash, SkewedTraceConfig, TraceConfig, TrafficSkew,
+};

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod actions;
+pub mod classifier;
 pub mod config;
 pub mod env;
 pub mod lifecycle;
@@ -68,6 +69,7 @@ pub mod trainer;
 pub mod vecenv;
 
 pub use actions::{Action, ActionSpace};
+pub use classifier::NeuroCutsClassifier;
 pub use config::{NeuroCutsConfig, PartitionMode, RewardScaling};
 pub use env::{EpisodeState, NeuroCutsEnv, PendingDecision};
 pub use lifecycle::{

@@ -1,50 +1,11 @@
 //! Workspace-level property tests: randomised rule sets, packets, and
 //! builder choices must never break the classification invariant.
 
-use classbench::{
-    generate_rules, ClassifierFamily, Dim, DimRange, GeneratorConfig, Packet, Rule, RuleSet,
-};
+use classbench::{generate_rules, ClassifierFamily, Dim, GeneratorConfig};
 use proptest::prelude::*;
 
 mod common;
-use common::build;
-
-fn arb_rule(priority: i32) -> impl Strategy<Value = Rule> {
-    // Each dimension: either a wildcard, an exact value, or a range.
-    let dim_range = |span: u64| {
-        prop_oneof![
-            Just((0u64, span)),
-            (0..span).prop_map(move |v| (v, v + 1)),
-            (0..span, 1..=span).prop_map(move |(lo, len)| {
-                let hi = (lo + len).min(span);
-                (lo.min(hi - 1), hi)
-            }),
-        ]
-    };
-    (dim_range(1 << 32), dim_range(1 << 32), dim_range(1 << 16), dim_range(1 << 16), dim_range(256))
-        .prop_map(move |(s, d, sp, dp, pr)| {
-            Rule::from_fields(
-                DimRange::new(s.0, s.1),
-                DimRange::new(d.0, d.1),
-                DimRange::new(sp.0, sp.1),
-                DimRange::new(dp.0, dp.1),
-                DimRange::new(pr.0, pr.1),
-                priority,
-            )
-        })
-}
-
-fn arb_ruleset(max_rules: usize) -> impl Strategy<Value = RuleSet> {
-    proptest::collection::vec(arb_rule(0), 1..max_rules).prop_map(|mut rules| {
-        rules.push(Rule::default_rule(0));
-        RuleSet::from_ordered(rules)
-    })
-}
-
-fn arb_packet() -> impl Strategy<Value = Packet> {
-    (0..1u64 << 32, 0..1u64 << 32, 0..1u64 << 16, 0..1u64 << 16, 0..256u64)
-        .prop_map(|(a, b, c, d, e)| Packet::new(a, b, c, d, e))
-}
+use common::{arb_packet, arb_rule, arb_ruleset, build};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
