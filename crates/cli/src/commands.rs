@@ -1,4 +1,4 @@
-//! The eight CLI subcommands.
+//! The nine CLI subcommands.
 
 use crate::args::Args;
 use classbench::{
@@ -12,7 +12,7 @@ use dtree::{
 };
 use neurocuts::{
     churn_retrain_timeline, retrain_snapshot, LifecycleConfig, LifecycleWorker, NeuroCutsConfig,
-    PartitionMode, RetrainTrigger, TimelineConfig, Trainer,
+    PartitionMode, PersistConfig, Persistence, RetrainTrigger, TimelineConfig, Trainer,
 };
 
 /// Top-level usage text.
@@ -44,7 +44,7 @@ subcommands:
   update-bench --tree TREE.json --rules FILE [--updates N] [--trace N]
                [--threads T] [--churn C] [--seed S]
                [--auto-retrain true] [--retrain-churn C] [--timesteps N]
-               [--fault-schedule SPEC]
+               [--fault-schedule SPEC] [--persist-dir DIR]
       replay an insert/delete churn schedule through the live
       ClassifierHandle while engine readers serve concurrently;
       reports updates/sec applied and Mpps sustained during churn.
@@ -52,19 +52,34 @@ subcommands:
       the churn and hot-swaps a freshly retrained tree mid-replay.
       --fault-schedule injects deterministic faults, e.g.
       \"retrain-panic@0;update-burst@100,400\" (points: retrain-panic,
-      retrain-slow, adopt-corruption, update-burst; @N = the N-th
-      evaluation fires); the run prints the per-attempt health
-      timeline and the final HealthReport
+      retrain-slow, adopt-corruption, update-burst, plus the crash
+      points wal-append, checkpoint-write, adopt-persist, which abort
+      the process mid-write — pair them with --persist-dir; @N = the
+      N-th evaluation fires); the run prints the per-attempt health
+      timeline and the final HealthReport.
+      --persist-dir DIR attaches crash-consistent persistence: every
+      admitted update is write-ahead logged under DIR, the run
+      checkpoints on attach and at exit, and a kill -9 at any instant
+      is recoverable with `neurocuts recover`
   lifecycle-bench --rules FILE [--updates N] [--trace N] [--timesteps N]
                   [--readers R] [--retrain-churn C] [--seed S]
-                  [--fault-schedule SPEC]
+                  [--fault-schedule SPEC] [--persist-dir DIR]
       the full churn → retrain → hot-swap loop: train an initial
       classifier, churn it under concurrent readers, let the
       background lifecycle worker retrain and verify-swap the
       optimised tree, and compare the result against a fresh train on
       the final rules; exits non-zero on any divergence or if no swap
       was adopted. --fault-schedule (same SPEC as update-bench) arms
-      injected faults across the whole loop and reports recovery
+      injected faults across the whole loop and reports recovery.
+      --persist-dir (as in update-bench) additionally checkpoints
+      after every adopted retrain
+  recover  --persist-dir DIR [--rules FILE] [--trace N] [--seed S]
+      rebuild the live classifier from DIR after a crash: load the
+      newest valid checkpoint, truncate any torn write-ahead-log
+      tail, replay the logged updates through admission control,
+      prove the result against the linear-scan ground truth, and
+      fold everything into a fresh checkpoint; with --rules the
+      recovered tree is additionally verified over a synthetic trace
   stats    --tree TREE.json
       print a saved tree's statistics";
 
@@ -73,7 +88,7 @@ subcommands:
 fn parse_fault_schedule(args: &Args) -> Result<Option<std::sync::Arc<FaultInjector>>, String> {
     match args.get("fault-schedule") {
         Some(spec) => {
-            let schedule = FaultSchedule::parse(spec)?;
+            let schedule = FaultSchedule::parse(spec).map_err(|e| e.to_string())?;
             if schedule.is_empty() {
                 return Ok(None);
             }
@@ -353,10 +368,24 @@ pub fn update_bench(argv: &[String]) -> Result<(), String> {
     let retrain_churn: f64 = args.parse_or("retrain-churn", 0.25)?;
     let train_timesteps: usize = args.parse_or("timesteps", 3_000)?;
     let faults = parse_fault_schedule(&args)?;
+    let persistence = args.get("persist-dir").map(|dir| {
+        Persistence::with_config(
+            dir,
+            PersistConfig { faults: faults.clone(), ..PersistConfig::default() },
+        )
+    });
     let trace = generate_trace(&rules, &TraceConfig::new(n).with_seed(seed));
 
     let policy = RebuildPolicy { max_churn, min_updates: 8, max_overlay: 256 };
     let handle = ClassifierHandle::new(tree, policy);
+    if let Some(p) = &persistence {
+        let ck = p.checkpoint(&handle, seed).map_err(|e| e.to_string())?;
+        eprintln!(
+            "persistence attached: {} (generation {}, wal-logged from here)",
+            p.dir().display(),
+            ck.generation
+        );
+    }
     eprintln!(
         "live handle: {} rules, epoch {}, rebuild at {:.0}% churn",
         handle.stats().active_rules,
@@ -375,6 +404,7 @@ pub fn update_bench(argv: &[String]) -> Result<(), String> {
         lc.trigger =
             RetrainTrigger { min_churn: retrain_churn, min_updates: 32, max_drift: f64::INFINITY };
         lc.faults = faults.clone();
+        lc.persist = persistence.clone();
         LifecycleWorker::new(lc, &handle)
     });
     let stop = std::sync::atomic::AtomicBool::new(false);
@@ -454,6 +484,13 @@ pub fn update_bench(argv: &[String]) -> Result<(), String> {
         return Err(format!("snapshot diverged from full rebuild at {p}"));
     }
     println!("final snapshot verified bit-identical to a full rebuild");
+    if let Some(p) = &persistence {
+        let ck = p.checkpoint(&handle, seed).map_err(|e| e.to_string())?;
+        println!(
+            "final checkpoint  generation {} ({} bytes, folded {} wal record(s))",
+            ck.generation, ck.bytes, ck.folded_records
+        );
+    }
 
     // And the live engine agrees too.
     let mut got = vec![None; trace.len()];
@@ -493,6 +530,12 @@ pub fn lifecycle_bench(argv: &[String]) -> Result<(), String> {
     }
     let seed: u64 = args.parse_or("seed", 0)?;
     let faults = parse_fault_schedule(&args)?;
+    let persistence = args.get("persist-dir").map(|dir| {
+        Persistence::with_config(
+            dir,
+            PersistConfig { faults: faults.clone(), ..PersistConfig::default() },
+        )
+    });
     let trace = generate_trace(&rules, &TraceConfig::new(n).with_seed(seed));
     let train_cfg = NeuroCutsConfig::small(timesteps).with_seed(seed);
 
@@ -500,11 +543,20 @@ pub fn lifecycle_bench(argv: &[String]) -> Result<(), String> {
     let (tree, stats, _) = retrain_snapshot(&rules, &train_cfg, seed).map_err(|e| e.to_string())?;
     eprintln!("initial tree: {stats}");
     let handle = ClassifierHandle::new((*tree).clone(), RebuildPolicy::default_policy());
+    if let Some(p) = &persistence {
+        let ck = p.checkpoint(&handle, seed).map_err(|e| e.to_string())?;
+        eprintln!(
+            "persistence attached: {} (generation {}, wal-logged from here)",
+            p.dir().display(),
+            ck.generation
+        );
+    }
 
     let mut lc = LifecycleConfig::new(train_cfg.clone());
     lc.trigger =
         RetrainTrigger { min_churn: retrain_churn, min_updates: 32, max_drift: f64::INFINITY };
     lc.faults = faults.clone();
+    lc.persist = persistence.clone();
     let mut worker = LifecycleWorker::new(lc, &handle);
     let tl = TimelineConfig {
         updates,
@@ -553,6 +605,13 @@ pub fn lifecycle_bench(argv: &[String]) -> Result<(), String> {
         }
     }
     println!("updates rejected  {} (admission control)", report.rejected);
+    if let Some(p) = &persistence {
+        let ck = p.checkpoint(&handle, seed).map_err(|e| e.to_string())?;
+        println!(
+            "final checkpoint  generation {} ({} bytes, folded {} wal record(s))",
+            ck.generation, ck.bytes, ck.folded_records
+        );
+    }
     println!("health            {}", handle.health());
     if let Some(faults) = &faults {
         print_fault_outcome(faults);
@@ -586,6 +645,57 @@ pub fn lifecycle_bench(argv: &[String]) -> Result<(), String> {
         lc_report.adopted(),
         lc_report.fallback_rebuilds()
     );
+    Ok(())
+}
+
+/// `neurocuts recover`: rebuild a serving classifier from a persist
+/// directory after a crash.
+///
+/// Loads the newest checkpoint that reads back clean, truncates any
+/// torn write-ahead-log tail, replays the logged updates through the
+/// normal admission path, proves the result against the linear-scan
+/// ground truth, and folds everything into a fresh generation — the
+/// handle that comes back is already serving-safe. With `--rules` the
+/// recovered tree is additionally verified over a synthetic trace.
+pub fn recover(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let dir = std::path::PathBuf::from(args.required("persist-dir")?);
+    let n: usize = args.parse_or("trace", 10_000)?;
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let probes = match args.get("rules") {
+        Some(path) => {
+            let rules = read_rules(path)?;
+            generate_trace(&rules, &TraceConfig::new(n).with_seed(seed))
+        }
+        None => Vec::new(),
+    };
+
+    let started = std::time::Instant::now();
+    let (handle, report) = neurocuts::recover(
+        &dir,
+        RebuildPolicy::default_policy(),
+        &probes,
+        &PersistConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let ms = started.elapsed().as_secs_f64() * 1e3;
+
+    println!("recovered from {} in {ms:.1} ms", dir.display());
+    println!("  base generation  {}", report.base_generation);
+    println!("  wal replayed     {} record(s)", report.replayed);
+    println!("  epoch            {}", report.epoch);
+    println!("  train seed       {}", report.train_seed);
+    println!("  spot checked     {} probe(s) against the linear scan", report.spot_checked);
+    println!("  new generation   {}", report.new_generation);
+    match &report.truncated_tail {
+        Some(note) => println!("  torn tail        {note}"),
+        None => println!("  torn tail        none"),
+    }
+    for skipped in &report.skipped_checkpoints {
+        println!("  skipped          {skipped}");
+    }
+    println!("  rules            {}", handle.stats().active_rules);
+    println!("health            {}", handle.health());
     Ok(())
 }
 

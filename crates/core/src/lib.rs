@@ -37,7 +37,12 @@
 //!   [`LifecycleWorker`] watches churn and tree-quality drift, retrains
 //!   on a frozen snapshot while readers keep serving, spot-checks the
 //!   grafted winner against a linear scan, and publishes it through one
-//!   epoch swap.
+//!   epoch swap;
+//! * [`persist`] — crash-consistent durability: generation-stamped
+//!   checkpoints over `dtree::wal`'s write-ahead log, and a typed
+//!   recovery path ([`recover`]) that survives `kill -9` at any
+//!   instant and proves the rebuilt state against a linear scan
+//!   before serving from it.
 //!
 //! # Quickstart
 //!
@@ -64,6 +69,7 @@ pub mod env;
 pub mod lifecycle;
 pub mod obs;
 pub mod partitioner;
+pub mod persist;
 pub mod reward;
 pub mod trainer;
 pub mod vecenv;
@@ -78,6 +84,10 @@ pub use lifecycle::{
     TimelineConfig, TimelineReport, WorkerHealth,
 };
 pub use obs::ObsEncoder;
+pub use persist::{
+    recover, Checkpoint, CheckpointError, CheckpointReport, PersistConfig, PersistError,
+    Persistence, RecoverError, RecoverReport,
+};
 pub use reward::Objective;
 pub use trainer::{BestTree, IterationStats, TrainError, TrainReport, Trainer};
 pub use vecenv::VecEnv;

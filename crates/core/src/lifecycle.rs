@@ -213,6 +213,13 @@ pub struct LifecycleConfig {
     /// the retrain-side fault points around every attempt. `None` in
     /// production.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Optional durability: when set, the worker checkpoints the handle
+    /// after every successful adopt and whenever the WAL outgrows
+    /// [`crate::persist::PersistConfig::checkpoint_wal_threshold`].
+    /// Checkpoint failures degrade durability, never serving: they are
+    /// recorded sticky in the health report and do not count against
+    /// the retrain failure streak.
+    pub persist: Option<crate::persist::Persistence>,
 }
 
 impl LifecycleConfig {
@@ -225,6 +232,7 @@ impl LifecycleConfig {
             max_retrains: 0,
             retry: RetryPolicy::default_policy(),
             faults: None,
+            persist: None,
         }
     }
 }
@@ -281,6 +289,10 @@ pub struct LifecycleEvent {
     /// True when this attempt's failure crossed the degradation
     /// threshold and forced the deterministic fold-overlay rebuild.
     pub fallback_rebuild: bool,
+    /// The durable generation this attempt's post-adopt checkpoint
+    /// wrote (`None` without persistence, on failed attempts, and when
+    /// the checkpoint itself failed).
+    pub checkpoint_generation: Option<u64>,
     /// Backoff imposed after this attempt (milliseconds; 0 on success
     /// and deterministic skips).
     pub backoff_ms: u64,
@@ -330,6 +342,11 @@ pub struct LifecycleWorker {
     consecutive_failures: u32,
     degraded: bool,
     backoff_until: Option<Instant>,
+    /// The seed that trained the currently served tree — pinned into
+    /// every checkpoint so a recovered image keeps the PR 6
+    /// reproducibility contract (snapshot rules + seed re-derive the
+    /// adopted tree).
+    last_train_seed: u64,
 }
 
 impl LifecycleWorker {
@@ -337,6 +354,7 @@ impl LifecycleWorker {
     /// quality baseline and churn starts counting from now.
     pub fn new(cfg: LifecycleConfig, handle: &ClassifierHandle) -> Self {
         let stats = handle.with_tree(TreeStats::compute);
+        let last_train_seed = cfg.train.seed;
         LifecycleWorker {
             cfg,
             baseline_updates: handle.stats().lifetime_updates(),
@@ -347,6 +365,7 @@ impl LifecycleWorker {
             consecutive_failures: 0,
             degraded: false,
             backoff_until: None,
+            last_train_seed,
         }
     }
 
@@ -408,6 +427,13 @@ impl LifecycleWorker {
         spot_check: &[Packet],
     ) -> Option<&LifecycleEvent> {
         self.polls += 1;
+        // Durability first: the WAL-length checkpoint must run even
+        // while the retrain trigger holds, a backoff is pending, or the
+        // retrain budget is spent — a long quiet churn stream still
+        // needs its recovery replay bounded.
+        if self.cfg.persist.as_ref().is_some_and(|p| p.wants_checkpoint(handle)) {
+            self.checkpoint_now(handle);
+        }
         if self.cfg.max_retrains > 0 && self.retrains >= self.cfg.max_retrains {
             return None;
         }
@@ -446,6 +472,7 @@ impl LifecycleWorker {
             failures_after: 0,
             degraded: self.degraded,
             fallback_rebuild: false,
+            checkpoint_generation: None,
             backoff_ms: 0,
         };
         let outcome = self.attempt(handle, &snap, spot_check, seed, &mut event);
@@ -459,6 +486,10 @@ impl LifecycleWorker {
                 event.degraded = false;
                 self.rebaseline(handle);
                 handle.note_worker_health(0, false, None);
+                // Fold the freshly adopted tree into a durable
+                // generation: a crash from here replays nothing.
+                self.last_train_seed = seed;
+                event.checkpoint_generation = self.checkpoint_now(handle);
             }
             Err(LifecycleError::Train(err)) => {
                 // Deterministic refusal: record the skip and
@@ -498,6 +529,26 @@ impl LifecycleWorker {
         }
         self.events.push(event);
         self.events.last()
+    }
+
+    /// Checkpoint the handle into a fresh durable generation, returning
+    /// the generation written. A failure here loses durability, not
+    /// serving: it is recorded sticky in the handle's health report and
+    /// deliberately kept out of the retrain failure streak (backing off
+    /// retrains would not make the disk writable).
+    fn checkpoint_now(&self, handle: &ClassifierHandle) -> Option<u64> {
+        let persist = self.cfg.persist.as_ref()?;
+        match persist.checkpoint(handle, self.last_train_seed) {
+            Ok(report) => Some(report.generation),
+            Err(err) => {
+                handle.note_worker_health(
+                    self.consecutive_failures as u64,
+                    self.degraded,
+                    Some(format!("checkpoint failed: {err}")),
+                );
+                None
+            }
+        }
     }
 
     /// One retrain → verify → swap attempt, filling `event` on the way.

@@ -11,11 +11,16 @@
 //!
 //! Determinism contract: each fault point is evaluated from a single
 //! thread (the lifecycle worker owns the retrain-side points, the
-//! update thread owns `UpdateBurst`), so the per-point evaluation
-//! counter advances in a fixed order and `should_fire` is a pure
-//! function of the schedule. The counters are atomics only so the
+//! update thread owns `UpdateBurst` and `WalAppend`), so the per-point
+//! evaluation counter advances in a fixed order and `should_fire` is a
+//! pure function of the schedule. The counters are atomics only so the
 //! injector can be shared (`Arc`) between the worker and the update
 //! thread without a lock.
+//!
+//! The three `*-write`/`*-persist` points are **crash points**: instead
+//! of an in-process failure the instrumented site writes a deliberately
+//! torn prefix and calls `std::process::abort()` — the deterministic
+//! `kill -9` the crash-recovery soak drives from a child process.
 
 use rand::{Rng as _, SeedableRng as _};
 use rand_chacha::ChaCha8Rng;
@@ -37,14 +42,29 @@ pub enum FaultPoint {
     /// A burst of extra inserts at one churn step — pressure on the
     /// bounded overlay and its fold-rebuild backpressure.
     UpdateBurst,
+    /// Crash mid-append to the write-ahead log: half the record reaches
+    /// the disk, then the process aborts. Recovery must truncate the
+    /// torn tail and lose nothing that was admitted before it.
+    WalAppend,
+    /// Crash mid-write of a checkpoint's temporary file, before the
+    /// rename-into-place. Recovery must fall back to the previous
+    /// generation and replay its WAL chain.
+    CheckpointWrite,
+    /// Crash after the checkpoint's temporary file is fully written and
+    /// synced but *before* the atomic rename publishes it — the rename
+    /// either happened or it didn't; recovery must cope with both.
+    AdoptPersist,
 }
 
 /// Every fault point, in the canonical (index) order.
-pub const FAULT_POINTS: [FaultPoint; 4] = [
+pub const FAULT_POINTS: [FaultPoint; 7] = [
     FaultPoint::RetrainPanic,
     FaultPoint::RetrainSlow,
     FaultPoint::AdoptCorruption,
     FaultPoint::UpdateBurst,
+    FaultPoint::WalAppend,
+    FaultPoint::CheckpointWrite,
+    FaultPoint::AdoptPersist,
 ];
 
 impl FaultPoint {
@@ -55,6 +75,9 @@ impl FaultPoint {
             FaultPoint::RetrainSlow => "retrain-slow",
             FaultPoint::AdoptCorruption => "adopt-corruption",
             FaultPoint::UpdateBurst => "update-burst",
+            FaultPoint::WalAppend => "wal-append",
+            FaultPoint::CheckpointWrite => "checkpoint-write",
+            FaultPoint::AdoptPersist => "adopt-persist",
         }
     }
 
@@ -69,6 +92,9 @@ impl FaultPoint {
             FaultPoint::RetrainSlow => 1,
             FaultPoint::AdoptCorruption => 2,
             FaultPoint::UpdateBurst => 3,
+            FaultPoint::WalAppend => 4,
+            FaultPoint::CheckpointWrite => 5,
+            FaultPoint::AdoptPersist => 6,
         }
     }
 }
@@ -79,6 +105,48 @@ impl std::fmt::Display for FaultPoint {
     }
 }
 
+/// Why a fault-schedule spec failed to parse. Each variant names the
+/// offending token so a CLI typo is pinpointed, not just rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultParseError {
+    /// A clause had no `@` separator.
+    MissingAt {
+        /// The clause as written.
+        clause: String,
+    },
+    /// The point name before the `@` is not a known [`FaultPoint`].
+    UnknownPoint {
+        /// The unrecognised name token.
+        token: String,
+    },
+    /// An occurrence after the `@` is not an unsigned integer.
+    BadOccurrence {
+        /// The unparsable occurrence token.
+        token: String,
+        /// The clause it appeared in.
+        clause: String,
+    },
+}
+
+impl std::fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultParseError::MissingAt { clause } => {
+                write!(f, "fault clause {clause:?} is not point@occ[,occ...]")
+            }
+            FaultParseError::UnknownPoint { token } => {
+                let known: Vec<&str> = FAULT_POINTS.iter().map(|p| p.name()).collect();
+                write!(f, "unknown fault point {token:?} (known: {})", known.join(", "))
+            }
+            FaultParseError::BadOccurrence { token, clause } => {
+                write!(f, "bad occurrence {token:?} in clause {clause:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
 /// Which occurrences of each fault point fire: `occurrence` `n` means
 /// the `n`-th (0-based) time that point is evaluated. Build one with
 /// [`Self::arm`] (explicit), [`Self::seeded`] (reproducibly random), or
@@ -86,7 +154,7 @@ impl std::fmt::Display for FaultPoint {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultSchedule {
     /// Per [`FaultPoint::index`]: sorted, deduplicated firing indices.
-    occurrences: [Vec<u64>; 4],
+    occurrences: [Vec<u64>; 7],
 }
 
 impl FaultSchedule {
@@ -107,16 +175,19 @@ impl FaultSchedule {
 
     /// A reproducibly random schedule: for every fault point, draw
     /// `per_class` distinct occurrence indices. The retrain-side points
-    /// (`retrain-panic`, `retrain-slow`, `adopt-corruption`) draw from
-    /// `0..retrain_window` (retrain *attempts*), `update-burst` from
-    /// `0..update_window` (churn *steps*). The same `(seed, windows)`
-    /// always yields the same schedule — that is the whole point.
+    /// (`retrain-panic`, `retrain-slow`, `adopt-corruption`) and the
+    /// checkpoint crash points (`checkpoint-write`, `adopt-persist`)
+    /// draw from `0..retrain_window` (retrain/checkpoint *attempts*);
+    /// the update-path points (`update-burst`, `wal-append`) draw from
+    /// `0..update_window` (churn *steps* / WAL appends). The same
+    /// `(seed, windows)` always yields the same schedule — that is the
+    /// whole point.
     pub fn seeded(seed: u64, per_class: usize, retrain_window: u64, update_window: u64) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut schedule = FaultSchedule::empty();
         for point in FAULT_POINTS {
             let window = match point {
-                FaultPoint::UpdateBurst => update_window,
+                FaultPoint::UpdateBurst | FaultPoint::WalAppend => update_window,
                 _ => retrain_window,
             }
             .max(1);
@@ -130,25 +201,21 @@ impl FaultSchedule {
     }
 
     /// Parse a CLI spec: `;`-separated `point@occ[,occ...]` clauses,
-    /// e.g. `"retrain-panic@0,2;update-burst@5"`. The special spec
-    /// `"seed:S"` builds [`Self::seeded`]`(S, 2, 6, updates/2)`-shaped
-    /// schedules via the caller (this function only handles explicit
-    /// clauses and returns an error for anything else).
-    pub fn parse(spec: &str) -> Result<Self, String> {
+    /// e.g. `"retrain-panic@0,2;wal-append@5"`. Errors are typed
+    /// ([`FaultParseError`]) and name the offending token.
+    pub fn parse(spec: &str) -> Result<Self, FaultParseError> {
         let mut schedule = FaultSchedule::empty();
         for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
             let (name, occs) = clause
                 .split_once('@')
-                .ok_or_else(|| format!("fault clause {clause:?} is not point@occ[,occ...]"))?;
-            let point = FaultPoint::from_name(name.trim()).ok_or_else(|| {
-                let known: Vec<&str> = FAULT_POINTS.iter().map(|p| p.name()).collect();
-                format!("unknown fault point {:?} (known: {})", name.trim(), known.join(", "))
-            })?;
+                .ok_or_else(|| FaultParseError::MissingAt { clause: clause.to_string() })?;
+            let point = FaultPoint::from_name(name.trim())
+                .ok_or_else(|| FaultParseError::UnknownPoint { token: name.trim().to_string() })?;
             for occ in occs.split(',') {
-                let occ: u64 = occ
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad occurrence {occ:?} in clause {clause:?}"))?;
+                let occ: u64 = occ.trim().parse().map_err(|_| FaultParseError::BadOccurrence {
+                    token: occ.trim().to_string(),
+                    clause: clause.to_string(),
+                })?;
                 schedule = schedule.arm(point, occ);
             }
         }
@@ -200,8 +267,8 @@ impl std::fmt::Display for FaultSchedule {
 #[derive(Debug)]
 pub struct FaultInjector {
     schedule: FaultSchedule,
-    evals: [AtomicU64; 4],
-    fired: [AtomicU64; 4],
+    evals: [AtomicU64; 7],
+    fired: [AtomicU64; 7],
 }
 
 impl FaultInjector {
@@ -209,15 +276,15 @@ impl FaultInjector {
     pub fn new(schedule: FaultSchedule) -> Self {
         FaultInjector {
             schedule,
-            evals: [const { AtomicU64::new(0) }; 4],
-            fired: [const { AtomicU64::new(0) }; 4],
+            evals: [const { AtomicU64::new(0) }; 7],
+            fired: [const { AtomicU64::new(0) }; 7],
         }
     }
 
     /// Evaluate `point` once: advances its occurrence counter and
     /// reports whether this occurrence is armed. The caller then
-    /// performs the fault (panic, sleep, corruption, burst) — the
-    /// injector only decides *when*.
+    /// performs the fault (panic, sleep, corruption, burst, crash) —
+    /// the injector only decides *when*.
     pub fn should_fire(&self, point: FaultPoint) -> bool {
         let i = point.index();
         let occurrence = self.evals[i].fetch_add(1, Ordering::Relaxed);
@@ -282,7 +349,10 @@ mod tests {
         assert_ne!(a, c, "different seed, different schedule");
         for point in FAULT_POINTS {
             assert_eq!(a.armed(point).len(), 2, "{point}: two occurrences per class");
-            let window = if point == FaultPoint::UpdateBurst { 100 } else { 6 };
+            let window = match point {
+                FaultPoint::UpdateBurst | FaultPoint::WalAppend => 100,
+                _ => 6,
+            };
             assert!(a.armed(point).iter().all(|&o| o < window));
         }
         // A window smaller than per_class clamps instead of spinning.
@@ -294,17 +364,51 @@ mod tests {
 
     #[test]
     fn parse_round_trips_and_rejects_garbage() {
-        let s = FaultSchedule::parse("retrain-panic@0,2; update-burst@5").unwrap();
+        let s = FaultSchedule::parse("retrain-panic@0,2; wal-append@5").unwrap();
         assert_eq!(s.armed(FaultPoint::RetrainPanic), &[0, 2]);
-        assert_eq!(s.armed(FaultPoint::UpdateBurst), &[5]);
+        assert_eq!(s.armed(FaultPoint::WalAppend), &[5]);
         assert!(s.armed(FaultPoint::RetrainSlow).is_empty());
         let shown = s.to_string();
         assert_eq!(FaultSchedule::parse(&shown).unwrap(), s, "display round-trips");
-        assert!(FaultSchedule::parse("no-such-fault@1").is_err());
-        assert!(FaultSchedule::parse("retrain-panic@x").is_err());
-        assert!(FaultSchedule::parse("retrain-panic").is_err());
         assert!(FaultSchedule::parse("").unwrap().is_empty());
         assert_eq!(FaultSchedule::empty().to_string(), "(none)");
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_token() {
+        match FaultSchedule::parse("no-such-fault@1") {
+            Err(FaultParseError::UnknownPoint { token }) => {
+                assert_eq!(token, "no-such-fault");
+            }
+            other => panic!("expected UnknownPoint, got {other:?}"),
+        }
+        match FaultSchedule::parse("retrain-panic@0;checkpoint-write@x") {
+            Err(FaultParseError::BadOccurrence { token, clause }) => {
+                assert_eq!(token, "x");
+                assert_eq!(clause, "checkpoint-write@x");
+            }
+            other => panic!("expected BadOccurrence, got {other:?}"),
+        }
+        match FaultSchedule::parse("retrain-panic") {
+            Err(FaultParseError::MissingAt { clause }) => {
+                assert_eq!(clause, "retrain-panic");
+            }
+            other => panic!("expected MissingAt, got {other:?}"),
+        }
+        // Every error's Display names its token.
+        let err = FaultSchedule::parse("wal-apend@1").unwrap_err();
+        assert!(err.to_string().contains("wal-apend"), "{err}");
+        assert!(err.to_string().contains("wal-append"), "suggests the known names: {err}");
+    }
+
+    #[test]
+    fn every_point_parses_by_display_name() {
+        let mut schedule = FaultSchedule::empty();
+        for (i, point) in FAULT_POINTS.into_iter().enumerate() {
+            schedule = schedule.arm(point, i as u64);
+        }
+        let reparsed = FaultSchedule::parse(&schedule.to_string()).unwrap();
+        assert_eq!(reparsed, schedule);
     }
 
     #[test]

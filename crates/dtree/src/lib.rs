@@ -43,12 +43,13 @@ pub mod tree;
 pub mod updates;
 pub mod validate;
 pub mod viz;
+pub mod wal;
 
 pub use engine::{
     classify_sharded, classify_sharded_live, run_engine, run_live_engine, EngineConfig,
     EngineReport, LiveEngineReport,
 };
-pub use faults::{FaultInjector, FaultPoint, FaultSchedule, FAULT_POINTS};
+pub use faults::{FaultInjector, FaultParseError, FaultPoint, FaultSchedule, FAULT_POINTS};
 pub use flat::{FlatTree, StaleTreeError};
 pub use memory::MemoryModel;
 pub use node::{Node, NodeId, NodeKind, RuleId, RuleSpan};
@@ -64,3 +65,4 @@ pub use tree::DecisionTree;
 pub use updates::{UpdateError, UpdateLog};
 pub use validate::validate_tree;
 pub use viz::LevelProfile;
+pub use wal::{WalError, WalReadOutcome, WalRecord, WalWriter};

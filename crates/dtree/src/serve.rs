@@ -46,6 +46,7 @@ use crate::flat::FlatTree;
 use crate::node::RuleId;
 use crate::tree::DecisionTree;
 use crate::updates::{self, UpdateError, UpdateLog};
+use crate::wal;
 use classbench::{Dim, Packet, Rule, RuleSet};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -214,6 +215,15 @@ struct State {
     /// Lifecycle-worker view, pushed via [`ClassifierHandle::note_worker_health`].
     worker_failures: u64,
     worker_degraded: bool,
+    /// Durability sink: every admitted insert/delete/adopt/rebuild is
+    /// appended here *before* it mutates anything (`None` = no
+    /// persistence attached; updates are then memory-only).
+    wal: Option<wal::WalWriter>,
+    /// Generation of the checkpoint the attached WAL runs ahead of.
+    checkpoint_generation: Option<u64>,
+    /// Sticky note from the recovery that built this handle (torn-tail
+    /// truncations and the like), `None` for a clean start.
+    last_recover_error: Option<String>,
 }
 
 /// A point-in-time health view of a live classifier: the failure side
@@ -242,13 +252,23 @@ pub struct HealthReport {
     pub backpressure_rebuilds: u64,
     /// The most recent update/adopt/retrain error, if any (sticky).
     pub last_error: Option<String>,
+    /// Records appended to the write-ahead log since the last
+    /// checkpoint rotation (`None` = no persistence attached) — how
+    /// much replay a crash right now would cost.
+    pub wal_len: Option<u64>,
+    /// Generation of the newest durable checkpoint behind the WAL
+    /// (`None` = no persistence attached).
+    pub checkpoint_generation: Option<u64>,
+    /// Sticky note from the recovery that built this handle, e.g. a
+    /// truncated torn tail (`None` = clean start or clean recovery).
+    pub last_recover_error: Option<String>,
 }
 
 impl std::fmt::Display for HealthReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "failures {} degraded {} overlay {}/{} epoch_lag {} backpressure {} last_error {}",
+            "failures {} degraded {} overlay {}/{} epoch_lag {} backpressure {} last_error {} wal {} ckpt {} recover_error {}",
             self.consecutive_failures,
             self.degraded,
             self.overlay_len,
@@ -260,6 +280,9 @@ impl std::fmt::Display for HealthReport {
             self.epoch_lag,
             self.backpressure_rebuilds,
             self.last_error.as_deref().unwrap_or("none"),
+            self.wal_len.map_or_else(|| "off".to_string(), |n| n.to_string()),
+            self.checkpoint_generation.map_or_else(|| "none".to_string(), |g| g.to_string()),
+            self.last_recover_error.as_deref().unwrap_or("none"),
         )
     }
 }
@@ -370,6 +393,13 @@ pub enum AdoptError {
         /// This handle's arena size.
         arena: usize,
     },
+    /// The swap passed its spot check but its write-ahead log record
+    /// could not be appended; the swap was refused (serving state
+    /// untouched) so the durable log never trails the served state.
+    WalAppend {
+        /// The I/O error class reported by the failed append.
+        kind: std::io::ErrorKind,
+    },
 }
 
 impl std::fmt::Display for AdoptError {
@@ -383,6 +413,9 @@ impl std::fmt::Display for AdoptError {
             }
             AdoptError::ForeignSnapshot { max_id, arena } => {
                 write!(f, "snapshot maps rule id {max_id} but the handle arena holds {arena}")
+            }
+            AdoptError::WalAppend { kind } => {
+                write!(f, "write-ahead log append failed ({kind:?}); adopt refused")
             }
         }
     }
@@ -441,10 +474,19 @@ impl ClassifierHandle {
     /// Wrap a built tree for live serving: compiles the initial
     /// snapshot (epoch 0) and takes ownership of the tree.
     pub fn new(tree: DecisionTree, policy: RebuildPolicy) -> Self {
+        Self::new_at_epoch(tree, policy, 0)
+    }
+
+    /// [`Self::new`], but the initial snapshot publishes at `epoch`
+    /// instead of 0. Recovery uses this to resume the epoch line where
+    /// the checkpoint froze it, so `checkpoint epoch + replayed WAL
+    /// records` lands on exactly the pre-crash epoch (every logged
+    /// record publishes exactly one epoch).
+    pub fn new_at_epoch(tree: DecisionTree, policy: RebuildPolicy, epoch: u64) -> Self {
         let flat = Arc::new(FlatTree::compile(&tree));
         debug_assert!(!flat.is_stale(&tree));
         let published = Arc::new(Snapshot {
-            epoch: 0,
+            epoch,
             tree_generation: tree.generation(),
             flat: flat.clone(),
             overlay: Arc::new(Vec::new()),
@@ -465,8 +507,11 @@ impl ClassifierHandle {
                 last_error: None,
                 worker_failures: 0,
                 worker_degraded: false,
+                wal: None,
+                checkpoint_generation: None,
+                last_recover_error: None,
             }),
-            epoch: AtomicU64::new(0),
+            epoch: AtomicU64::new(epoch),
         }
     }
 
@@ -508,7 +553,19 @@ impl ClassifierHandle {
             s.last_error = Some(err.to_string());
             return Err(err);
         }
+        // Log before mutating: the arena assigns ids by append order,
+        // so the id this insert will get is the current arena length —
+        // logged and re-verified on replay. A failed append refuses the
+        // update with every bit of state untouched.
+        let predicted = s.tree.rules().len();
+        if let Err(kind) = Self::wal_append_locked(
+            &mut s,
+            &wal::WalRecord::Insert { id: predicted, rule: rule.clone() },
+        ) {
+            return Err(UpdateError::WalAppend { kind });
+        }
         let id = updates::insert_rule(&mut s.tree, rule.clone());
+        debug_assert_eq!(id, predicted, "arena ids are assigned by append order");
         s.log.inserted += 1;
         s.total_inserted += 1;
         if s.policy.should_rebuild(&s.log, s.tree.num_active_rules()) {
@@ -544,6 +601,23 @@ impl ClassifierHandle {
     /// touching the serving state.
     pub fn delete(&self, id: RuleId) -> Result<(), UpdateError> {
         let mut s = self.state.write();
+        // Admission-check first (mirroring `delete_rule`'s own guards)
+        // so only deletes that will actually land reach the WAL; then
+        // log before mutating.
+        let err = if id >= s.tree.rules().len() {
+            Some(UpdateError::UnknownRule(id))
+        } else if !s.tree.is_active(id) {
+            Some(UpdateError::InactiveRule(id))
+        } else {
+            None
+        };
+        if let Some(err) = err {
+            s.last_error = Some(err.to_string());
+            return Err(err);
+        }
+        if let Err(kind) = Self::wal_append_locked(&mut s, &wal::WalRecord::Delete { id }) {
+            return Err(UpdateError::WalAppend { kind });
+        }
         if let Err(err) = updates::delete_rule(&mut s.tree, id) {
             s.last_error = Some(err.to_string());
             return Err(err);
@@ -580,8 +654,17 @@ impl ClassifierHandle {
     /// [`UpdateStats::rebuilds`] counts the recompile. Lifetime
     /// counters ([`UpdateStats::total_inserted`]/`total_deleted`) are
     /// never reset by either path.
+    ///
+    /// With a WAL attached the rebuild is logged first (it publishes an
+    /// epoch, and every published epoch must be one durable record); if
+    /// the append fails the rebuild is skipped — the sticky
+    /// [`HealthReport::last_error`] records why — because publishing an
+    /// unlogged epoch would silently desynchronise recovery.
     pub fn force_rebuild(&self) {
         let mut s = self.state.write();
+        if Self::wal_append_locked(&mut s, &wal::WalRecord::Rebuild).is_err() {
+            return;
+        }
         Self::rebuild_locked(&mut s);
         self.publish_locked(&mut s);
     }
@@ -704,6 +787,13 @@ impl ClassifierHandle {
             s.last_error = Some(err.to_string());
             return Err(err);
         }
+        // Spot check passed — log the swap before performing it. An
+        // Adopt record replays as a rebuild: classification-identical
+        // by the spot-check contract just proven; the adopted tree
+        // *shape* becomes durable when its checkpoint lands.
+        if let Err(kind) = Self::wal_append_locked(&mut s, &wal::WalRecord::Adopt) {
+            return Err(AdoptError::WalAppend { kind });
+        }
         let spot_checked = spot_check.len() + s.overlay.len();
         s.tree = grafted;
         Self::rebuild_locked(&mut s);
@@ -773,6 +863,9 @@ impl ClassifierHandle {
             epoch_lag: s.log.total() as u64,
             backpressure_rebuilds: s.backpressure_rebuilds,
             last_error: s.last_error.clone(),
+            wal_len: s.wal.as_ref().map(wal::WalWriter::appended),
+            checkpoint_generation: s.checkpoint_generation,
+            last_recover_error: s.last_recover_error.clone(),
         }
     }
 
@@ -805,6 +898,74 @@ impl ClassifierHandle {
     /// compare; production readers should use [`Self::snapshot`].
     pub fn with_tree<R>(&self, f: impl FnOnce(&DecisionTree) -> R) -> R {
         f(&self.state.read().tree)
+    }
+
+    /// Attach a write-ahead log running ahead of checkpoint
+    /// `generation`: every subsequently admitted insert, delete, adopt,
+    /// and forced rebuild is appended (and refused on append failure)
+    /// *before* it mutates the serving state. Replaces any previously
+    /// attached writer.
+    pub fn attach_wal(&self, writer: wal::WalWriter, generation: u64) {
+        let mut s = self.state.write();
+        s.wal = Some(writer);
+        s.checkpoint_generation = Some(generation);
+    }
+
+    /// Atomically freeze a checkpoint image and rotate the WAL: under
+    /// one write-lock acquisition, `make_writer` is called with the LSN
+    /// the next record must carry (so the LSN line continues unbroken
+    /// across generations), the new writer replaces the old (which is
+    /// synced and retired), and the tree + epoch are cloned out as the
+    /// image the caller must now write durably as checkpoint
+    /// `generation`. No update can slip between the image and the
+    /// rotation — that is the crash-consistency pivot: every admitted
+    /// op is either inside the returned image or in the new WAL.
+    ///
+    /// If `make_writer` fails nothing changes (same writer, same
+    /// generation).
+    pub fn rotate_wal<E>(
+        &self,
+        generation: u64,
+        make_writer: impl FnOnce(u64) -> Result<wal::WalWriter, E>,
+    ) -> Result<(DecisionTree, u64), E> {
+        let mut s = self.state.write();
+        let next_lsn = s.wal.as_ref().map_or(0, wal::WalWriter::next_lsn);
+        let writer = make_writer(next_lsn)?;
+        if let Some(mut old) = s.wal.replace(writer) {
+            // Best-effort: flush the retired generation's sync batch.
+            // Its records were already `write`-visible (process-crash
+            // durable); this closes the power-loss window before the
+            // file is superseded by the checkpoint being written.
+            let _ = old.sync();
+        }
+        s.checkpoint_generation = Some(generation);
+        Ok((s.tree.clone(), s.published.epoch))
+    }
+
+    /// Record the outcome of the recovery that built this handle:
+    /// the checkpoint generation resumed from and, sticky, any
+    /// truncated-tail note (surfaced by [`Self::health`]).
+    pub fn note_recovery(&self, generation: u64, note: Option<String>) {
+        let mut s = self.state.write();
+        s.checkpoint_generation = Some(generation);
+        if note.is_some() {
+            s.last_recover_error = note;
+        }
+    }
+
+    /// Append to the attached WAL (no-op without one). On failure the
+    /// full error lands in the sticky `last_error` and the I/O class is
+    /// returned — callers refuse the mutation, so the durable log never
+    /// trails the served state.
+    fn wal_append_locked(s: &mut State, record: &wal::WalRecord) -> Result<(), std::io::ErrorKind> {
+        let Some(w) = s.wal.as_mut() else { return Ok(()) };
+        match w.append(record) {
+            Ok(_) => Ok(()),
+            Err(err) => {
+                s.last_error = Some(format!("wal append refused the update: {err}"));
+                Err(err.io_kind())
+            }
+        }
     }
 
     fn rebuild_locked(s: &mut State) {

@@ -53,6 +53,15 @@ pub enum UpdateError {
         /// The policy's `max_overlay` cap.
         cap: usize,
     },
+    /// Appending the update to the attached write-ahead log failed, so
+    /// the update was refused before touching any state: the durable
+    /// log must never trail what the classifier serves. Carries the
+    /// I/O error class (the full message lands in the health report's
+    /// sticky `last_error`).
+    WalAppend {
+        /// The I/O error class reported by the failed append.
+        kind: std::io::ErrorKind,
+    },
 }
 
 impl std::fmt::Display for UpdateError {
@@ -71,6 +80,9 @@ impl std::fmt::Display for UpdateError {
             }
             UpdateError::OverlayFull { cap } => {
                 write!(f, "insert overlay reached its bound of {cap}; fold-rebuild forced")
+            }
+            UpdateError::WalAppend { kind } => {
+                write!(f, "write-ahead log append failed ({kind:?}); update refused")
             }
         }
     }

@@ -60,7 +60,10 @@ impl LintConfig {
     /// the contracts established by earlier PRs:
     ///
     /// * serving: the branch-free epoch-swap serving path
-    ///   (`dtree::{flat, serve, engine, store}`) must be panic-free.
+    ///   (`dtree::{flat, serve, engine, store}`) must be panic-free;
+    ///   `dtree::wal` rides along because appends run inline under the
+    ///   admission write lock — a panicking durability layer would take
+    ///   the serving path down with it.
     /// * determinism: training and retraining (`core` minus
     ///   `lifecycle.rs`, `rl`, `nn`) must not read wall clocks or
     ///   ambient randomness; `lifecycle.rs` is the single file where
@@ -78,6 +81,7 @@ impl LintConfig {
                     "crates/dtree/src/serve.rs",
                     "crates/dtree/src/engine.rs",
                     "crates/dtree/src/store.rs",
+                    "crates/dtree/src/wal.rs",
                 ],
                 &[],
             ),
